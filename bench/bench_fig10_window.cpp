@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fig 10 reproduction: recall and resource usage of the time-window
+ * approximation across window sizes.
+ *
+ * For the paper's 8 selected applications, the harness analyzes each
+ * trace with windows of 15s, 30s, 1min, 2min, 5min and no window, and
+ * reports the percentage of race groups still found (relative to the
+ * exact no-window run) together with total analysis time and peak
+ * memory.
+ *
+ * Shape to check (paper section 7.5): recall is high and rises with
+ * the window — ~96% at 2 minutes on the paper's testbed — while time
+ * and especially memory drop sharply for small windows; all races
+ * missed at 2 minutes were between events far apart in time.
+ *
+ * Usage: bench_fig10_window [--scale=0.02]
+ */
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench_util.hh"
+#include "support/format.hh"
+#include "workload/workload.hh"
+
+using namespace asyncclock;
+using namespace asyncclock::bench;
+
+namespace {
+
+/** Site-pair identities of the reported groups (for recall). */
+std::set<std::pair<trace::SiteId, trace::SiteId>>
+groupKeys(const report::ReportSummary &summary)
+{
+    std::set<std::pair<trace::SiteId, trace::SiteId>> out;
+    for (const auto &g : summary.reported)
+        out.insert({g.siteA, g.siteB});
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = argDouble(argc, argv, "scale", 0.05);
+    const char *apps[] = {"AnyMemo",  "BarcodeScanner", "ConnectBot",
+                          "FBReader", "Firefox",        "OIFileManager",
+                          "Tomdroid", "VLCPlayer"};
+    const std::uint64_t windows[] = {15000,  30000,  60000,
+                                     120000, 300000, 0};
+    const char *windowNames[] = {"15s", "30s", "1min",
+                                 "2min", "5min", "inf"};
+
+    // More far-apart seeded races than the default profile, so the
+    // window trade-off is visible (the generator's gap distribution
+    // has a tail beyond any finite window here).
+    std::vector<workload::GeneratedApp> generated;
+    std::uint64_t totalGroups = 0;
+    for (const char *name : apps) {
+        workload::AppProfile p = workload::profileByName(name, scale);
+        p.seededHarmful = 4;
+        p.seededTypeI = 3;
+        p.seededTypeII = 3;
+        // 15-minute traces so even the 5-minute window is meaningful.
+        p.spanMs = 15 * 60 * 1000;
+        generated.push_back(workload::generateApp(p));
+    }
+
+    std::printf("Fig 10 reproduction (scale %.3f): recall and "
+                "resources vs window size,\naggregated over 8 apps\n\n",
+                scale);
+    std::printf("%6s | %10s | %10s | %10s\n", "window",
+                "races kept", "total time", "peak mem");
+
+    // Exact baselines per app.
+    std::vector<std::set<std::pair<trace::SiteId, trace::SiteId>>>
+        exact;
+    for (const auto &app : generated) {
+        core::DetectorConfig cfg;
+        cfg.windowMs = 0;
+        exact.push_back(groupKeys(runAsyncClock(app.trace, cfg).report));
+        totalGroups += exact.back().size();
+    }
+
+    std::uint64_t falsePositives = 0;
+    for (unsigned w = 0; w < 6; ++w) {
+        double totalTime = 0;
+        std::uint64_t peakMem = 0, kept = 0;
+        for (std::size_t i = 0; i < generated.size(); ++i) {
+            core::DetectorConfig cfg;
+            cfg.windowMs = windows[w];
+            RunResult r = runAsyncClock(generated[i].trace, cfg);
+            totalTime += r.seconds;
+            peakMem += r.peakBytes;
+            for (const auto &key : groupKeys(r.report)) {
+                if (exact[i].count(key))
+                    ++kept;
+                else
+                    ++falsePositives;  // window only removes races
+            }
+        }
+        std::printf("%6s | %9.1f%% | %9.3fs | %10s\n", windowNames[w],
+                    100.0 * double(kept) /
+                        double(std::max<std::uint64_t>(1, totalGroups)),
+                    totalTime, humanBytes(peakMem).c_str());
+    }
+    std::printf("\nfalse positives across all windows: %llu (must be "
+                "0 — the window only\n*assumes* extra orderings)\n",
+                (unsigned long long)falsePositives);
+    std::printf("\nPaper: >=96%% of races kept at a 2-minute window; "
+                "every missed race was\nbetween events far apart in "
+                "time (and manually harmless).\n");
+    return 0;
+}

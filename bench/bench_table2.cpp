@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Table 2 reproduction: the 20-app suite, AsyncClock (2-minute
+ * window, FIFO chain decomposition) versus the EventRacer-style
+ * baseline on identical traces.
+ *
+ * Paper columns reproduced: trace statistics (sync ops, threads,
+ * looper/binder events), analysis time and memory for AsyncClock, and
+ * the per-app speedup / memory saved versus EventRacer, plus the
+ * average row. Absolute numbers differ from the paper (simulated
+ * substrate, scaled event counts); the claims to check are the
+ * *shape*: every app >= ~2x speedup, large memory savings, averages
+ * in the several-x / >80% region (paper: 8x, 87%).
+ *
+ * Usage: bench_table2 [--scale=0.02]
+ *   scale multiplies the paper's per-app event counts.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "support/format.hh"
+#include "workload/workload.hh"
+
+using namespace asyncclock;
+using namespace asyncclock::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argDouble(argc, argv, "scale", 0.1);
+    std::printf("Table 2 reproduction (scale %.3f of the paper's "
+                "event counts)\n\n",
+                scale);
+    std::printf("%-15s %8s %7s %12s %8s %8s | %9s %9s | %8s %9s\n",
+                "Application", "Ops", "Sync", "Thr(w/l/b)", "LooperEv",
+                "BinderEv", "AC-time", "AC-mem", "Speedup",
+                "MemSaved");
+
+    double sumSpeedup = 0, sumSaved = 0, sumAcTime = 0, sumAcMem = 0;
+    unsigned count = 0;
+    for (const auto &profile : workload::table2Profiles(scale)) {
+        workload::GeneratedApp app = workload::generateApp(profile);
+        auto stats = app.trace.stats();
+
+        RunResult ac = runAsyncClock(app.trace);
+        RunResult er = runEventRacer(app.trace);
+
+        double speedup = er.seconds / std::max(ac.seconds, 1e-9);
+        double saved = er.peakBytes == 0
+                           ? 0.0
+                           : 100.0 * (1.0 - double(ac.peakBytes) /
+                                                double(er.peakBytes));
+        std::printf(
+            "%-15s %8llu %7llu %5llu/%llu/%-4llu %8llu %8llu | "
+            "%8.3fs %9s | %7.2fx %8.1f%%\n",
+            profile.name.c_str(), (unsigned long long)stats.ops,
+            (unsigned long long)stats.syncOps,
+            (unsigned long long)stats.workerThreads,
+            (unsigned long long)stats.looperThreads,
+            (unsigned long long)stats.binderThreads,
+            (unsigned long long)stats.looperEvents,
+            (unsigned long long)stats.binderEvents, ac.seconds,
+            humanBytes(ac.peakBytes).c_str(), speedup, saved);
+        sumSpeedup += speedup;
+        sumSaved += saved;
+        sumAcTime += ac.seconds;
+        sumAcMem += double(ac.peakBytes);
+        ++count;
+    }
+    std::printf("%-15s %62s | %8.3fs %9s | %7.2fx %8.1f%%\n",
+                "Average", "", sumAcTime / count,
+                humanBytes(std::uint64_t(sumAcMem / count)).c_str(),
+                sumSpeedup / count, sumSaved / count);
+    std::printf("\nPaper (full-scale testbed): average speedup 7.99x, "
+                "memory saved 87%%,\nminimum speedup 2.21x; speedups "
+                "grow with trace length (section 7.3).\n");
+    return 0;
+}

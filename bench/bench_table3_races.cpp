@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Table 3 reproduction: user-induced race groups reported in 8 apps,
+ * split into All / Filtered (commutativity whitelist) / Harmful /
+ * Harmless Type I / Type II / Other, scored against the workload
+ * generator's planted ground truth.
+ *
+ * The paper's counts come from real apps plus manual triage; here the
+ * ground truth is explicit, so the value of this table is checking
+ * the *pipeline*: framework-internal races never reach the report,
+ * commutative library races are filtered, every planted harmful race
+ * is reported and classified harmful, and the report contains nothing
+ * that was not planted.
+ *
+ * Usage: bench_table3_races [--scale=0.02]
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workload/workload.hh"
+
+using namespace asyncclock;
+using namespace asyncclock::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argDouble(argc, argv, "scale", 0.02);
+    const char *apps[] = {"AnyMemo",  "BarcodeScanner", "ConnectBot",
+                          "FBReader", "Firefox",        "OIFileManager",
+                          "Tomdroid", "VLCPlayer"};
+
+    std::printf("Table 3 reproduction (scale %.3f)\n\n", scale);
+    std::printf("%-15s | %5s %8s | %7s %6s %7s %6s | %s\n",
+                "Application", "All", "Filtered", "Harmful", "TypeI",
+                "TypeII", "Other", "ground truth check");
+
+    std::uint64_t sumAll = 0, sumFiltered = 0, sumHarmful = 0;
+    bool allMatch = true;
+    for (const char *name : apps) {
+        workload::AppProfile p = workload::profileByName(name, scale);
+        // Vary the planted mix per app (deterministic in the name).
+        unsigned h = 2 + (p.seed % 4);
+        p.seededHarmful = h;
+        p.seededTypeI = 1 + (p.seed % 3);
+        p.seededTypeII = 1 + (p.seed % 2);
+        p.seededCommutative = 2 + (p.seed % 3);
+        workload::GeneratedApp app = workload::generateApp(p);
+
+        // Exact configuration (no window): Table 3 checks the
+        // reporting pipeline; window recall is Fig 10's experiment.
+        core::DetectorConfig cfg;
+        cfg.windowMs = 0;
+        RunResult r = runAsyncClock(app.trace, cfg);
+        const auto &s = r.report;
+        bool match = s.harmful == app.truth.harmful &&
+                     s.typeI == app.truth.typeI &&
+                     s.typeII == app.truth.typeII &&
+                     s.filteredGroups == app.truth.commutative &&
+                     s.otherHarmless == 0;
+        allMatch = allMatch && match;
+        std::printf("%-15s | %5llu %8llu | %7llu %6llu %7llu %6llu | "
+                    "%s\n",
+                    name, (unsigned long long)s.allGroups,
+                    (unsigned long long)s.filteredGroups,
+                    (unsigned long long)s.harmful,
+                    (unsigned long long)s.typeI,
+                    (unsigned long long)s.typeII,
+                    (unsigned long long)s.otherHarmless,
+                    match ? "exact" : "MISMATCH");
+        sumAll += s.allGroups;
+        sumFiltered += s.filteredGroups;
+        sumHarmful += s.harmful;
+    }
+    std::printf("\nTotals: %llu user-induced groups, %llu filtered "
+                "by the commutativity\nwhitelist, %llu harmful "
+                "reported. Ground truth %s.\n",
+                (unsigned long long)sumAll,
+                (unsigned long long)sumFiltered,
+                (unsigned long long)sumHarmful,
+                allMatch ? "reproduced exactly in every app"
+                         : "NOT fully reproduced");
+    std::printf("\nPaper (real apps, manual triage): 1437 groups, "
+                "1106 filtered, 147 harmful\nraces across these 8 "
+                "apps; 44%% of post-filter groups were harmful.\n");
+    return allMatch ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared helpers for the table/figure benchmark harnesses: wall-clock
+ * timing of a detector pass with periodic memory polling.
+ */
+
+#ifndef ASYNCCLOCK_BENCH_BENCH_UTIL_HH
+#define ASYNCCLOCK_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/detector.hh"
+#include "graph/eventracer.hh"
+#include "report/fasttrack.hh"
+#include "report/races.hh"
+#include "trace/trace.hh"
+
+namespace asyncclock::bench {
+
+/** Result of one measured detector pass. */
+struct RunResult
+{
+    double seconds = 0;
+    std::uint64_t peakBytes = 0;
+    std::uint64_t ops = 0;
+    report::ReportSummary report;
+    core::DetectorCounters acCounters;     ///< AsyncClock runs only
+    std::uint32_t numChains = 0;           ///< AsyncClock runs only
+    graph::GraphCounters erCounters;       ///< EventRacer runs only
+};
+
+/** Run AsyncClock on @p tr with @p cfg; measures time and peak
+ * metadata bytes, and post-processes races through the filters. */
+inline RunResult
+runAsyncClock(const trace::Trace &tr, core::DetectorConfig cfg = {},
+              report::FilterConfig filters = {})
+{
+    report::FastTrackChecker checker;
+    core::AsyncClockDetector det(tr, checker, cfg);
+    MemStats mem;
+    auto start = std::chrono::steady_clock::now();
+    det.runAll(&mem, 4096);
+    RunResult out;
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    out.peakBytes = mem.peakTotal();
+    out.ops = det.opsProcessed();
+    out.acCounters = det.counters();
+    out.numChains = det.numChains();
+    out.report = report::RaceAnalyzer(tr).analyze(checker.races(),
+                                                  filters);
+    return out;
+}
+
+/** Run the EventRacer-style baseline the same way. */
+inline RunResult
+runEventRacer(const trace::Trace &tr,
+              graph::EventRacerConfig cfg = {},
+              report::FilterConfig filters = {})
+{
+    report::FastTrackChecker checker;
+    graph::EventRacerDetector det(tr, checker, cfg);
+    MemStats mem;
+    auto start = std::chrono::steady_clock::now();
+    det.runAll(&mem, 4096);
+    RunResult out;
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    out.peakBytes = mem.peakTotal();
+    out.ops = det.opsProcessed();
+    out.erCounters = det.counters();
+    out.report = report::RaceAnalyzer(tr).analyze(checker.races(),
+                                                  filters);
+    return out;
+}
+
+/** Parse a `--name=value` style double argument. */
+inline double
+argDouble(int argc, char **argv, const std::string &name, double dflt)
+{
+    std::string prefix = "--" + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            return std::strtod(arg.c_str() + prefix.size(), nullptr);
+    }
+    return dflt;
+}
+
+} // namespace asyncclock::bench
+
+#endif // ASYNCCLOCK_BENCH_BENCH_UTIL_HH

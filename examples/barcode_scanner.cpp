@@ -1,0 +1,110 @@
+/**
+ * @file
+ * BarcodeScanner case study (paper sections 7.7 and Fig 9b).
+ *
+ * Reproduces two things from the paper's BarcodeScanner findings:
+ *
+ *  1. The harmful race: CameraManager is initialized in the onResume
+ *     event and used in surfaceCreated, which *usually* arrives later
+ *     — but the order is not guaranteed by Android, so the use can
+ *     see a stale manager. AsyncClock reports it.
+ *
+ *  2. The Fig 9b event pattern — chains of input events posting
+ *     AtTime events with distinct time constraints — which makes the
+ *     EventRacer baseline's backward graph traversal walk the whole
+ *     input chain per event, while AsyncClock's async-before lists
+ *     stay O(1) per event. The example runs both detectors and prints
+ *     their traversal/walk counters side by side.
+ *
+ * Run: ./build/examples/barcode_scanner [inputEvents]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/detector.hh"
+#include "graph/eventracer.hh"
+#include "report/fasttrack.hh"
+#include "report/races.hh"
+#include "runtime/runtime.hh"
+#include "workload/workload.hh"
+
+using namespace asyncclock;
+
+namespace {
+
+/** The onResume / surfaceCreated order-violation bug. */
+trace::Trace
+makeBuggyLifecycleTrace()
+{
+    runtime::Runtime rt;
+    auto mainQueue = rt.addLooper("main");
+    auto cameraMgr = rt.var("CameraManager");
+    auto resumeSite =
+        rt.site("CaptureActivity.onResume", trace::Frame::User);
+    auto surfaceSite =
+        rt.site("CaptureActivity.surfaceCreated", trace::Frame::User);
+
+    // The activity lifecycle posts onResume; the SurfaceHolder
+    // callback arrives from a different source (the system), with no
+    // ordering between the two sends.
+    rt.spawnWorker("lifecycle",
+                   runtime::Script().post(
+                       mainQueue, runtime::Script().write(cameraMgr,
+                                                          resumeSite)));
+    rt.spawnWorker("surface-holder",
+                   runtime::Script().sleep(3).post(
+                       mainQueue, runtime::Script().read(
+                                      cameraMgr, surfaceSite)));
+    return rt.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned inputs = argc > 1 ? static_cast<unsigned>(
+                                     std::strtoul(argv[1], nullptr, 10))
+                               : 150;
+
+    // ---- Part 1: the harmful lifecycle race -------------------------
+    std::printf("== onResume / surfaceCreated order violation ==\n");
+    trace::Trace buggy = makeBuggyLifecycleTrace();
+    report::FastTrackChecker checker;
+    core::AsyncClockDetector det(buggy, checker, {});
+    det.runAll();
+    report::RaceAnalyzer analyzer(buggy);
+    auto summary = analyzer.analyze(checker.races());
+    for (const auto &group : summary.reported)
+        std::printf("  %s\n", analyzer.describe(group).c_str());
+    if (summary.reported.empty())
+        std::printf("  (no races found — unexpected!)\n");
+
+    // ---- Part 2: the Fig 9b scaling pattern -------------------------
+    std::printf("\n== Fig 9b input-event chain, %u input events ==\n",
+                inputs);
+    trace::Trace pattern = workload::barcodePattern(inputs);
+
+    report::FastTrackChecker ftAc;
+    core::DetectorConfig cfg;
+    cfg.windowMs = 0;  // isolate the algorithmic effect
+    core::AsyncClockDetector ac(pattern, ftAc, cfg);
+    ac.runAll();
+
+    report::FastTrackChecker ftEr;
+    graph::EventRacerDetector er(pattern, ftEr);
+    er.runAll();
+
+    std::printf("  %-22s %12s %14s\n", "", "AsyncClock", "EventRacer");
+    std::printf("  %-22s %12llu %14llu\n", "predecessor-search steps",
+                (unsigned long long)ac.counters().walkSteps,
+                (unsigned long long)er.counters().traversalVisits);
+    std::printf("  %-22s %12llu %14llu\n", "metadata bytes",
+                (unsigned long long)ac.metadataBytes(),
+                (unsigned long long)er.metadataBytes());
+    std::printf("\nEventRacer's traversal visits grow quadratically "
+                "with the chain length;\nAsyncClock's async-before "
+                "walks stay near-linear (early stopping).\n");
+    return 0;
+}

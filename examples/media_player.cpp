@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Media-player case study: the VLCPlayer playlist bug (paper section
+ * 7.7) plus the priority-tag machinery in one realistic app model.
+ *
+ * VLCPlayer "switches from the audio player mode to the video player
+ * mode when the next item in the playlist is a video, without
+ * checking if the next item has been nullified because of loading a
+ * new playlist" — a NullPointerException in the wild. We model the
+ * playlist as shared state written by a "load new playlist" event and
+ * read by the "advance to next item" event, with no ordering between
+ * the two sends.
+ *
+ * The model also exercises Delayed (progress-bar ticks), AtFront
+ * (user pressed stop — jump the queue), async messages, and event
+ * removal (cancel the pending auto-advance when the user intervenes),
+ * and shows how the commutativity whitelist removes the benign
+ * playback-statistics races.
+ *
+ * Run: ./build/examples/media_player
+ */
+
+#include <cstdio>
+
+#include "core/detector.hh"
+#include "report/fasttrack.hh"
+#include "report/races.hh"
+#include "runtime/runtime.hh"
+
+using namespace asyncclock;
+using runtime::PostOpts;
+using runtime::Script;
+
+int
+main()
+{
+    runtime::Runtime rt;
+    auto uiQueue = rt.addLooper("ui");
+    auto playerQueue = rt.addLooper("player");
+
+    // Shared state.
+    auto playlist = rt.var("playlist.next",
+                           trace::SeedLabel::Harmful);
+    auto stats = rt.var("stats.playCount",
+                        trace::SeedLabel::HarmlessCommutative);
+    auto progress = rt.var("ui.progress");
+
+    auto advanceSite = rt.site("PlaybackService.advance",
+                               trace::Frame::User);
+    auto loadSite = rt.site("PlaybackService.loadPlaylist",
+                            trace::Frame::User);
+    auto statSiteA = rt.site("Stats.increment:a", trace::Frame::Library,
+                             /*commGroup=*/1);
+    auto statSiteB = rt.site("Stats.increment:b", trace::Frame::Library,
+                             /*commGroup=*/1);
+    auto tickSite = rt.site("ProgressBar.tick", trace::Frame::User);
+    auto stopSite = rt.site("PlaybackService.stop",
+                            trace::Frame::User);
+
+    // Player engine: advances the playlist when a track finishes.
+    // The auto-advance is posted Delayed (track remaining time).
+    auto advanceTok = rt.token();
+    rt.spawnWorker(
+        "engine",
+        Script()
+            .post(playerQueue,
+                  Script()
+                      .read(playlist, advanceSite)   // the buggy read
+                      .write(stats, statSiteA),
+                  PostOpts::delayed(500), advanceTok)
+            // Progress ticks: delayed, repeating, async so they jump
+            // UI sync barriers during animations.
+            .post(uiQueue, Script().write(progress, tickSite),
+                  PostOpts::delayed(100, true))
+            .post(uiQueue, Script().write(progress, tickSite),
+                  PostOpts::delayed(200, true)));
+
+    // The user loads a new playlist concurrently: nullifies the next
+    // item with no ordering against the pending auto-advance.
+    rt.spawnWorker(
+        "user",
+        Script()
+            .sleep(120)
+            .post(playerQueue, Script()
+                                   .write(playlist, loadSite)
+                                   .write(stats, statSiteB)));
+
+    // Later, the user hits stop: posted AtFront to preempt everything
+    // still queued, and the pending auto-advance is removed — too
+    // late in this execution, the race already happened.
+    rt.spawnWorker("stop-button",
+                   Script()
+                       .sleep(900)
+                       .post(playerQueue,
+                             Script().write(playlist, stopSite),
+                             PostOpts::atFront())
+                       .remove(advanceTok));
+
+    trace::Trace tr = rt.run();
+    std::printf("trace: %s\n", tr.stats().summary().c_str());
+
+    report::FastTrackChecker checker;
+    core::AsyncClockDetector det(tr, checker, {});
+    det.runAll();
+
+    report::RaceAnalyzer analyzer(tr);
+    auto summary = analyzer.analyze(checker.races());
+    std::printf("%s\n", summary.summary().c_str());
+    for (const auto &group : summary.reported)
+        std::printf("  %s\n", analyzer.describe(group).c_str());
+    std::printf("\nThe playlist advance/load pair is the reported "
+                "harmful race; the\nplay-count increments race too "
+                "but are whitelisted as commutative.\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Dense vector clock — the ablation baseline for section 4.2's
+ * "Sparse Vectors" claim.
+ *
+ * A conventional vector clock indexed by chain id. Works fine while
+ * chains number in the dozens (conventional multithreaded programs);
+ * in an event-driven execution the chain count is unbounded, so the
+ * dense form wastes O(#chains) space per clock and O(#chains) time
+ * per join regardless of how few entries are nonzero. The paper's
+ * answer is the sparse representation (clock/vector_clock.hh,
+ * following accordion clocks [7]); `bench_micro_clocks` measures the
+ * two against each other across sparsity levels.
+ *
+ * Interface-compatible with clock::VectorClock for the operations the
+ * detectors use, so it can also be dropped into experiments.
+ */
+
+#ifndef ASYNCCLOCK_CLOCK_DENSE_CLOCK_HH
+#define ASYNCCLOCK_CLOCK_DENSE_CLOCK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "clock/vector_clock.hh"
+
+namespace asyncclock::clock {
+
+class DenseClock
+{
+  public:
+    DenseClock() = default;
+
+    Tick
+    get(ChainId chain) const
+    {
+        return chain < ticks_.size() ? ticks_[chain] : 0;
+    }
+
+    void
+    raise(ChainId chain, Tick tick)
+    {
+        if (tick == 0)
+            return;
+        if (ticks_.size() <= chain)
+            ticks_.resize(chain + 1, 0);
+        if (ticks_[chain] < tick)
+            ticks_[chain] = tick;
+    }
+
+    bool
+    knows(const Epoch &e) const
+    {
+        return e.tick == 0 || get(e.chain) >= e.tick;
+    }
+
+    void
+    joinWith(const DenseClock &other)
+    {
+        if (ticks_.size() < other.ticks_.size())
+            ticks_.resize(other.ticks_.size(), 0);
+        for (std::size_t i = 0; i < other.ticks_.size(); ++i)
+            ticks_[i] = std::max(ticks_[i], other.ticks_[i]);
+    }
+
+    bool
+    leq(const DenseClock &other) const
+    {
+        for (std::size_t i = 0; i < ticks_.size(); ++i) {
+            if (ticks_[i] > other.get(static_cast<ChainId>(i)))
+                return false;
+        }
+        return true;
+    }
+
+    std::uint32_t
+    size() const
+    {
+        std::uint32_t n = 0;
+        for (Tick t : ticks_)
+            n += t != 0;
+        return n;
+    }
+
+    std::uint64_t
+    byteSize() const
+    {
+        return ticks_.capacity() * sizeof(Tick);
+    }
+
+    /** Convert to the sparse representation (for tests). */
+    VectorClock
+    toSparse() const
+    {
+        VectorClock vc;
+        for (std::size_t i = 0; i < ticks_.size(); ++i)
+            vc.raise(static_cast<ChainId>(i), ticks_[i]);
+        return vc;
+    }
+
+  private:
+    std::vector<Tick> ticks_;
+};
+
+} // namespace asyncclock::clock
+
+#endif // ASYNCCLOCK_CLOCK_DENSE_CLOCK_HH

@@ -1,0 +1,45 @@
+#include "clock/vector_clock.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/format.hh"
+
+namespace asyncclock::clock {
+
+std::string
+VectorClock::toString() const
+{
+    std::vector<std::pair<ChainId, Tick>> entries;
+    map_.forEach([&](ChainId c, const Tick &t) {
+        entries.emplace_back(c, t);
+    });
+    std::sort(entries.begin(), entries.end());
+    std::string out = "{";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += strf("%u:%u", entries[i].first, entries[i].second);
+    }
+    out += "}";
+    return out;
+}
+
+bool
+VectorClock::operator==(const VectorClock &other) const
+{
+    // Sparse equality: nonzero entries must match both ways (a zero
+    // entry equals an absent one).
+    bool eq = true;
+    map_.forEach([&](ChainId c, const Tick &t) {
+        if (t != other.get(c))
+            eq = false;
+    });
+    other.map_.forEach([&](ChainId c, const Tick &t) {
+        if (t != get(c))
+            eq = false;
+    });
+    return eq;
+}
+
+} // namespace asyncclock::clock

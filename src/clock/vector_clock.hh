@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Sparse vector clocks over chains.
+ *
+ * A chain (section 2.4) is either a worker thread or a chain of
+ * causally ordered events produced by chain decomposition; chains play
+ * the role threads play in conventional vector clocks. Because a long
+ * execution can create thousands of chains while any single operation
+ * has causal history in only a few, the clock is stored sparsely
+ * (section 4.2 "Sparse Vectors", following accordion clocks [7]):
+ * absent entries mean timestamp 0.
+ */
+
+#ifndef ASYNCCLOCK_CLOCK_VECTOR_CLOCK_HH
+#define ASYNCCLOCK_CLOCK_VECTOR_CLOCK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/flat_map.hh"
+
+namespace asyncclock::clock {
+
+using ChainId = std::uint32_t;
+using Tick = std::uint32_t;
+
+/**
+ * A (chain, tick) pair naming one operation's position on its chain —
+ * FastTrack's "epoch". The default epoch (tick 0) precedes everything.
+ */
+struct Epoch
+{
+    ChainId chain = 0;
+    Tick tick = 0;
+
+    bool operator==(const Epoch &other) const = default;
+};
+
+/** Sparse vector clock: chain id -> last causally known tick. */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+
+    /** Timestamp known for @p chain (0 if none). */
+    Tick
+    get(ChainId chain) const
+    {
+        const Tick *t = map_.find(chain);
+        return t ? *t : 0;
+    }
+
+    /** Raise the entry for @p chain to at least @p tick. */
+    void
+    raise(ChainId chain, Tick tick)
+    {
+        if (tick == 0)
+            return;
+        Tick &slot = map_[chain];
+        if (slot < tick)
+            slot = tick;
+    }
+
+    /** Does this clock know epoch @p e (i.e. op(e) happens-before the
+     * point this clock describes)? */
+    bool
+    knows(const Epoch &e) const
+    {
+        return e.tick == 0 || get(e.chain) >= e.tick;
+    }
+
+    /** Pointwise maximum with @p other. */
+    void
+    joinWith(const VectorClock &other)
+    {
+        other.map_.forEach([this](ChainId c, const Tick &t) {
+            raise(c, t);
+        });
+    }
+
+    /** True if this clock is pointwise <= @p other. */
+    bool
+    leq(const VectorClock &other) const
+    {
+        bool ok = true;
+        map_.forEach([&](ChainId c, const Tick &t) {
+            if (t > other.get(c))
+                ok = false;
+        });
+        return ok;
+    }
+
+    /** Number of nonzero entries. */
+    std::uint32_t size() const { return map_.size(); }
+
+    /** Drop all entries. */
+    void clear() { map_.clear(); }
+
+    /** Remove entries for which @p pred(chain, tick) holds (used when
+     * retiring chains under the time window). */
+    template <typename Pred>
+    void
+    eraseIf(Pred &&pred)
+    {
+        map_.eraseIf(pred);
+    }
+
+    /** Iterate (chain, tick) entries. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        map_.forEach(fn);
+    }
+
+    /** Heap bytes, for metadata accounting. */
+    std::uint64_t
+    byteSize() const
+    {
+        return map_.byteSize();
+    }
+
+    /** Debug rendering, e.g. "{0:3, 2:7}". */
+    std::string toString() const;
+
+    bool operator==(const VectorClock &other) const;
+
+  private:
+    asyncclock::FlatMap<Tick> map_;
+};
+
+} // namespace asyncclock::clock
+
+#endif // ASYNCCLOCK_CLOCK_VECTOR_CLOCK_HH

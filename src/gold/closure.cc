@@ -1,0 +1,295 @@
+#include "gold/closure.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace asyncclock::gold {
+
+using trace::EventId;
+using trace::EventInfo;
+using trace::kInvalidId;
+using trace::OpId;
+using trace::OpKind;
+using trace::Operation;
+using trace::QueueKind;
+using trace::ThreadId;
+
+Closure::Closure(const trace::Trace &tr, GoldConfig cfg)
+    : trace_(tr), cfg_(cfg)
+{
+    n_ = tr.numOps();
+    words_ = (n_ + 63) / 64;
+    pred_.assign(static_cast<std::size_t>(n_) * words_, 0);
+    edgesIn_.resize(n_);
+    eventOps_.resize(tr.events().size());
+    for (OpId i = 0; i < n_; ++i) {
+        const Operation &op = tr.op(i);
+        if (op.task.isEvent())
+            eventOps_[op.task.index()].push_back(i);
+    }
+
+    // ----- unconditional edges --------------------------------------
+    // PO within each task; previous op of the same task.
+    {
+        // task raw -> last op id
+        std::vector<std::pair<std::uint32_t, OpId>> lastOp;
+        auto findLast = [&](std::uint32_t raw) -> OpId * {
+            for (auto &p : lastOp) {
+                if (p.first == raw)
+                    return &p.second;
+            }
+            return nullptr;
+        };
+        for (OpId i = 0; i < n_; ++i) {
+            std::uint32_t raw = trace_.op(i).task.raw();
+            if (OpId *prev = findLast(raw)) {
+                addEdge(*prev, i);
+                *prev = i;
+            } else {
+                lastOp.emplace_back(raw, i);
+            }
+        }
+    }
+
+    // SEND, FORK, JOIN, LOOPBEGIN, LOOPEND; SIGNAL needs per-handle
+    // signal lists.
+    std::vector<std::vector<OpId>> signalsByHandle(tr.handles().size());
+    std::vector<OpId> threadBeginOp(tr.threads().size(), kInvalidId);
+    std::vector<OpId> threadEndOp(tr.threads().size(), kInvalidId);
+    for (OpId i = 0; i < n_; ++i) {
+        const Operation &op = tr.op(i);
+        switch (op.kind) {
+          case OpKind::ThreadBegin:
+            threadBeginOp[op.task.index()] = i;
+            break;
+          case OpKind::ThreadEnd:
+            threadEndOp[op.task.index()] = i;
+            break;
+          case OpKind::Signal:
+            signalsByHandle[op.target].push_back(i);
+            break;
+          case OpKind::Wait:
+            for (OpId s : signalsByHandle[op.target])
+                addEdge(s, i);
+            break;
+          case OpKind::Fork:
+            // begin(T) comes later in the trace; handled below.
+            break;
+          default:
+            break;
+        }
+    }
+    for (EventId e = 0; e < tr.events().size(); ++e) {
+        const EventInfo &ev = tr.event(e);
+        if (ev.sendOp != kInvalidId && ev.beginOp != kInvalidId)
+            addEdge(ev.sendOp, ev.beginOp);  // SEND
+        if (cfg_.loopRules && ev.beginOp != kInvalidId) {
+            ThreadId looper = tr.looperOf(e);
+            if (looper != kInvalidId) {
+                if (threadBeginOp[looper] != kInvalidId)
+                    addEdge(threadBeginOp[looper], ev.beginOp);
+                if (threadEndOp[looper] != kInvalidId &&
+                    ev.endOp != kInvalidId) {
+                    addEdge(ev.endOp, threadEndOp[looper]);
+                }
+            }
+        }
+    }
+    for (OpId i = 0; i < n_; ++i) {
+        const Operation &op = tr.op(i);
+        if (op.kind == OpKind::Fork) {
+            if (threadBeginOp[op.target] != kInvalidId)
+                addEdge(i, threadBeginOp[op.target]);
+        } else if (op.kind == OpKind::Join) {
+            acAssert(threadEndOp[op.target] != kInvalidId,
+                     "join of never-ending thread");
+            addEdge(threadEndOp[op.target], i);
+        }
+    }
+
+    // ----- fixpoint over conditional rules --------------------------
+    recomputeClosure();
+    rounds_ = 1;
+    while (runRuleScan()) {
+        recomputeClosure();
+        ++rounds_;
+        acAssert(rounds_ < 10000, "gold closure did not converge");
+    }
+}
+
+void
+Closure::addEdge(OpId from, OpId to)
+{
+    acAssert(from < to, "causality edges must go forward in the trace");
+    edgesIn_[to].push_back(from);
+}
+
+void
+Closure::recomputeClosure()
+{
+    std::fill(pred_.begin(), pred_.end(), 0);
+    for (OpId i = 0; i < n_; ++i) {
+        std::uint64_t *mine = &pred_[std::size_t(i) * words_];
+        for (OpId j : edgesIn_[i]) {
+            const std::uint64_t *theirs = &pred_[std::size_t(j) * words_];
+            for (std::uint32_t w = 0; w < words_; ++w)
+                mine[w] |= theirs[w];
+            mine[j / 64] |= 1ULL << (j % 64);
+        }
+    }
+}
+
+bool
+Closure::happensBefore(OpId a, OpId b) const
+{
+    if (a >= n_ || b >= n_)
+        return false;
+    return (pred_[std::size_t(b) * words_ + a / 64] >>
+            (a % 64)) & 1;
+}
+
+bool
+Closure::runRuleScan()
+{
+    bool added = false;
+    auto have = [&](OpId from, OpId to) {
+        return happensBefore(from, to);
+    };
+    auto maybeAdd = [&](OpId from, OpId to) {
+        // Direct-edge duplicates are harmless but bloat edge lists;
+        // skip anything already in the closure.
+        if (from != to && !have(from, to)) {
+            addEdge(from, to);
+            added = true;
+        }
+    };
+
+    const auto &events = trace_.events();
+
+    // Group events per queue, in send order.
+    std::vector<std::vector<EventId>> byQueue(trace_.queues().size());
+    {
+        std::vector<std::pair<OpId, EventId>> sends;
+        for (EventId e = 0; e < events.size(); ++e) {
+            if (events[e].sendOp != kInvalidId)
+                sends.emplace_back(events[e].sendOp, e);
+        }
+        std::sort(sends.begin(), sends.end());
+        for (auto &[opId, e] : sends)
+            byQueue[events[e].queue].push_back(e);
+    }
+
+    for (std::uint32_t q = 0; q < byQueue.size(); ++q) {
+        const bool binder =
+            trace_.queue(q).kind == QueueKind::Binder;
+        const auto &evs = byQueue[q];
+        for (std::size_t a = 0; a < evs.size(); ++a) {
+            const EventInfo &e1 = events[evs[a]];
+            for (std::size_t b = 0; b < evs.size(); ++b) {
+                if (a == b)
+                    continue;
+                const EventInfo &e2 = events[evs[b]];
+                if (binder) {
+                    // Binder rule: FIFO dequeue orders begins.
+                    if (cfg_.binderRule && e1.beginOp != kInvalidId &&
+                        e2.beginOp != kInvalidId &&
+                        have(e1.sendOp, e2.sendOp)) {
+                        maybeAdd(e1.beginOp, e2.beginOp);
+                    }
+                    continue;
+                }
+                if (e2.beginOp == kInvalidId)
+                    continue;
+                // PRIORITY (FIFO is its untagged special case).
+                if (cfg_.priorityRule && have(e1.sendOp, e2.sendOp) &&
+                    trace::priorityOrders(e1.attrs, e2.attrs)) {
+                    if (e1.endOp != kInvalidId) {
+                        maybeAdd(e1.endOp, e2.beginOp);
+                    } else if (e1.removeOp != kInvalidId &&
+                               cfg_.removedRelay) {
+                        // Removed events relay their resolved time:
+                        // the successor inherits send(E1) (E1's
+                        // priority predecessors reach E2 via the
+                        // transitivity of the Table 1 priority
+                        // function).
+                        maybeAdd(e1.sendOp, e2.beginOp);
+                    }
+                }
+                // ATFRONT: send(E2) < send(E1@front) < begin(E2)
+                //          => end(E1) < begin(E2).
+                if (cfg_.atFrontRule &&
+                    e1.attrs.kind == trace::SendKind::AtFront &&
+                    e1.endOp != kInvalidId &&
+                    have(e2.sendOp, e1.sendOp) &&
+                    have(e1.sendOp, e2.beginOp)) {
+                    maybeAdd(e1.endOp, e2.beginOp);
+                }
+            }
+        }
+    }
+
+    // ATOMIC: events on one looper are atomic w.r.t. each other: if
+    // begin(E1) happens-before an op of E2, then end(E1) does too.
+    if (cfg_.atomicRule) {
+        // Events per looper thread.
+        std::vector<std::vector<EventId>> byLooper(
+            trace_.threads().size());
+        for (EventId e = 0; e < events.size(); ++e) {
+            ThreadId looper = trace_.looperOf(e);
+            if (looper != kInvalidId && events[e].beginOp != kInvalidId)
+                byLooper[looper].push_back(e);
+        }
+        for (const auto &evs : byLooper) {
+            for (EventId e1 : evs) {
+                if (events[e1].endOp == kInvalidId)
+                    continue;
+                for (EventId e2 : evs) {
+                    if (e1 == e2)
+                        continue;
+                    // Earliest op of E2 reached from begin(E1); PO
+                    // propagates to the rest of E2.
+                    for (OpId beta : eventOps_[e2]) {
+                        if (have(events[e1].beginOp, beta)) {
+                            maybeAdd(events[e1].endOp, beta);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    return added;
+}
+
+std::vector<GoldRace>
+Closure::races() const
+{
+    // Accesses grouped by variable.
+    std::vector<std::vector<OpId>> byVar(trace_.vars().size());
+    for (OpId i = 0; i < n_; ++i) {
+        const Operation &op = trace_.op(i);
+        if (op.kind == OpKind::Read || op.kind == OpKind::Write)
+            byVar[op.target].push_back(i);
+    }
+    std::vector<GoldRace> out;
+    for (const auto &accesses : byVar) {
+        for (std::size_t i = 0; i < accesses.size(); ++i) {
+            for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+                OpId a = accesses[i], b = accesses[j];
+                bool conflict =
+                    trace_.op(a).kind == OpKind::Write ||
+                    trace_.op(b).kind == OpKind::Write;
+                if (conflict && !happensBefore(a, b) &&
+                    !happensBefore(b, a)) {
+                    out.push_back({a, b});
+                }
+            }
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace asyncclock::gold

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * EVENTRACER-style baseline: happens-before-graph race detection.
+ *
+ * Re-implementation of the algorithm the paper compares against
+ * (section 7.3): keep the entire happens-before graph of all past
+ * synchronization and event operations (send, begin, end, fork, join,
+ * signal, wait) *with their logical time*, and, when an event is about
+ * to begin, traverse the graph backward from its send to find the
+ * causally preceding sends to the same queue — the events those sends
+ * posted are the predecessors whose end times the event inherits.
+ *
+ * The traversal uses EventRacer's graph-traversal pruning: expansion
+ * stops below a send to the same queue when that send *dominates* any
+ * earlier potential predecessor (same kind, sync, equal time
+ * constraint — which is why it "nearly pruned nothing for AtTime
+ * events since their times are usually different", section 7.3).
+ *
+ * The full extended causality model (ATOMIC, Table 1 PRIORITY,
+ * ATFRONT, removal, binder) is implemented so the baseline reports
+ * exactly the same races as AsyncClock, as the paper requires for the
+ * end-to-end comparison. What makes it the *baseline* is the cost
+ * profile: per-node vector clocks are kept forever (memory grows with
+ * trace length) and the backward traversal grows with graph size
+ * (super-linear total time).
+ */
+
+#ifndef ASYNCCLOCK_GRAPH_EVENTRACER_HH
+#define ASYNCCLOCK_GRAPH_EVENTRACER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "clock/vector_clock.hh"
+#include "report/checker.hh"
+#include "report/detector.hh"
+#include "trace/trace.hh"
+
+namespace asyncclock::graph {
+
+struct EventRacerConfig
+{
+    /** Enable graph-traversal pruning (on in EventRacer; off shows
+     * raw graph-walk cost). */
+    bool pruning = true;
+};
+
+/** Counters for the scaling analysis (Fig 9a). */
+struct GraphCounters
+{
+    std::uint64_t nodes = 0;
+    std::uint64_t edges = 0;
+    /** Nodes visited across all backward traversals. */
+    std::uint64_t traversalVisits = 0;
+    std::uint64_t predecessorsFound = 0;
+};
+
+class EventRacerDetector : public report::Detector
+{
+  public:
+    /** @p tr and @p checker must outlive the detector. */
+    EventRacerDetector(const trace::Trace &tr,
+                       report::AccessChecker &checker,
+                       EventRacerConfig cfg = {});
+
+    bool processNext() override;
+    std::uint64_t opsProcessed() const override { return cursor_; }
+    std::uint64_t metadataBytes() const override;
+    void sampleMemory(MemStats &stats) const override;
+
+    const GraphCounters &counters() const { return counters_; }
+
+  private:
+    using VectorClock = clock::VectorClock;
+    using Epoch = clock::Epoch;
+    using ChainId = clock::ChainId;
+
+    /** A happens-before graph node: one synchronization/event op. */
+    struct Node
+    {
+        trace::OpId op = trace::kInvalidId;
+        Epoch epoch{};
+        VectorClock vc;
+        std::vector<std::uint32_t> preds;
+        /** Send-node payload (kInvalidId otherwise). */
+        trace::EventId sendEvent = trace::kInvalidId;
+        std::uint32_t stamp = 0;  ///< traversal marker
+    };
+
+    /** Mutable per-task analysis state. */
+    struct TaskState
+    {
+        ChainId chain = trace::kInvalidId;
+        std::uint32_t lastNode = trace::kInvalidId;
+        VectorClock vc;
+        bool live = false;
+    };
+
+    /** Per-event bookkeeping. */
+    struct EventState
+    {
+        std::uint32_t sendNode = trace::kInvalidId;
+        std::uint32_t beginNode = trace::kInvalidId;
+        std::uint32_t endNode = trace::kInvalidId;
+        Epoch beginEpoch{};
+        Epoch endEpoch{};
+        bool removed = false;
+        /** AtFront events executed while this event was queued. */
+        std::vector<trace::EventId> sentAtFront;
+    };
+
+    struct HandleState
+    {
+        VectorClock vc;
+        std::vector<std::uint32_t> signalNodes;
+    };
+
+    struct LooperState
+    {
+        /** Completed events, for the ATOMIC fold. */
+        std::vector<trace::EventId> executed;
+        /** Join of end times of executed events (Rule LOOPEND). */
+        VectorClock endAccum;
+    };
+
+    TaskState &state(trace::Task task);
+    std::uint32_t newNode(trace::OpId op, TaskState &ts);
+    ChainId newChain();
+    Epoch tick(TaskState &ts);
+
+    void processOp(trace::OpId id);
+    void onEventBegin(trace::OpId id);
+    /** Backward traversal collecting priority/binder predecessors of
+     * @p e into its begin-time clock @p vc. Returns pred event list
+     * (for greedy chain assignment). */
+    std::vector<trace::EventId> collectPredecessors(trace::EventId e,
+                                                    VectorClock &vc,
+                                                    std::uint32_t node);
+    void atomicFold(trace::EventId self, TaskState &ts,
+                    std::uint32_t node);
+    void atFrontFold(trace::EventId e, TaskState &ts,
+                     std::uint32_t node);
+
+    const trace::Trace &trace_;
+    report::AccessChecker &checker_;
+    EventRacerConfig cfg_;
+    std::uint64_t cursor_ = 0;
+
+    std::vector<Node> nodes_;
+    std::vector<TaskState> threadStates_;
+    std::vector<TaskState> eventStates_;
+    std::vector<EventState> events_;
+    std::vector<HandleState> handles_;
+    std::vector<LooperState> loopers_;   ///< indexed by looper ThreadId
+    std::vector<std::vector<trace::EventId>> pending_;  ///< per queue
+    std::vector<std::uint32_t> forkNode_;      ///< per thread
+    std::vector<std::uint32_t> threadBeginNode_;
+    std::vector<std::uint32_t> threadEndNode_;
+    std::vector<Epoch> threadEndEpoch_;
+
+    std::vector<std::uint32_t> chainTicks_;
+    /** Last event of each chain (kInvalidId for thread chains). */
+    std::vector<trace::EventId> chainLast_;
+    std::vector<trace::EventId> chainOf_;  ///< chain of each event
+    /** Separate chain pool for binder events (section 5.3). */
+    std::vector<ChainId> binderChains_;
+
+    std::uint32_t traversalStamp_ = 0;
+    GraphCounters counters_;
+};
+
+} // namespace asyncclock::graph
+
+#endif // ASYNCCLOCK_GRAPH_EVENTRACER_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Common interface of the two race detectors (AsyncClock and the
+ * EventRacer-style baseline), so tests and benchmark harnesses can
+ * drive either: process one trace operation at a time and expose the
+ * live metadata footprint.
+ */
+
+#ifndef ASYNCCLOCK_REPORT_DETECTOR_HH
+#define ASYNCCLOCK_REPORT_DETECTOR_HH
+
+#include <cstdint>
+
+#include "support/stats.hh"
+
+namespace asyncclock::report {
+
+class Detector
+{
+  public:
+    virtual ~Detector() = default;
+
+    /** Process the next trace operation; false when the trace is
+     * exhausted. */
+    virtual bool processNext() = 0;
+
+    /** Operations consumed so far. */
+    virtual std::uint64_t opsProcessed() const = 0;
+
+    /** Total live analysis-metadata bytes (vector clocks, event
+     * metadata, graph nodes, checker state, ...). */
+    virtual std::uint64_t metadataBytes() const = 0;
+
+    /** Record the current per-category live bytes into @p stats. */
+    virtual void sampleMemory(MemStats &stats) const = 0;
+
+    /** Convenience: drain the trace, sampling memory every
+     * @p pollEvery ops (peaks accumulate in @p stats). */
+    void
+    runAll(MemStats *stats = nullptr, std::uint64_t pollEvery = 1024)
+    {
+        std::uint64_t n = 0;
+        while (processNext()) {
+            if (stats && (++n % pollEvery) == 0)
+                sampleMemory(*stats);
+        }
+        if (stats)
+            sampleMemory(*stats);
+    }
+};
+
+} // namespace asyncclock::report
+
+#endif // ASYNCCLOCK_REPORT_DETECTOR_HH

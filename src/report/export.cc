@@ -1,0 +1,58 @@
+#include "report/export.hh"
+
+#include "support/json.hh"
+
+namespace asyncclock::report {
+
+std::string
+toJson(const ReportSummary &summary, const trace::Trace &tr)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("allGroups", summary.allGroups);
+    w.field("filteredGroups", summary.filteredGroups);
+    w.field("harmful", summary.harmful);
+    w.field("harmlessTypeI", summary.typeI);
+    w.field("harmlessTypeII", summary.typeII);
+    w.field("harmlessOther", summary.otherHarmless);
+    w.key("groups").beginArray();
+    for (const RaceGroup &g : summary.reported) {
+        w.beginObject();
+        w.field("verdict", verdictName(g.verdict));
+        w.field("races", static_cast<std::uint64_t>(g.raceCount));
+        w.field("siteA", tr.site(g.siteA).name);
+        w.field("siteB", tr.site(g.siteB).name);
+        w.field("variable", tr.var(g.sample.var).name);
+        w.field("firstAccessWrite", g.sample.prevWrite);
+        w.field("secondAccessWrite", g.sample.curWrite);
+        w.field("firstOp",
+                static_cast<std::uint64_t>(g.sample.prevOp));
+        w.field("secondOp",
+                static_cast<std::uint64_t>(g.sample.curOp));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+toJson(const trace::TraceStats &stats)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("ops", stats.ops);
+    w.field("syncOps", stats.syncOps);
+    w.field("memOps", stats.memOps);
+    w.field("workerThreads", stats.workerThreads);
+    w.field("looperThreads", stats.looperThreads);
+    w.field("binderThreads", stats.binderThreads);
+    w.field("looperEvents", stats.looperEvents);
+    w.field("binderEvents", stats.binderEvents);
+    w.field("removedEvents", stats.removedEvents);
+    w.field("spanMs", stats.spanMs);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace asyncclock::report

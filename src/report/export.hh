@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Machine-readable export of analysis results.
+ *
+ * The paper's tool reports race groups for human triage; a downstream
+ * CI integration wants the same data structured. This module renders
+ * a ReportSummary (race groups with sites, variables, verdicts) and
+ * trace statistics as JSON.
+ */
+
+#ifndef ASYNCCLOCK_REPORT_EXPORT_HH
+#define ASYNCCLOCK_REPORT_EXPORT_HH
+
+#include <string>
+
+#include "report/races.hh"
+#include "trace/trace.hh"
+
+namespace asyncclock::report {
+
+/** Render a full analysis report as a JSON document. */
+std::string toJson(const ReportSummary &summary,
+                   const trace::Trace &tr);
+
+/** Render trace statistics as a JSON object. */
+std::string toJson(const trace::TraceStats &stats);
+
+} // namespace asyncclock::report
+
+#endif // ASYNCCLOCK_REPORT_EXPORT_HH

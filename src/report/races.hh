@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Race grouping, filtering, and classification (paper section 6).
+ *
+ * The raw race list from a checker is post-processed the way the
+ * paper's tool reports to users:
+ *
+ *  1. *User-induced filter*: only races between user-induced accesses
+ *     are reported — both sites must be user code or library code
+ *     (libraries are called by user code in our model); races wholly
+ *     inside the Android framework are dropped.
+ *  2. *Commutativity filter*: a conservative whitelist marks library
+ *     operations that commute (e.g. two List.add calls both bumping
+ *     size, counter increments, logger appends). Sites carry a
+ *     commutativity group id; a race between two sites of the same
+ *     group is filtered as harmless.
+ *  3. *Race groups*: races induced by the same pair of user-code
+ *     sites are reported as one group (one investigation unit).
+ *
+ * For experiments, groups are additionally scored against the
+ * workload generator's ground-truth SeedLabels (harmful / Type I
+ * delayed-update / Type II control-dependent / other), producing the
+ * rows of Table 3.
+ */
+
+#ifndef ASYNCCLOCK_REPORT_RACES_HH
+#define ASYNCCLOCK_REPORT_RACES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/checker.hh"
+#include "trace/trace.hh"
+
+namespace asyncclock::report {
+
+/** Classification of a reported group against ground truth. */
+enum class Verdict : std::uint8_t {
+    Harmful,
+    HarmlessTypeI,      ///< delayed-update idiom
+    HarmlessTypeII,     ///< control-dependent flag idiom
+    HarmlessOther,
+};
+
+const char *verdictName(Verdict verdict);
+
+/** Races collapsed by their (unordered) site pair. */
+struct RaceGroup
+{
+    trace::SiteId siteA = trace::kInvalidId;  ///< min site id
+    trace::SiteId siteB = trace::kInvalidId;  ///< max site id
+    std::uint32_t raceCount = 0;
+    /** First race seen, as the group's representative. */
+    RaceReport sample{};
+    Verdict verdict = Verdict::HarmlessOther;
+};
+
+struct FilterConfig
+{
+    bool userInducedOnly = true;
+    bool commutativityFilter = true;
+};
+
+/** Table 3 row for one analysis. */
+struct ReportSummary
+{
+    /** User-induced race groups before the commutativity filter
+     * ("All Races Groups"). */
+    std::uint64_t allGroups = 0;
+    /** Groups removed by the commutativity filter ("Filtered"). */
+    std::uint64_t filteredGroups = 0;
+    // Ground-truth classification of what remains:
+    std::uint64_t harmful = 0;
+    std::uint64_t typeI = 0;
+    std::uint64_t typeII = 0;
+    std::uint64_t otherHarmless = 0;
+    /** The reported groups (post-filter). */
+    std::vector<RaceGroup> reported;
+
+    std::string summary() const;
+};
+
+/**
+ * Post-processor turning a raw race list into a user-facing report.
+ * Holds only a reference to the trace (site/var tables).
+ */
+class RaceAnalyzer
+{
+  public:
+    explicit RaceAnalyzer(const trace::Trace &tr) : trace_(tr) {}
+
+    /** Is @p site user-induced (user code, or a library reachable
+     * from user code)? */
+    bool userInduced(trace::SiteId site) const;
+
+    /** Are the two sites whitelisted as mutually commutative? */
+    bool commutative(trace::SiteId a, trace::SiteId b) const;
+
+    /** Run the full pipeline. */
+    ReportSummary analyze(const std::vector<RaceReport> &races,
+                          FilterConfig cfg = {}) const;
+
+    /** Human-readable description of one group. */
+    std::string describe(const RaceGroup &group) const;
+
+  private:
+    Verdict classify(const RaceGroup &group) const;
+
+    const trace::Trace &trace_;
+};
+
+} // namespace asyncclock::report
+
+#endif // ASYNCCLOCK_REPORT_RACES_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The simulated Android-like runtime.
+ *
+ * This is the substitute for the paper's instrumented Dalvik runtime
+ * (DESIGN.md section 2): a deterministic discrete-event simulator with
+ * the three Android thread models of paper section 2.1 —
+ *
+ *  - looper threads, each draining one message queue in priority
+ *    order (FIFO + Delayed/AtTime/AtFront + async messages and sync
+ *    barriers),
+ *  - binder thread pools, dequeuing FIFO but executing concurrently,
+ *  - worker threads with fork/join and signal/wait handles,
+ *
+ * all on a virtual millisecond clock. Running an app model produces a
+ * trace::Trace with exactly the operation vocabulary of paper
+ * section 2.2, which the detectors consume offline.
+ */
+
+#ifndef ASYNCCLOCK_RUNTIME_RUNTIME_HH
+#define ASYNCCLOCK_RUNTIME_RUNTIME_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "runtime/script.hh"
+#include "trace/trace.hh"
+
+namespace asyncclock::runtime {
+
+struct RuntimeConfig
+{
+    /** Virtual time consumed by each non-sleep script step (ms).
+     * Drives realistic event rates for the time-window experiments. */
+    std::uint64_t stepCostMs = 1;
+};
+
+/** Summary of one simulation run. */
+struct RunInfo
+{
+    /** Events still queued when the simulation drained (e.g. stalled
+     * behind a never-removed barrier or an AtTime beyond the end). */
+    std::uint64_t undelivered = 0;
+    /** Final virtual time. */
+    std::uint64_t endTimeMs = 0;
+};
+
+/**
+ * Deterministic simulator. Usage: create entities (loopers, binder
+ * pools, vars, handles, sites), spawn workers with scripts, then
+ * run() once to obtain the trace.
+ */
+class Runtime
+{
+  public:
+    explicit Runtime(RuntimeConfig cfg = {});
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    // ----- entity setup (before run) --------------------------------
+    /** Create a looper thread + its message queue; returns the queue
+     * (the natural target of post()). */
+    trace::QueueId addLooper(const std::string &name);
+
+    /** Create a binder queue drained by @p threads binder threads. */
+    trace::QueueId addBinderPool(const std::string &name,
+                                 unsigned threads);
+
+    trace::VarId var(const std::string &name,
+                     trace::SeedLabel label = trace::SeedLabel::None);
+    trace::HandleId handle(const std::string &name);
+    trace::SiteId site(const std::string &name, trace::Frame frame,
+                       std::uint32_t commGroup = trace::kInvalidId);
+
+    /** Allocate a fresh token for post/fork/barrier naming. */
+    Token token();
+
+    /** Spawn a root worker thread running @p script at @p startMs. */
+    void spawnWorker(const std::string &name, Script script,
+                     std::uint64_t startMs = 0);
+
+    /** Looper thread driving @p queue (for assertions in tests). */
+    trace::ThreadId looperThreadOf(trace::QueueId queue) const;
+
+    // ----- simulation -----------------------------------------------
+    /** Run to completion and return the trace. Single-shot. */
+    trace::Trace run();
+
+    /** Info about the last run() call. */
+    const RunInfo &lastRun() const { return info_; }
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    RunInfo info_;
+};
+
+} // namespace asyncclock::runtime
+
+#endif // ASYNCCLOCK_RUNTIME_RUNTIME_HH

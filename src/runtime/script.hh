@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Scripts: the programs executed by simulated threads and events.
+ *
+ * The runtime executes *scripts* — flat step lists — rather than host
+ * closures, because simulated tasks must be able to block (wait on a
+ * handle, join a thread, sleep on the virtual clock) and resume, and
+ * because the workload generator needs to synthesize program behavior
+ * data-style. A fluent builder keeps hand-written examples readable:
+ *
+ *   Script body = Script()
+ *       .read(cfg, siteLoad)
+ *       .post(mainQueue, Script().write(ui, siteDraw))
+ *       .signal(done);
+ */
+
+#ifndef ASYNCCLOCK_RUNTIME_SCRIPT_HH
+#define ASYNCCLOCK_RUNTIME_SCRIPT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/op.hh"
+
+namespace asyncclock::runtime {
+
+/** Token naming a posted event, forked thread, or barrier so later
+ * steps can remove/join/clear it. Allocated by Runtime::token(). */
+using Token = std::uint32_t;
+
+/** Queueing options for Script::post (Android Handler semantics). */
+struct PostOpts
+{
+    trace::SendKind kind = trace::SendKind::Delayed;
+    /** Delay in virtual ms (Delayed only; 0 == plain FIFO post). */
+    std::uint64_t delayMs = 0;
+    /** Absolute virtual dispatch time (AtTime only). */
+    std::uint64_t atTime = 0;
+    /** Android Message.setAsynchronous(true). */
+    bool async = false;
+
+    static PostOpts
+    delayed(std::uint64_t ms, bool async = false)
+    {
+        return {trace::SendKind::Delayed, ms, 0, async};
+    }
+
+    static PostOpts
+    at(std::uint64_t time, bool async = false)
+    {
+        return {trace::SendKind::AtTime, 0, time, async};
+    }
+
+    static PostOpts
+    atFront(bool async = false)
+    {
+        return {trace::SendKind::AtFront, 0, 0, async};
+    }
+};
+
+class Script;
+
+/** One step of a script. Built via the Script fluent API. */
+struct Step
+{
+    enum class Kind : std::uint8_t {
+        Read,           ///< rd(var) at site
+        Write,          ///< wr(var) at site
+        Post,           ///< send an event whose body is `body`
+        Remove,         ///< remove the queued event named by `token`
+        Fork,           ///< fork a worker running `body`
+        Join,           ///< join the worker named by `token`
+        Signal,         ///< signal(handle)
+        Await,          ///< wait(handle); blocks until signaled
+        Sleep,          ///< advance the virtual clock by `amount` ms
+        PostBarrier,    ///< install a sync barrier on a looper queue
+        RemoveBarrier,  ///< remove the barrier named by `token`
+    };
+
+    Kind kind{};
+    std::uint32_t a = trace::kInvalidId;  ///< var/handle/queue id
+    std::uint32_t b = trace::kInvalidId;  ///< site id (read/write)
+    std::uint64_t amount = 0;             ///< sleep duration
+    PostOpts opts{};
+    Token token = trace::kInvalidId;
+    std::shared_ptr<const Script> body;   ///< post/fork payload
+    std::string name;                     ///< forked thread name
+};
+
+/**
+ * A straight-line program for a simulated task. Steps execute one per
+ * scheduler activation; each non-sleep step consumes the runtime's
+ * configured per-step cost of virtual time.
+ */
+class Script
+{
+  public:
+    Script() = default;
+
+    Script &
+    read(trace::VarId var, trace::SiteId site)
+    {
+        Step s;
+        s.kind = Step::Kind::Read;
+        s.a = var;
+        s.b = site;
+        steps_.push_back(std::move(s));
+        return *this;
+    }
+
+    Script &
+    write(trace::VarId var, trace::SiteId site)
+    {
+        Step s;
+        s.kind = Step::Kind::Write;
+        s.a = var;
+        s.b = site;
+        steps_.push_back(std::move(s));
+        return *this;
+    }
+
+    /** Post an event executing @p body to @p queue. Pass a token from
+     * Runtime::token() to be able to remove it later. */
+    Script &
+    post(trace::QueueId queue, Script body, PostOpts opts = {},
+         Token token = trace::kInvalidId)
+    {
+        Step s;
+        s.kind = Step::Kind::Post;
+        s.a = queue;
+        s.opts = opts;
+        s.token = token;
+        s.body = std::make_shared<const Script>(std::move(body));
+        steps_.push_back(std::move(s));
+        return *this;
+    }
+
+    /** Remove the still-queued event previously posted with @p token
+     * (no-op if it already started, like Handler.removeMessages). */
+    Script &
+    remove(Token token)
+    {
+        Step s;
+        s.kind = Step::Kind::Remove;
+        s.token = token;
+        steps_.push_back(std::move(s));
+        return *this;
+    }
+
+    /** Fork a worker thread running @p body. */
+    Script &
+    fork(Token token, std::string name, Script body)
+    {
+        Step s;
+        s.kind = Step::Kind::Fork;
+        s.token = token;
+        s.name = std::move(name);
+        s.body = std::make_shared<const Script>(std::move(body));
+        steps_.push_back(std::move(s));
+        return *this;
+    }
+
+    /** Block until the worker forked with @p token terminates. */
+    Script &
+    join(Token token)
+    {
+        Step s;
+        s.kind = Step::Kind::Join;
+        s.token = token;
+        steps_.push_back(std::move(s));
+        return *this;
+    }
+
+    Script &
+    signal(trace::HandleId handle)
+    {
+        Step s;
+        s.kind = Step::Kind::Signal;
+        s.a = handle;
+        steps_.push_back(std::move(s));
+        return *this;
+    }
+
+    /** Block until @p handle has been signaled at least once (latch
+     * semantics); emits the wait operation when it passes. */
+    Script &
+    await(trace::HandleId handle)
+    {
+        Step s;
+        s.kind = Step::Kind::Await;
+        s.a = handle;
+        steps_.push_back(std::move(s));
+        return *this;
+    }
+
+    Script &
+    sleep(std::uint64_t ms)
+    {
+        Step s;
+        s.kind = Step::Kind::Sleep;
+        s.amount = ms;
+        steps_.push_back(std::move(s));
+        return *this;
+    }
+
+    /** Install a sync barrier: sync messages on @p queue stall until
+     * the barrier is removed; async messages keep flowing. */
+    Script &
+    postBarrier(trace::QueueId queue, Token token)
+    {
+        Step s;
+        s.kind = Step::Kind::PostBarrier;
+        s.a = queue;
+        s.token = token;
+        steps_.push_back(std::move(s));
+        return *this;
+    }
+
+    Script &
+    removeBarrier(Token token)
+    {
+        Step s;
+        s.kind = Step::Kind::RemoveBarrier;
+        s.token = token;
+        steps_.push_back(std::move(s));
+        return *this;
+    }
+
+    /** Append all steps of @p other. */
+    Script &
+    then(const Script &other)
+    {
+        steps_.insert(steps_.end(), other.steps_.begin(),
+                      other.steps_.end());
+        return *this;
+    }
+
+    /** Append one pre-built step (used by the workload generator to
+     * re-pace scripts). */
+    Script &
+    append(const Step &step)
+    {
+        steps_.push_back(step);
+        return *this;
+    }
+
+    const std::vector<Step> &steps() const { return steps_; }
+    bool empty() const { return steps_.empty(); }
+
+  private:
+    std::vector<Step> steps_;
+};
+
+} // namespace asyncclock::runtime
+
+#endif // ASYNCCLOCK_RUNTIME_SCRIPT_HH

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * InvPtr: a reference-counted pointer with explicit invalidation.
+ *
+ * Section 4.1 of the paper implements AsyncClock entries as "reference
+ * counting pointers ... with an invalidate operation: when an event
+ * becomes old, we invalidate an arbitrary pointer to its metadata, so
+ * that the metadata is immediately relinquished, and all other
+ * pointers to the same metadata become null pointers."
+ *
+ * InvPtr is exactly that: shared ownership of a payload through a
+ * small control block; `invalidate()` destroys the payload eagerly
+ * while surviving references observe null. When the last reference
+ * drops, a still-valid payload is destroyed too — that is the
+ * refcount-based heirless-event reclamation of section 4.1.
+ */
+
+#ifndef ASYNCCLOCK_SUPPORT_INV_PTR_HH
+#define ASYNCCLOCK_SUPPORT_INV_PTR_HH
+
+#include <cstdint>
+#include <utility>
+
+namespace asyncclock {
+
+template <typename T>
+class WeakPtr;
+
+/** Shared pointer with explicit payload invalidation. Not thread-safe
+ * (detectors are single-threaded single-pass analyzers). */
+template <typename T>
+class InvPtr
+{
+    friend class WeakPtr<T>;
+
+  public:
+    InvPtr() = default;
+
+    /** Create a payload with shared ownership. */
+    template <typename... Args>
+    static InvPtr
+    make(Args &&...args)
+    {
+        InvPtr p;
+        p.ctrl_ = new Ctrl{new T(std::forward<Args>(args)...), 1, 0};
+        return p;
+    }
+
+    InvPtr(const InvPtr &other) : ctrl_(other.ctrl_)
+    {
+        if (ctrl_)
+            ++ctrl_->refs;
+    }
+
+    InvPtr(InvPtr &&other) noexcept : ctrl_(other.ctrl_)
+    {
+        other.ctrl_ = nullptr;
+    }
+
+    InvPtr &
+    operator=(const InvPtr &other)
+    {
+        if (this != &other) {
+            InvPtr tmp(other);
+            swap(tmp);
+        }
+        return *this;
+    }
+
+    InvPtr &
+    operator=(InvPtr &&other) noexcept
+    {
+        swap(other);
+        return *this;
+    }
+
+    ~InvPtr() { reset(); }
+
+    /** Drop this reference. */
+    void
+    reset()
+    {
+        Ctrl *c = ctrl_;
+        ctrl_ = nullptr;
+        if (!c)
+            return;
+        if (--c->refs == 0) {
+            destroyPayload(c);
+            if (c->weak == 0 && c->refs == 0)
+                delete c;
+        }
+    }
+
+    void
+    swap(InvPtr &other) noexcept
+    {
+        std::swap(ctrl_, other.ctrl_);
+    }
+
+    /** Payload, or nullptr if never set or invalidated. */
+    T *get() const { return ctrl_ ? ctrl_->payload : nullptr; }
+    T *operator->() const { return get(); }
+    T &operator*() const { return *get(); }
+    explicit operator bool() const { return get() != nullptr; }
+
+    /** True if this points at a control block (even an invalidated
+     * one); used by GC passes to distinguish null refs to purge. */
+    bool hasRef() const { return ctrl_ != nullptr; }
+
+    /**
+     * Destroy the payload now. All other InvPtrs sharing it observe
+     * null from this point on. Idempotent.
+     */
+    void
+    invalidate()
+    {
+        if (ctrl_)
+            destroyPayload(ctrl_);
+    }
+
+    /** Number of live references to the control block (0 if unset). */
+    std::uint32_t refCount() const { return ctrl_ ? ctrl_->refs : 0; }
+
+    /** Identity comparison: same control block. */
+    bool
+    sameAs(const InvPtr &other) const
+    {
+        return ctrl_ == other.ctrl_;
+    }
+
+  private:
+    struct Ctrl
+    {
+        T *payload;
+        std::uint32_t refs;
+        std::uint32_t weak;
+    };
+
+    /** Adopt an existing control block, bumping the strong count
+     * (WeakPtr::lock). */
+    static InvPtr
+    fromCtrl(Ctrl *ctrl)
+    {
+        InvPtr p;
+        p.ctrl_ = ctrl;
+        ++ctrl->refs;
+        return p;
+    }
+
+    /**
+     * Destroy a control block's payload safely in the presence of
+     * reference *cycles* (event metadata can reference other events
+     * that reference back): the payload pointer is cleared before the
+     * destructor runs, and the refcount is parked on a sentinel so
+     * that references dropped recursively from inside the destructor
+     * can neither double-delete the payload nor free the control
+     * block under us.
+     */
+    static void
+    destroyPayload(Ctrl *c)
+    {
+        T *p = c->payload;
+        if (!p)
+            return;
+        c->payload = nullptr;
+        std::uint32_t savedRefs = c->refs;
+        c->refs = kDestroySentinel;
+        delete p;
+        // References the destructor dropped recursively (cycle
+        // back-edges) must stay dropped; clamp against a true
+        // self-reference underflow.
+        std::uint32_t dropped = kDestroySentinel - c->refs;
+        c->refs = savedRefs > dropped ? savedRefs - dropped : 0;
+    }
+
+    static constexpr std::uint32_t kDestroySentinel = 1u << 30;
+
+    Ctrl *ctrl_ = nullptr;
+};
+
+/**
+ * Non-owning companion of InvPtr: does not keep the payload alive
+ * (reference-count reclamation proceeds as if it did not exist) but
+ * can observe whether it still is. Used by the time-window aging
+ * queue, which must see events without pinning them.
+ */
+template <typename T>
+class WeakPtr
+{
+  public:
+    WeakPtr() = default;
+
+    explicit WeakPtr(const InvPtr<T> &strong) : ctrl_(strong.ctrl_)
+    {
+        if (ctrl_)
+            ++ctrl_->weak;
+    }
+
+    WeakPtr(const WeakPtr &other) : ctrl_(other.ctrl_)
+    {
+        if (ctrl_)
+            ++ctrl_->weak;
+    }
+
+    WeakPtr(WeakPtr &&other) noexcept : ctrl_(other.ctrl_)
+    {
+        other.ctrl_ = nullptr;
+    }
+
+    WeakPtr &
+    operator=(const WeakPtr &other)
+    {
+        if (this != &other) {
+            WeakPtr tmp(other);
+            std::swap(ctrl_, tmp.ctrl_);
+        }
+        return *this;
+    }
+
+    WeakPtr &
+    operator=(WeakPtr &&other) noexcept
+    {
+        std::swap(ctrl_, other.ctrl_);
+        return *this;
+    }
+
+    ~WeakPtr() { reset(); }
+
+    void
+    reset()
+    {
+        Ctrl *c = ctrl_;
+        ctrl_ = nullptr;
+        if (!c)
+            return;
+        if (--c->weak == 0 && c->refs == 0)
+            delete c;
+    }
+
+    /** Payload if it is still alive, else nullptr. */
+    T *
+    get() const
+    {
+        return ctrl_ ? ctrl_->payload : nullptr;
+    }
+
+    /** Take a counted reference if the payload is still alive (else
+     * an empty pointer). Use to pin an object while operating on its
+     * contents when the operation may drop other references to it. */
+    InvPtr<T>
+    lock() const
+    {
+        if (!ctrl_ || !ctrl_->payload)
+            return {};
+        return InvPtr<T>::fromCtrl(ctrl_);
+    }
+
+    /** Destroy the payload now (see InvPtr::invalidate). */
+    void
+    invalidate()
+    {
+        if (ctrl_)
+            InvPtr<T>::destroyPayload(ctrl_);
+    }
+
+  private:
+    using Ctrl = typename InvPtr<T>::Ctrl;
+
+    Ctrl *ctrl_ = nullptr;
+};
+
+} // namespace asyncclock
+
+#endif // ASYNCCLOCK_SUPPORT_INV_PTR_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Minimal JSON writer.
+ *
+ * The report and bench layers export machine-readable results (race
+ * reports, detector counters) for downstream tooling; this is the
+ * small, dependency-free writer they share. Write-only by design —
+ * the library has no need to parse JSON.
+ */
+
+#ifndef ASYNCCLOCK_SUPPORT_JSON_HH
+#define ASYNCCLOCK_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <string>
+
+namespace asyncclock {
+
+/** Incremental JSON document builder with explicit structure calls.
+ * The caller is responsible for balanced begin/end pairs; keys are
+ * escaped like values. */
+class JsonWriter
+{
+  public:
+    JsonWriter &
+    beginObject()
+    {
+        comma();
+        out_ += '{';
+        first_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        out_ += '}';
+        first_ = false;
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        comma();
+        out_ += '[';
+        first_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        out_ += ']';
+        first_ = false;
+        return *this;
+    }
+
+    /** Emit a key inside an object; follow with a value call. */
+    JsonWriter &
+    key(const std::string &name)
+    {
+        comma();
+        appendString(name);
+        out_ += ':';
+        first_ = true;  // the upcoming value needs no comma
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        comma();
+        appendString(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v)
+    {
+        return value(std::string(v));
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        comma();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::int64_t v)
+    {
+        comma();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        comma();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        comma();
+        out_ += v ? "true" : "false";
+        return *this;
+    }
+
+    /** Shorthand: key + value. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    const std::string &str() const { return out_; }
+
+  private:
+    void
+    comma()
+    {
+        if (!first_)
+            out_ += ',';
+        first_ = false;
+    }
+
+    void
+    appendString(const std::string &s)
+    {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': out_ += "\\\""; break;
+              case '\\': out_ += "\\\\"; break;
+              case '\n': out_ += "\\n"; break;
+              case '\r': out_ += "\\r"; break;
+              case '\t': out_ += "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    bool first_ = true;
+};
+
+} // namespace asyncclock
+
+#endif // ASYNCCLOCK_SUPPORT_JSON_HH

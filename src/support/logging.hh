@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * `panic` is for internal invariant violations (a bug in this library);
+ * `fatal` is for user errors (bad configuration, malformed traces).
+ */
+
+#ifndef ASYNCCLOCK_SUPPORT_LOGGING_HH
+#define ASYNCCLOCK_SUPPORT_LOGGING_HH
+
+#include <string>
+
+namespace asyncclock {
+
+/** Abort with a message: something that should never happen happened. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Exit(1) with a message: the user asked for something impossible. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a warning to stderr and continue. */
+void warn(const std::string &msg);
+
+/**
+ * Internal invariant check. Unlike assert(), stays on in release builds:
+ * the detectors are validated against each other and silent corruption
+ * would invalidate every experiment.
+ */
+inline void
+acAssert(bool cond, const char *what)
+{
+    if (!cond)
+        panic(std::string("assertion failed: ") + what);
+}
+
+} // namespace asyncclock
+
+#endif // ASYNCCLOCK_SUPPORT_LOGGING_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the workload generator and tests flows through
+ * SplitMix64 so that every trace, table, and figure is reproducible
+ * from a seed, independent of platform or standard-library version
+ * (std::mt19937 distributions are not portable across libstdc++
+ * versions).
+ */
+
+#ifndef ASYNCCLOCK_SUPPORT_RNG_HH
+#define ASYNCCLOCK_SUPPORT_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace asyncclock {
+
+/** SplitMix64: tiny, fast, well-distributed, and fork-able. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be positive. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        acAssert(bound > 0, "Rng::below bound must be positive");
+        // Multiply-shift rejection-free mapping; bias is negligible
+        // (<2^-32) for the bounds used here and keeps determinism simple.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        acAssert(lo <= hi, "Rng::range lo must be <= hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** True with probability @p p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return static_cast<double>(next() >> 11) *
+                   (1.0 / 9007199254740992.0) < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0);
+    }
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &items)
+    {
+        acAssert(!items.empty(), "Rng::pick on empty vector");
+        return items[below(items.size())];
+    }
+
+    /**
+     * Fork an independent stream. Derives a child seed so that adding
+     * draws to one stream does not perturb another.
+     */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace asyncclock
+
+#endif // ASYNCCLOCK_SUPPORT_RNG_HH

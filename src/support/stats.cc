@@ -1,0 +1,51 @@
+#include "support/stats.hh"
+
+#include "support/format.hh"
+
+namespace asyncclock {
+
+const char *
+memCatName(MemCat cat)
+{
+    switch (cat) {
+      case MemCat::EventMeta: return "event-meta";
+      case MemCat::VectorClock: return "vector-clock";
+      case MemCat::AsyncClock: return "async-clock";
+      case MemCat::AsyncBefore: return "async-before";
+      case MemCat::GraphNode: return "graph-node";
+      case MemCat::GraphEdge: return "graph-edge";
+      case MemCat::VarState: return "var-state";
+      case MemCat::Other: return "other";
+      case MemCat::NumCategories: break;
+    }
+    return "?";
+}
+
+std::string
+MemStats::summary() const
+{
+    std::string out;
+    for (unsigned i = 0; i < numCats; ++i) {
+        auto cat = static_cast<MemCat>(i);
+        if (peak_[i] == 0)
+            continue;
+        out += strf("  %-14s live %10s  peak %10s\n", memCatName(cat),
+                    humanBytes(live_[i]).c_str(),
+                    humanBytes(peak_[i]).c_str());
+    }
+    out += strf("  %-14s live %10s  peak %10s\n", "TOTAL",
+                humanBytes(liveTotal_).c_str(),
+                humanBytes(peakTotal_).c_str());
+    return out;
+}
+
+void
+MemStats::reset()
+{
+    live_.fill(0);
+    peak_.fill(0);
+    liveTotal_ = 0;
+    peakTotal_ = 0;
+}
+
+} // namespace asyncclock

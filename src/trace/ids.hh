@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Identifier types shared across the trace model.
+ *
+ * Plain 32-bit aliases indexing into the Trace's entity tables. The
+ * reserved value kInvalidId means "absent".
+ */
+
+#ifndef ASYNCCLOCK_TRACE_IDS_HH
+#define ASYNCCLOCK_TRACE_IDS_HH
+
+#include <cstdint>
+
+namespace asyncclock::trace {
+
+using ThreadId = std::uint32_t;
+using EventId = std::uint32_t;
+using QueueId = std::uint32_t;
+using VarId = std::uint32_t;
+using HandleId = std::uint32_t;
+using SiteId = std::uint32_t;
+using OpId = std::uint32_t;
+
+constexpr std::uint32_t kInvalidId = 0xFFFFFFFFu;
+
+/**
+ * A task is the unit an operation is attributed to: either a thread
+ * (worker / looper / binder) or an event. Packed into one word so it
+ * can be used as a map key.
+ */
+class Task
+{
+  public:
+    Task() = default;
+
+    static Task thread(ThreadId id) { return Task(id); }
+    static Task event(EventId id) { return Task(id | eventBit); }
+
+    bool isEvent() const { return raw_ & eventBit; }
+    std::uint32_t index() const { return raw_ & ~eventBit; }
+    std::uint32_t raw() const { return raw_; }
+
+    bool operator==(const Task &other) const = default;
+
+  private:
+    explicit Task(std::uint32_t raw) : raw_(raw) {}
+
+    static constexpr std::uint32_t eventBit = 0x80000000u;
+
+    std::uint32_t raw_ = kInvalidId;
+};
+
+} // namespace asyncclock::trace
+
+#endif // ASYNCCLOCK_TRACE_IDS_HH

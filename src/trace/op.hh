@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Trace operations and event send attributes (paper section 2.2), plus
+ * the priority function of Table 1 (section 5.1).
+ */
+
+#ifndef ASYNCCLOCK_TRACE_OP_HH
+#define ASYNCCLOCK_TRACE_OP_HH
+
+#include <cstdint>
+
+#include "trace/ids.hh"
+
+namespace asyncclock::trace {
+
+/**
+ * Queueing policy of a sent event (section 5.1). Plain FIFO events are
+ * Delayed events with zero delay, exactly as the paper treats them.
+ */
+enum class SendKind : std::uint8_t {
+    Delayed,    ///< Dequeued after a delay (delay 0 == plain FIFO).
+    AtTime,     ///< Dequeued at an absolute time.
+    AtFront,    ///< Enqueued at the front of the queue.
+};
+
+/**
+ * Send attributes: queueing policy, the async flag (Android
+ * setAsynchronous(true) messages jump sync barriers), and the time
+ * constraint Table 1 compares. For Delayed events `time` is the
+ * *delay* (plain FIFO posts are Delayed with zero delay); for AtTime
+ * it is the requested absolute dispatch time; AtFront ignores it.
+ */
+struct SendAttrs
+{
+    SendKind kind = SendKind::Delayed;
+    bool async = false;
+    std::uint64_t time = 0;
+
+    bool operator==(const SendAttrs &other) const = default;
+};
+
+/**
+ * Priority class index for the 6 rows/columns of Table 1:
+ * 0 Delayed+Async, 1 Delayed+Sync, 2 AtTime+Async, 3 AtTime+Sync,
+ * 4 AtFront+Async, 5 AtFront+Sync.
+ */
+constexpr unsigned kNumPriorityClasses = 6;
+
+inline unsigned
+priorityClass(const SendAttrs &attrs)
+{
+    unsigned base = attrs.kind == SendKind::Delayed ? 0
+                  : attrs.kind == SendKind::AtTime ? 2 : 4;
+    return base + (attrs.async ? 0 : 1);
+}
+
+/**
+ * Table 1: does event E1 (attrs @p e1) causally precede event E2
+ * (attrs @p e2) given their sends are causally ordered send(E1) <
+ * send(E2)? This is the `priority` function of Rule PRIORITY.
+ */
+inline bool
+priorityOrders(const SendAttrs &e1, const SendAttrs &e2)
+{
+    switch (e1.kind) {
+      case SendKind::Delayed:
+        if (e2.kind != SendKind::Delayed)
+            return false;
+        // Sync never precedes Async (async messages can jump a sync
+        // barrier); otherwise the time constraints must be ordered.
+        if (!e1.async && e2.async)
+            return false;
+        return e1.time <= e2.time;
+      case SendKind::AtTime:
+        if (e2.kind != SendKind::AtTime)
+            return false;
+        if (!e1.async && e2.async)
+            return false;
+        return e1.time <= e2.time;
+      case SendKind::AtFront:
+        if (e2.kind == SendKind::AtFront)
+            return false;
+        // AtFront+Async precedes everything else; AtFront+Sync only
+        // precedes Sync events.
+        return e1.async || !e2.async;
+    }
+    return false;
+}
+
+/** Trace operation kinds (section 2.2). */
+enum class OpKind : std::uint8_t {
+    ThreadBegin,    ///< begin(T)
+    ThreadEnd,      ///< end(T)
+    EventBegin,     ///< begin(E)
+    EventEnd,       ///< end(E)
+    Read,           ///< rd(S, x)
+    Write,          ///< wr(S, x)
+    Fork,           ///< fork(S, T)
+    Join,           ///< join(S, T)
+    Signal,         ///< signal(S, m)
+    Wait,           ///< wait(S, m)
+    Send,           ///< send(S, q, E)
+    RemoveEvent,    ///< programmer removed E from its queue (sec. 5.3)
+};
+
+/** Short mnemonic for an OpKind, used by the text serializer. */
+const char *opKindName(OpKind kind);
+
+/**
+ * One trace operation. The meaning of the payload fields depends on
+ * the kind:
+ *  - ThreadBegin/ThreadEnd: task names the thread, payload unused.
+ *  - EventBegin/EventEnd: task names the event, payload unused.
+ *  - Read/Write: `target` is the VarId, `site` the source site.
+ *  - Fork/Join: `target` is the child ThreadId.
+ *  - Signal/Wait: `target` is the HandleId.
+ *  - Send: `target` is the QueueId, `event` the sent EventId, `attrs`
+ *    the queueing attributes.
+ *  - RemoveEvent: `event` is the removed EventId.
+ */
+struct Operation
+{
+    OpKind kind{};
+    Task task{};
+    std::uint32_t target = kInvalidId;
+    EventId event = kInvalidId;
+    SiteId site = kInvalidId;
+    SendAttrs attrs{};
+    /** Virtual timestamp (ms) — drives AtTime semantics and the
+     * time-window approximation. Non-decreasing along the trace. */
+    std::uint64_t vtime = 0;
+};
+
+} // namespace asyncclock::trace
+
+#endif // ASYNCCLOCK_TRACE_OP_HH

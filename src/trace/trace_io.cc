@@ -1,0 +1,372 @@
+#include "trace/trace_io.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/format.hh"
+#include "support/logging.hh"
+
+namespace asyncclock::trace {
+
+namespace {
+
+const char *
+threadKindName(ThreadKind k)
+{
+    switch (k) {
+      case ThreadKind::Worker: return "worker";
+      case ThreadKind::Looper: return "looper";
+      case ThreadKind::Binder: return "binder";
+    }
+    return "?";
+}
+
+const char *
+frameName(Frame f)
+{
+    switch (f) {
+      case Frame::User: return "user";
+      case Frame::Framework: return "framework";
+      case Frame::Library: return "library";
+    }
+    return "?";
+}
+
+std::string
+taskToken(Task task)
+{
+    return strf("%c%u", task.isEvent() ? 'E' : 'T', task.index());
+}
+
+std::string
+attrsToken(const SendAttrs &attrs)
+{
+    char kind = attrs.kind == SendKind::Delayed ? 'D'
+              : attrs.kind == SendKind::AtTime ? 'T' : 'F';
+    return strf("%c%c%llu", kind, attrs.async ? 'A' : 'S',
+                (unsigned long long)attrs.time);
+}
+
+bool
+parseTask(const std::string &tok, Task &task)
+{
+    if (tok.size() < 2 || (tok[0] != 'E' && tok[0] != 'T'))
+        return false;
+    std::uint32_t idx =
+        static_cast<std::uint32_t>(std::stoul(tok.substr(1)));
+    task = tok[0] == 'E' ? Task::event(idx) : Task::thread(idx);
+    return true;
+}
+
+bool
+parseAttrs(const std::string &tok, SendAttrs &attrs)
+{
+    if (tok.size() < 3)
+        return false;
+    switch (tok[0]) {
+      case 'D': attrs.kind = SendKind::Delayed; break;
+      case 'T': attrs.kind = SendKind::AtTime; break;
+      case 'F': attrs.kind = SendKind::AtFront; break;
+      default: return false;
+    }
+    if (tok[1] != 'A' && tok[1] != 'S')
+        return false;
+    attrs.async = tok[1] == 'A';
+    attrs.time = std::stoull(tok.substr(2));
+    return true;
+}
+
+} // namespace
+
+void
+writeTrace(const Trace &tr, std::ostream &out)
+{
+    out << "asyncclock-trace v1\n";
+    for (std::size_t i = 0; i < tr.threads().size(); ++i) {
+        const ThreadInfo &t = tr.threads()[i];
+        out << "thread " << i << ' ' << threadKindName(t.kind) << ' ';
+        if (t.queue == kInvalidId)
+            out << '-';
+        else
+            out << t.queue;
+        out << ' ' << (t.name.empty() ? "-" : t.name) << '\n';
+    }
+    for (std::size_t i = 0; i < tr.queues().size(); ++i) {
+        const QueueInfo &q = tr.queues()[i];
+        out << "queue " << i << ' '
+            << (q.kind == QueueKind::Looper ? "looper" : "binder")
+            << ' ';
+        if (q.looper == kInvalidId)
+            out << '-';
+        else
+            out << q.looper;
+        out << ' ' << (q.name.empty() ? "-" : q.name) << '\n';
+    }
+    out << "events " << tr.events().size() << '\n';
+    for (std::size_t i = 0; i < tr.vars().size(); ++i) {
+        const VarInfo &v = tr.vars()[i];
+        out << "var " << i << ' ' << seedLabelName(v.seedLabel) << ' '
+            << (v.name.empty() ? "-" : v.name) << '\n';
+    }
+    for (std::size_t i = 0; i < tr.handles().size(); ++i) {
+        const HandleInfo &h = tr.handles()[i];
+        out << "handle " << i << ' '
+            << (h.name.empty() ? "-" : h.name) << '\n';
+    }
+    for (std::size_t i = 0; i < tr.sites().size(); ++i) {
+        const SiteInfo &s = tr.sites()[i];
+        out << "site " << i << ' ' << frameName(s.frame) << ' ';
+        if (s.commGroup == kInvalidId)
+            out << '-';
+        else
+            out << s.commGroup;
+        out << ' ' << (s.name.empty() ? "-" : s.name) << '\n';
+    }
+    for (const Operation &op : tr.ops()) {
+        out << "op " << opKindName(op.kind) << ' '
+            << taskToken(op.task);
+        switch (op.kind) {
+          case OpKind::ThreadBegin:
+          case OpKind::ThreadEnd:
+          case OpKind::EventEnd:
+            break;
+          case OpKind::EventBegin:
+            out << ' ' << op.target;
+            break;
+          case OpKind::Read:
+          case OpKind::Write:
+            out << ' ' << op.target << ' ';
+            if (op.site == kInvalidId)
+                out << '-';
+            else
+                out << op.site;
+            break;
+          case OpKind::Fork:
+          case OpKind::Join:
+          case OpKind::Signal:
+          case OpKind::Wait:
+            out << ' ' << op.target;
+            break;
+          case OpKind::Send:
+            out << ' ' << op.target << ' ' << op.event << ' '
+                << attrsToken(op.attrs);
+            break;
+          case OpKind::RemoveEvent:
+            out << ' ' << op.event;
+            break;
+        }
+        out << " @" << op.vtime << '\n';
+    }
+}
+
+std::string
+writeTraceToString(const Trace &tr)
+{
+    std::ostringstream ss;
+    writeTrace(tr, ss);
+    return ss.str();
+}
+
+bool
+readTrace(std::istream &in, Trace &tr, std::string &error)
+{
+    tr = Trace();
+    std::string line;
+    if (!std::getline(in, line) || line != "asyncclock-trace v1") {
+        error = "bad header";
+        return false;
+    }
+    std::size_t lineNo = 1;
+    auto fail = [&](const std::string &msg) {
+        error = strf("line %zu: %s", lineNo, msg.c_str());
+        return false;
+    };
+
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        try {
+            if (tag == "thread") {
+                std::uint32_t id;
+                std::string kind, queueTok, name;
+                ls >> id >> kind >> queueTok >> name;
+                if (ls.fail())
+                    return fail("bad thread line");
+                ThreadKind tk = kind == "worker" ? ThreadKind::Worker
+                              : kind == "looper" ? ThreadKind::Looper
+                              : ThreadKind::Binder;
+                QueueId q = queueTok == "-"
+                                ? kInvalidId
+                                : static_cast<QueueId>(
+                                      std::stoul(queueTok));
+                ThreadId got = tr.addThread(tk, name == "-" ? "" : name,
+                                            q);
+                if (got != id)
+                    return fail("thread ids must be dense");
+            } else if (tag == "queue") {
+                std::uint32_t id;
+                std::string kind, looperTok, name;
+                ls >> id >> kind >> looperTok >> name;
+                if (ls.fail())
+                    return fail("bad queue line");
+                QueueId got = tr.addQueue(kind == "looper"
+                                              ? QueueKind::Looper
+                                              : QueueKind::Binder,
+                                          name == "-" ? "" : name);
+                if (got != id)
+                    return fail("queue ids must be dense");
+                if (looperTok != "-") {
+                    tr.bindLooper(got, static_cast<ThreadId>(
+                                           std::stoul(looperTok)));
+                }
+            } else if (tag == "events") {
+                std::uint32_t n;
+                ls >> n;
+                if (ls.fail())
+                    return fail("bad events line");
+                for (std::uint32_t i = 0; i < n; ++i)
+                    tr.addEvent();
+            } else if (tag == "var") {
+                std::uint32_t id;
+                std::string label, name;
+                ls >> id >> label >> name;
+                if (ls.fail())
+                    return fail("bad var line");
+                SeedLabel sl = SeedLabel::None;
+                for (int l = 0; l <= 5; ++l) {
+                    if (label == seedLabelName(
+                            static_cast<SeedLabel>(l))) {
+                        sl = static_cast<SeedLabel>(l);
+                        break;
+                    }
+                }
+                VarId got = tr.addVar(name == "-" ? "" : name, sl);
+                if (got != id)
+                    return fail("var ids must be dense");
+            } else if (tag == "handle") {
+                std::uint32_t id;
+                std::string name;
+                ls >> id >> name;
+                if (ls.fail())
+                    return fail("bad handle line");
+                HandleId got = tr.addHandle(name == "-" ? "" : name);
+                if (got != id)
+                    return fail("handle ids must be dense");
+            } else if (tag == "site") {
+                std::uint32_t id;
+                std::string frame, groupTok, name;
+                ls >> id >> frame >> groupTok >> name;
+                if (ls.fail())
+                    return fail("bad site line");
+                Frame f = frame == "user" ? Frame::User
+                        : frame == "framework" ? Frame::Framework
+                        : Frame::Library;
+                std::uint32_t g = groupTok == "-"
+                                      ? kInvalidId
+                                      : static_cast<std::uint32_t>(
+                                            std::stoul(groupTok));
+                SiteId got = tr.addSite(name == "-" ? "" : name, f, g);
+                if (got != id)
+                    return fail("site ids must be dense");
+            } else if (tag == "op") {
+                std::string kindTok, taskTok;
+                ls >> kindTok >> taskTok;
+                if (ls.fail())
+                    return fail("bad op line");
+                Operation op;
+                if (!parseTask(taskTok, op.task))
+                    return fail("bad task token");
+                bool found = false;
+                for (int k = 0; k <= 11; ++k) {
+                    if (kindTok == opKindName(
+                            static_cast<OpKind>(k))) {
+                        op.kind = static_cast<OpKind>(k);
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    return fail("unknown op kind");
+                std::string tok;
+                switch (op.kind) {
+                  case OpKind::ThreadBegin:
+                  case OpKind::ThreadEnd:
+                  case OpKind::EventEnd:
+                    break;
+                  case OpKind::EventBegin:
+                  case OpKind::Fork:
+                  case OpKind::Join:
+                  case OpKind::Signal:
+                  case OpKind::Wait:
+                    ls >> op.target;
+                    break;
+                  case OpKind::Read:
+                  case OpKind::Write:
+                    ls >> op.target >> tok;
+                    op.site = tok == "-" ? kInvalidId
+                                         : static_cast<SiteId>(
+                                               std::stoul(tok));
+                    break;
+                  case OpKind::Send:
+                    ls >> op.target >> op.event >> tok;
+                    if (!parseAttrs(tok, op.attrs))
+                        return fail("bad send attrs");
+                    break;
+                  case OpKind::RemoveEvent:
+                    ls >> op.event;
+                    break;
+                }
+                std::string at;
+                ls >> at;
+                if (ls.fail() || at.empty() || at[0] != '@')
+                    return fail("missing @vtime");
+                op.vtime = std::stoull(at.substr(1));
+                tr.append(op);
+            } else {
+                return fail("unknown tag '" + tag + "'");
+            }
+        } catch (const std::exception &e) {
+            return fail(std::string("parse error: ") + e.what());
+        }
+    }
+    return true;
+}
+
+bool
+readTraceFromString(const std::string &text, Trace &tr,
+                    std::string &error)
+{
+    std::istringstream ss(text);
+    return readTrace(ss, tr, error);
+}
+
+void
+saveTraceFile(const Trace &tr, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open " + path + " for writing");
+    writeTrace(tr, out);
+    if (!out)
+        fatal("write to " + path + " failed");
+}
+
+Trace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open " + path);
+    Trace tr;
+    std::string error;
+    if (!readTrace(in, tr, error))
+        fatal("parsing " + path + ": " + error);
+    return tr;
+}
+
+} // namespace asyncclock::trace

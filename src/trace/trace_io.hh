@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Text serialization of traces.
+ *
+ * The paper's workflow records a trace on the phone and analyzes it
+ * offline; this module is the equivalent interchange format so traces
+ * from the simulated runtime can be stored, diffed, and replayed into
+ * either detector. The format is line-based and human-readable; entity
+ * names must not contain whitespace.
+ */
+
+#ifndef ASYNCCLOCK_TRACE_TRACE_IO_HH
+#define ASYNCCLOCK_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace asyncclock::trace {
+
+/** Serialize @p tr to @p out. */
+void writeTrace(const Trace &tr, std::ostream &out);
+
+/** Serialize to a string (convenience for tests). */
+std::string writeTraceToString(const Trace &tr);
+
+/**
+ * Parse a trace. On malformed input, returns false and sets @p error;
+ * @p tr is left in an unspecified state.
+ */
+bool readTrace(std::istream &in, Trace &tr, std::string &error);
+
+/** Parse from a string (convenience for tests). */
+bool readTraceFromString(const std::string &text, Trace &tr,
+                         std::string &error);
+
+/** Write @p tr to @p path; fatal() on I/O failure. */
+void saveTraceFile(const Trace &tr, const std::string &path);
+
+/** Read a trace from @p path; fatal() on failure. */
+Trace loadTraceFile(const std::string &path);
+
+} // namespace asyncclock::trace
+
+#endif // ASYNCCLOCK_TRACE_TRACE_IO_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Monkey-like workload generation (DESIGN.md section 2).
+ *
+ * The paper drives 20 real Android apps with the Monkey UI exerciser
+ * and records traces on an instrumented phone. Here, an AppProfile
+ * describes an app's *structure* — thread/queue counts, event volumes
+ * and rates, priority-tag mix, chain depth, synchronization habits —
+ * and AppGenerator synthesizes a deterministic simulated app on the
+ * runtime whose trace matches those statistics. Ground truth for the
+ * race experiments is planted explicitly: harmful order violations,
+ * Type I (delayed-update) and Type II (control-dependent) harmless
+ * races, commutative library races, and framework-internal noise, all
+ * labeled via trace::SeedLabel / site frames so reports can be scored
+ * mechanically.
+ *
+ * Dedicated pattern generators reproduce the paper's stress shapes:
+ *  - barcodePattern: Fig 9b — input-event chains posting AtTime
+ *    events with distinct times (defeats EventRacer's pruning);
+ *  - pingPongPattern: Fig 6a — event streams bouncing between two
+ *    loopers so no event becomes heirless without a time window;
+ *  - multiPathPattern: Fig 6b — heirless events with positive
+ *    reference counts that only multi-path reduction reclaims.
+ */
+
+#ifndef ASYNCCLOCK_WORKLOAD_WORKLOAD_HH
+#define ASYNCCLOCK_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace asyncclock::workload {
+
+/** Structural description of a simulated app. */
+struct AppProfile
+{
+    std::string name = "app";
+    std::uint64_t seed = 1;
+
+    unsigned loopers = 2;        ///< looper threads (first is "main")
+    unsigned binderThreads = 4;  ///< pool size of the binder queue
+    unsigned workers = 3;        ///< background worker threads
+
+    /** Approximate looper events to generate (including children). */
+    unsigned looperEvents = 400;
+    unsigned binderEvents = 40;
+
+    /** Virtual duration target (ms); sets worker posting rates. */
+    std::uint64_t spanMs = 60000;
+
+    // Priority-tag mix among looper events (rest are plain FIFO).
+    double delayedFrac = 0.12;
+    double atTimeFrac = 0.04;
+    double atFrontFrac = 0.02;
+    double asyncFrac = 0.04;   ///< of tagged events, async flag odds
+
+    /** Odds a level-1/-2 event posts a child (level-2/-3 events; the
+     * paper reports 54% / 4.8% / 1.7% level-1/2/3 FIFO events). */
+    double chainFrac = 0.10;
+    double chain3Frac = 0.35;  ///< of level-2 events, odds of level 3
+
+    double removeFrac = 0.015; ///< delayed posts later removed
+    double barrierFrac = 0.01; ///< posts guarded by a sync barrier
+    double rpcFrac = 0.6;      ///< binder posts that are RPC-style
+
+    unsigned benignVars = 40;  ///< confined (never racy) variables
+    unsigned handles = 6;
+
+    // Seeded, labeled races (each contributes ~1 race group).
+    unsigned seededHarmful = 3;
+    unsigned seededTypeI = 2;
+    unsigned seededTypeII = 2;
+    unsigned seededCommutative = 3;
+    unsigned seededFrameworkNoise = 4;  ///< filtered by user-induced
+
+    /** Steps per event body (uniform 1..max). */
+    unsigned maxEventSteps = 5;
+};
+
+/** Counts of what was actually planted (for scoring reports). */
+struct SeededTruth
+{
+    unsigned harmful = 0;
+    unsigned typeI = 0;
+    unsigned typeII = 0;
+    unsigned commutative = 0;
+    unsigned frameworkNoise = 0;
+};
+
+/** A generated app: the trace plus its ground truth. */
+struct GeneratedApp
+{
+    trace::Trace trace;
+    SeededTruth truth;
+    std::uint64_t endTimeMs = 0;
+};
+
+/** Synthesize an app from a profile (deterministic in profile.seed). */
+GeneratedApp generateApp(const AppProfile &profile);
+
+/**
+ * Fig 9b: chains of input events; input event I_k posts I_{k+1}, an
+ * AtTime event with a distinct time, and a decode event. EventRacer's
+ * backward traversal walks the whole input chain to find AtTime
+ * predecessors.
+ */
+trace::Trace barcodePattern(unsigned inputEvents,
+                            unsigned stepsPerEvent = 3);
+
+/**
+ * Fig 6a: `streams` event streams bouncing between two loopers
+ * (A1 -> A2 -> A3 ...), interleaved so that earlier events are never
+ * heirless: only the time window reclaims them.
+ */
+trace::Trace pingPongPattern(unsigned streams, unsigned hops);
+
+/**
+ * Fig 6b: repeated {send A to q1; send B to q2 (B holds A in its
+ * AsyncClock but posts nothing); send A' to q1} shapes. A becomes
+ * heirless the moment B ends, but its reference count stays positive
+ * until multi-path reduction removes it from B's clock.
+ */
+trace::Trace multiPathPattern(unsigned rounds);
+
+/**
+ * Chaos trace: unlike generateApp (whose benign traffic is confined
+ * by construction), every task hammers one small shared-variable pool
+ * while exercising the full feature surface — priority tags, async
+ * messages behind barriers, at-front posts, event removal, nested
+ * child events, binder traffic, fork/join and signal/wait — so the
+ * resulting races stress every causality rule at once. Deadlock-free
+ * by construction (workers signal before they await). Intended for
+ * the triple cross-validation sweeps; races carry no ground-truth
+ * labels.
+ */
+trace::Trace chaosTrace(std::uint64_t seed, unsigned events = 60);
+
+/** The 20 Table 2 app profiles, event counts scaled by @p scale
+ * (1.0 = the paper's looper/binder event counts). */
+std::vector<AppProfile> table2Profiles(double scale = 0.1);
+
+/** Profile by app name from table2Profiles(); fatal if unknown. */
+AppProfile profileByName(const std::string &name, double scale = 0.1);
+
+} // namespace asyncclock::workload
+
+#endif // ASYNCCLOCK_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the EventRacer-style baseline: with the exact checker it
+ * must report precisely the gold oracle's race set on every causality
+ * feature and on randomized generated apps (parameterized sweep).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gold/closure.hh"
+#include "graph/eventracer.hh"
+#include "report/checker.hh"
+#include "runtime/runtime.hh"
+#include "workload/workload.hh"
+
+namespace asyncclock::graph {
+namespace {
+
+using gold::Closure;
+using gold::GoldRace;
+using report::ExactChecker;
+using runtime::PostOpts;
+using runtime::Runtime;
+using runtime::Script;
+using trace::Trace;
+
+std::set<std::pair<trace::OpId, trace::OpId>>
+goldSet(const Trace &tr)
+{
+    Closure hb(tr);
+    std::set<std::pair<trace::OpId, trace::OpId>> out;
+    for (const GoldRace &r : hb.races())
+        out.insert({r.first, r.second});
+    return out;
+}
+
+std::set<std::pair<trace::OpId, trace::OpId>>
+detectorSet(const Trace &tr, EventRacerConfig cfg = {})
+{
+    ExactChecker checker;
+    EventRacerDetector det(tr, checker, cfg);
+    det.runAll();
+    std::set<std::pair<trace::OpId, trace::OpId>> out;
+    for (const auto &r : checker.races())
+        out.insert({r.prevOp, r.curOp});
+    return out;
+}
+
+void
+expectMatchesGold(const Trace &tr, EventRacerConfig cfg = {})
+{
+    ASSERT_EQ(tr.validate(true), "");
+    auto gold = goldSet(tr);
+    auto det = detectorSet(tr, cfg);
+    EXPECT_EQ(det, gold);
+}
+
+TEST(EventRacer, FifoOrderingNoRace)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto x = rt.var("x");
+    auto s = rt.site("s", trace::Frame::User);
+    rt.spawnWorker("w", Script()
+                            .post(q, Script().write(x, s))
+                            .post(q, Script().write(x, s)));
+    expectMatchesGold(rt.run());
+}
+
+TEST(EventRacer, UnorderedEventsRace)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto x = rt.var("x");
+    auto s = rt.site("s", trace::Frame::User);
+    rt.spawnWorker("w1", Script().post(q, Script().write(x, s)));
+    rt.spawnWorker("w2", Script().post(q, Script().write(x, s)));
+    Trace tr = rt.run();
+    expectMatchesGold(tr);
+    EXPECT_EQ(detectorSet(tr).size(), 1u);
+}
+
+TEST(EventRacer, SignalWaitForkJoin)
+{
+    Runtime rt;
+    auto x = rt.var("x");
+    auto y = rt.var("y");
+    auto s = rt.site("s", trace::Frame::User);
+    auto h = rt.handle("m");
+    auto tok = rt.token();
+    rt.spawnWorker("a", Script()
+                            .write(x, s)
+                            .signal(h)
+                            .fork(tok, "c", Script().write(y, s))
+                            .join(tok)
+                            .read(y, s));
+    rt.spawnWorker("b", Script().await(h).read(x, s));
+    expectMatchesGold(rt.run());
+}
+
+TEST(EventRacer, PriorityTagsMatchGold)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto x = rt.var("x");
+    auto y = rt.var("y");
+    auto s = rt.site("s", trace::Frame::User);
+    rt.spawnWorker("w",
+                   Script()
+                       .post(q, Script().write(x, s),
+                             PostOpts::delayed(100))
+                       .post(q, Script().write(x, s))   // races with ^
+                       .post(q, Script().write(y, s),
+                             PostOpts::delayed(0, true))
+                       .post(q, Script().write(y, s)));  // sync after
+    expectMatchesGold(rt.run());
+}
+
+TEST(EventRacer, AtTimeMatchesGold)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto x = rt.var("x");
+    auto s = rt.site("s", trace::Frame::User);
+    rt.spawnWorker("w",
+                   Script()
+                       .post(q, Script().write(x, s),
+                             PostOpts::at(100))
+                       .post(q, Script().write(x, s),
+                             PostOpts::at(50))      // unordered
+                       .post(q, Script().write(x, s),
+                             PostOpts::at(150)));   // after both? no:
+    // only ordered after the t=100 one (50 < 100 <= 150 by Table 1
+    // both (AtTime,Sync): time<=).
+    expectMatchesGold(rt.run());
+}
+
+TEST(EventRacer, AtomicRuleMatchesGold)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto before = rt.var("before");
+    auto after = rt.var("after");
+    auto s = rt.site("s", trace::Frame::User);
+    auto h = rt.handle("m");
+    rt.spawnWorker("w1", Script().post(q, Script()
+                                              .write(before, s)
+                                              .signal(h)
+                                              .write(after, s)));
+    rt.spawnWorker("w2", Script().sleep(1).post(
+                             q, Script()
+                                    .read(before, s)
+                                    .await(h)
+                                    .read(after, s)));
+    expectMatchesGold(rt.run());
+}
+
+TEST(EventRacer, AtFrontRuleMatchesGold)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto x = rt.var("x");
+    auto s = rt.site("s", trace::Frame::User);
+    auto h = rt.handle("h");
+    rt.spawnWorker("w",
+                   Script()
+                       .post(q, Script().await(h))
+                       .post(q, Script().read(x, s),
+                             PostOpts::delayed(2000))
+                       .post(q, Script().write(x, s),
+                             PostOpts::atFront())
+                       .signal(h));
+    expectMatchesGold(rt.run());
+}
+
+TEST(EventRacer, RemovedEventMatchesGold)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto x = rt.var("x");
+    auto s = rt.site("s", trace::Frame::User);
+    auto h = rt.handle("gate");
+    auto tok = rt.token();
+    rt.spawnWorker("w",
+                   Script()
+                       .write(x, s)
+                       .post(q, Script().await(h))
+                       .post(q, Script(), PostOpts{}, tok)
+                       .remove(tok)
+                       .post(q, Script().read(x, s))
+                       .signal(h));
+    expectMatchesGold(rt.run());
+}
+
+TEST(EventRacer, BinderMatchesGold)
+{
+    Runtime rt;
+    auto q = rt.addBinderPool("ipc", 2);
+    auto x = rt.var("x");
+    auto s = rt.site("s", trace::Frame::User);
+    rt.spawnWorker("w",
+                   Script()
+                       .post(q, Script().sleep(50).write(x, s))
+                       .post(q, Script().write(x, s)));
+    expectMatchesGold(rt.run());
+}
+
+TEST(EventRacer, PruningDoesNotChangeRaces)
+{
+    workload::AppProfile p;
+    p.seed = 21;
+    p.looperEvents = 100;
+    p.spanMs = 20000;
+    auto app = workload::generateApp(p);
+    EventRacerConfig noPrune;
+    noPrune.pruning = false;
+    EXPECT_EQ(detectorSet(app.trace), detectorSet(app.trace, noPrune));
+    EXPECT_EQ(detectorSet(app.trace), goldSet(app.trace));
+}
+
+TEST(EventRacer, CountersAdvance)
+{
+    Trace tr = workload::barcodePattern(30);
+    ExactChecker checker;
+    EventRacerDetector det(tr, checker);
+    det.runAll();
+    const GraphCounters &c = det.counters();
+    EXPECT_GT(c.nodes, 100u);
+    EXPECT_GT(c.edges, c.nodes);
+    EXPECT_GT(c.traversalVisits, 0u);
+    EXPECT_GT(c.predecessorsFound, 0u);
+    EXPECT_GT(det.metadataBytes(), 10000u);
+}
+
+TEST(EventRacer, BarcodePatternDefeatsPruning)
+{
+    // The Fig 9b shape: traversal visits grow super-linearly with the
+    // chain length because AtTime events prune nothing.
+    auto visitsFor = [](unsigned n) {
+        Trace tr = workload::barcodePattern(n);
+        ExactChecker checker;
+        EventRacerDetector det(tr, checker);
+        det.runAll();
+        return det.counters().traversalVisits;
+    };
+    std::uint64_t v20 = visitsFor(20);
+    std::uint64_t v80 = visitsFor(80);
+    // 4x events -> much more than 4x visits (quadratic-ish).
+    EXPECT_GT(v80, v20 * 8);
+}
+
+TEST(EventRacer, MemoryGrowsWithTraceLength)
+{
+    auto memFor = [](unsigned streams) {
+        Trace tr = workload::pingPongPattern(streams, 3);
+        ExactChecker checker;
+        EventRacerDetector det(tr, checker);
+        det.runAll();
+        return det.metadataBytes();
+    };
+    EXPECT_GT(memFor(200), 2 * memFor(50));
+}
+
+/** Parameterized sweep: on random generated apps the baseline+exact
+ * checker must equal the gold oracle exactly. */
+class EventRacerSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EventRacerSweep, MatchesGoldOnGeneratedApp)
+{
+    workload::AppProfile p;
+    p.seed = static_cast<std::uint64_t>(GetParam());
+    p.looperEvents = 70 + (GetParam() % 5) * 25;
+    p.binderEvents = 8;
+    p.spanMs = 15000 + (GetParam() % 3) * 10000;
+    p.workers = 2 + (GetParam() % 4);
+    p.loopers = 1 + (GetParam() % 3);
+    auto app = workload::generateApp(p);
+    expectMatchesGold(app.trace);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventRacerSweep,
+                         ::testing::Range(1, 21));
+
+} // namespace
+} // namespace asyncclock::graph

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for the race-reporting layer: the FastTrack checker (against
+ * the exact checker and the gold oracle), race groups, the
+ * user-induced filter, the commutativity whitelist, and ground-truth
+ * classification (Table 3 pipeline).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/detector.hh"
+#include "gold/closure.hh"
+#include "report/checker.hh"
+#include "report/fasttrack.hh"
+#include "report/races.hh"
+#include "runtime/runtime.hh"
+#include "workload/workload.hh"
+
+namespace asyncclock::report {
+namespace {
+
+using runtime::Runtime;
+using runtime::Script;
+using trace::Trace;
+
+core::DetectorConfig
+exactConfig()
+{
+    core::DetectorConfig cfg;
+    cfg.windowMs = 0;
+    return cfg;
+}
+
+/** Variables flagged racy by a checker run under AsyncClock. */
+template <typename Checker>
+std::set<trace::VarId>
+racyVars(const Trace &tr)
+{
+    Checker checker;
+    core::AsyncClockDetector det(tr, checker, exactConfig());
+    det.runAll();
+    std::set<trace::VarId> out;
+    for (const auto &r : checker.races())
+        out.insert(r.var);
+    return out;
+}
+
+// ----------------------------------------------------------------
+// FastTrack unit behavior (driven directly).
+// ----------------------------------------------------------------
+
+Access
+acc(trace::OpId op, clock::ChainId chain, clock::Tick tick,
+    bool isWrite)
+{
+    Access a;
+    a.op = op;
+    a.epoch = {chain, tick};
+    a.site = 0;
+    a.isWrite = isWrite;
+    return a;
+}
+
+TEST(FastTrack, OrderedWritesNoRace)
+{
+    FastTrackChecker ft;
+    clock::VectorClock vc;
+    vc.raise(0, 1);
+    ft.onAccess(0, acc(0, 0, 1, true), vc);
+    vc.raise(0, 2);
+    vc.raise(1, 1);  // second write on another chain, but ordered
+    ft.onAccess(0, acc(1, 1, 1, true), vc);
+    EXPECT_TRUE(ft.races().empty());
+}
+
+TEST(FastTrack, ConcurrentWritesRace)
+{
+    FastTrackChecker ft;
+    clock::VectorClock vc1;
+    vc1.raise(0, 1);
+    ft.onAccess(0, acc(0, 0, 1, true), vc1);
+    clock::VectorClock vc2;
+    vc2.raise(1, 1);  // knows nothing of chain 0
+    ft.onAccess(0, acc(1, 1, 1, true), vc2);
+    ASSERT_EQ(ft.races().size(), 1u);
+    EXPECT_EQ(ft.races()[0].prevOp, 0u);
+    EXPECT_EQ(ft.races()[0].curOp, 1u);
+    EXPECT_TRUE(ft.races()[0].prevWrite);
+}
+
+TEST(FastTrack, WriteReadRace)
+{
+    FastTrackChecker ft;
+    clock::VectorClock vc1;
+    vc1.raise(0, 1);
+    ft.onAccess(0, acc(0, 0, 1, true), vc1);
+    clock::VectorClock vc2;
+    vc2.raise(1, 1);
+    ft.onAccess(0, acc(1, 1, 1, false), vc2);
+    ASSERT_EQ(ft.races().size(), 1u);
+    EXPECT_FALSE(ft.races()[0].curWrite);
+}
+
+TEST(FastTrack, ReadSharedThenOrderedWriteNoRace)
+{
+    FastTrackChecker ft;
+    // Two concurrent reads -> read-shared.
+    clock::VectorClock vc1;
+    vc1.raise(0, 1);
+    ft.onAccess(0, acc(0, 0, 1, false), vc1);
+    clock::VectorClock vc2;
+    vc2.raise(1, 1);
+    ft.onAccess(0, acc(1, 1, 1, false), vc2);
+    EXPECT_TRUE(ft.races().empty());
+    // A write that knows both reads: no race.
+    clock::VectorClock vc3;
+    vc3.raise(0, 5);
+    vc3.raise(1, 5);
+    vc3.raise(2, 1);
+    ft.onAccess(0, acc(2, 2, 1, true), vc3);
+    EXPECT_TRUE(ft.races().empty());
+}
+
+TEST(FastTrack, ReadSharedRacyWrite)
+{
+    FastTrackChecker ft;
+    clock::VectorClock vc1;
+    vc1.raise(0, 1);
+    ft.onAccess(0, acc(0, 0, 1, false), vc1);
+    clock::VectorClock vc2;
+    vc2.raise(1, 1);
+    ft.onAccess(0, acc(1, 1, 1, false), vc2);
+    // Write that knows only the first read: races with the second.
+    clock::VectorClock vc3;
+    vc3.raise(0, 5);
+    vc3.raise(2, 1);
+    ft.onAccess(0, acc(2, 2, 1, true), vc3);
+    ASSERT_EQ(ft.races().size(), 1u);
+}
+
+TEST(FastTrack, SameChainReadsStayExclusive)
+{
+    FastTrackChecker ft;
+    clock::VectorClock vc;
+    for (clock::Tick t = 1; t <= 10; ++t) {
+        vc.raise(0, t);
+        ft.onAccess(0, acc(t, 0, t, false), vc);
+    }
+    EXPECT_TRUE(ft.races().empty());
+    EXPECT_LT(ft.byteSize(), 4096u);
+}
+
+// ----------------------------------------------------------------
+// FastTrack vs exact checker on full app traces.
+// ----------------------------------------------------------------
+
+TEST(FastTrack, FlagsSameVariablesAsExactChecker)
+{
+    for (std::uint64_t seed : {501u, 502u, 503u, 504u}) {
+        workload::AppProfile p;
+        p.seed = seed;
+        p.looperEvents = 120;
+        p.spanMs = 25000;
+        auto app = workload::generateApp(p);
+        // FastTrack keeps only frontier state, so it reports a subset
+        // of the exact pairs — but it must flag the same *variables*
+        // (the first racy pair on each variable is always caught).
+        auto exact = racyVars<ExactChecker>(app.trace);
+        auto fast = racyVars<FastTrackChecker>(app.trace);
+        EXPECT_EQ(fast, exact) << "seed " << seed;
+    }
+}
+
+TEST(FastTrack, AgreesWithGoldOnVariables)
+{
+    workload::AppProfile p;
+    p.seed = 77;
+    p.looperEvents = 100;
+    auto app = workload::generateApp(p);
+    gold::Closure hb(app.trace);
+    std::set<trace::VarId> goldVars;
+    for (const auto &r : hb.races())
+        goldVars.insert(app.trace.op(r.first).target);
+    EXPECT_EQ(racyVars<FastTrackChecker>(app.trace), goldVars);
+}
+
+// ----------------------------------------------------------------
+// Race groups, filters, classification.
+// ----------------------------------------------------------------
+
+/** A trace with one race per flavor: user-user (harmful label),
+ * framework-framework, commutative-library pair. */
+Trace
+flavoredTrace()
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto userVar = rt.var("user", trace::SeedLabel::Harmful);
+    auto fwVar = rt.var("fw", trace::SeedLabel::HarmlessOther);
+    auto commVar = rt.var("comm",
+                          trace::SeedLabel::HarmlessCommutative);
+    auto su = rt.site("App.java:1", trace::Frame::User);
+    auto sf = rt.site("android.os.Looper:9", trace::Frame::Framework);
+    auto sc1 = rt.site("ArrayList.add:1", trace::Frame::Library, 7);
+    auto sc2 = rt.site("ArrayList.add:2", trace::Frame::Library, 7);
+    rt.spawnWorker("a", Script()
+                            .post(q, Script()
+                                         .write(userVar, su)
+                                         .write(fwVar, sf)
+                                         .write(commVar, sc1)));
+    rt.spawnWorker("b", Script()
+                            .post(q, Script()
+                                         .write(userVar, su)
+                                         .write(fwVar, sf)
+                                         .write(commVar, sc2)));
+    return rt.run();
+}
+
+std::vector<RaceReport>
+racesOf(const Trace &tr)
+{
+    ExactChecker checker;
+    core::AsyncClockDetector det(tr, checker, exactConfig());
+    det.runAll();
+    return checker.races();
+}
+
+TEST(RaceAnalyzer, FullPipeline)
+{
+    Trace tr = flavoredTrace();
+    auto races = racesOf(tr);
+    ASSERT_EQ(races.size(), 3u);
+
+    RaceAnalyzer analyzer(tr);
+    ReportSummary summary = analyzer.analyze(races);
+    // Framework-framework race dropped by the user-induced filter;
+    // commutative pair counted as filtered; harmful reported.
+    EXPECT_EQ(summary.allGroups, 2u);
+    EXPECT_EQ(summary.filteredGroups, 1u);
+    EXPECT_EQ(summary.harmful, 1u);
+    EXPECT_EQ(summary.reported.size(), 1u);
+    EXPECT_EQ(summary.reported[0].verdict, Verdict::Harmful);
+    EXPECT_FALSE(analyzer.describe(summary.reported[0]).empty());
+}
+
+TEST(RaceAnalyzer, FiltersCanBeDisabled)
+{
+    Trace tr = flavoredTrace();
+    auto races = racesOf(tr);
+    RaceAnalyzer analyzer(tr);
+    FilterConfig cfg;
+    cfg.userInducedOnly = false;
+    cfg.commutativityFilter = false;
+    ReportSummary summary = analyzer.analyze(races, cfg);
+    EXPECT_EQ(summary.allGroups, 3u);
+    EXPECT_EQ(summary.filteredGroups, 0u);
+    EXPECT_EQ(summary.reported.size(), 3u);
+}
+
+TEST(RaceAnalyzer, GroupsCollapseRepeatedSitePairs)
+{
+    // Ten races from the same site pair => one group.
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto s = rt.site("App.java:5", trace::Frame::User);
+    Script a, b;
+    for (int i = 0; i < 10; ++i) {
+        auto v = rt.var("v" + std::to_string(i),
+                        trace::SeedLabel::HarmlessTypeII);
+        a.post(q, Script().write(v, s));
+        b.post(q, Script().write(v, s));
+    }
+    rt.spawnWorker("a", std::move(a));
+    rt.spawnWorker("b", std::move(b));
+    Trace tr = rt.run();
+    auto races = racesOf(tr);
+    ASSERT_GE(races.size(), 10u);
+    RaceAnalyzer analyzer(tr);
+    ReportSummary summary = analyzer.analyze(races);
+    EXPECT_EQ(summary.allGroups, 1u);
+    EXPECT_EQ(summary.typeII, 1u);
+    EXPECT_EQ(summary.reported[0].raceCount, races.size());
+}
+
+TEST(RaceAnalyzer, ClassifiesAllSeedLabels)
+{
+    workload::AppProfile p;
+    p.seed = 91;
+    p.looperEvents = 100;
+    auto app = workload::generateApp(p);
+    auto races = racesOf(app.trace);
+    RaceAnalyzer analyzer(app.trace);
+    ReportSummary summary = analyzer.analyze(races);
+    EXPECT_EQ(summary.harmful, app.truth.harmful);
+    EXPECT_EQ(summary.typeI, app.truth.typeI);
+    EXPECT_EQ(summary.typeII, app.truth.typeII);
+    EXPECT_EQ(summary.filteredGroups, app.truth.commutative);
+    // Framework noise never reaches the report.
+    EXPECT_EQ(summary.allGroups,
+              app.truth.harmful + app.truth.typeI + app.truth.typeII +
+                  app.truth.commutative);
+    EXPECT_FALSE(summary.summary().empty());
+}
+
+TEST(RaceAnalyzer, UserInducedPredicate)
+{
+    Trace tr = flavoredTrace();
+    RaceAnalyzer analyzer(tr);
+    EXPECT_TRUE(analyzer.userInduced(0));    // user site
+    EXPECT_FALSE(analyzer.userInduced(1));   // framework site
+    EXPECT_TRUE(analyzer.userInduced(2));    // library site
+    EXPECT_FALSE(analyzer.userInduced(trace::kInvalidId));
+    EXPECT_TRUE(analyzer.commutative(2, 3));
+    EXPECT_FALSE(analyzer.commutative(0, 2));
+}
+
+} // namespace
+} // namespace asyncclock::report

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests for the simulated Android-like runtime: every produced trace
+ * must validate, and the queueing semantics (FIFO, delays, at-time,
+ * at-front, async + barriers, binder pools, fork/join, signal/wait,
+ * event removal) must match the model the causality rules assume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "runtime/runtime.hh"
+#include "trace/trace.hh"
+
+namespace asyncclock::runtime {
+namespace {
+
+using trace::EventId;
+using trace::kInvalidId;
+using trace::OpKind;
+using trace::Task;
+using trace::Trace;
+
+/** Order of event begins, as event ids. */
+std::vector<EventId>
+beginOrder(const Trace &tr)
+{
+    std::vector<EventId> order;
+    for (const auto &op : tr.ops()) {
+        if (op.kind == OpKind::EventBegin)
+            order.push_back(op.task.index());
+    }
+    return order;
+}
+
+TEST(Runtime, FifoEventsRunInSendOrder)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto x = rt.var("x");
+    auto s = rt.site("site", trace::Frame::User);
+    rt.spawnWorker("w", Script()
+                            .post(q, Script().write(x, s))
+                            .post(q, Script().read(x, s))
+                            .post(q, Script().read(x, s)));
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    EXPECT_EQ(beginOrder(tr), (std::vector<EventId>{0, 1, 2}));
+    EXPECT_EQ(rt.lastRun().undelivered, 0u);
+}
+
+TEST(Runtime, DelayedEventDispatchesAfterEarlierFifo)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    rt.spawnWorker("w",
+                   Script()
+                       .post(q, Script(), PostOpts::delayed(100))  // e0
+                       .post(q, Script())                          // e1
+                       .post(q, Script()));                        // e2
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    // The delayed event runs last despite being sent first.
+    EXPECT_EQ(beginOrder(tr), (std::vector<EventId>{1, 2, 0}));
+}
+
+TEST(Runtime, AtTimeOrdersByRequestedTime)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    rt.spawnWorker("w",
+                   Script()
+                       .post(q, Script(), PostOpts::at(500))   // e0
+                       .post(q, Script(), PostOpts::at(200))   // e1
+                       .post(q, Script(), PostOpts::at(300))); // e2
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    EXPECT_EQ(beginOrder(tr), (std::vector<EventId>{1, 2, 0}));
+    EXPECT_GE(rt.lastRun().endTimeMs, 500u);
+}
+
+TEST(Runtime, AtFrontJumpsTheQueue)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto h = rt.handle("gate");
+    // Stall the looper inside e0 until all posts are done, so e1..e3
+    // pile up in the queue; the at-front post (e3) must then run
+    // before e1 and e2, and later at-front posts go ahead of earlier
+    // ones (head insertion).
+    rt.spawnWorker("w",
+                   Script()
+                       .post(q, Script().await(h))            // e0
+                       .post(q, Script())                     // e1
+                       .post(q, Script(), PostOpts::atFront())  // e2
+                       .post(q, Script(), PostOpts::atFront())  // e3
+                       .signal(h));
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    EXPECT_EQ(beginOrder(tr), (std::vector<EventId>{0, 3, 2, 1}));
+}
+
+TEST(Runtime, SyncBarrierStallsSyncButNotAsync)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto bar = rt.token();
+    rt.spawnWorker(
+        "w", Script()
+                 .postBarrier(q, bar)
+                 .post(q, Script())                                // e0
+                 .post(q, Script(), PostOpts::delayed(0, true))    // e1
+                 .sleep(50)
+                 .removeBarrier(bar));
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    // Async e1 runs while the barrier stalls sync e0.
+    EXPECT_EQ(beginOrder(tr), (std::vector<EventId>{1, 0}));
+    EXPECT_EQ(rt.lastRun().undelivered, 0u);
+}
+
+TEST(Runtime, NeverRemovedBarrierLeavesUndelivered)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto bar = rt.token();
+    rt.spawnWorker("w", Script().postBarrier(q, bar).post(q, Script()));
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    EXPECT_EQ(beginOrder(tr).size(), 0u);
+    EXPECT_EQ(rt.lastRun().undelivered, 1u);
+}
+
+TEST(Runtime, RemoveCancelsQueuedEvent)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto h = rt.handle("gate");
+    auto tok = rt.token();
+    rt.spawnWorker("w",
+                   Script()
+                       .post(q, Script().await(h))          // e0 stalls
+                       .post(q, Script(), PostOpts{}, tok)  // e1
+                       .remove(tok)
+                       .signal(h));
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    EXPECT_EQ(beginOrder(tr), (std::vector<EventId>{0}));
+    EXPECT_EQ(tr.event(1).removeOp != kInvalidId, true);
+    EXPECT_EQ(tr.stats().removedEvents, 1u);
+}
+
+TEST(Runtime, RemoveOfStartedEventIsNoop)
+{
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto tok = rt.token();
+    rt.spawnWorker("w", Script()
+                            .post(q, Script(), PostOpts{}, tok)
+                            .sleep(100)
+                            .remove(tok));
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    EXPECT_EQ(beginOrder(tr).size(), 1u);
+    EXPECT_EQ(tr.event(0).removeOp, kInvalidId);
+}
+
+TEST(Runtime, ForkJoinBlocksUntilChildEnds)
+{
+    Runtime rt;
+    auto x = rt.var("x");
+    auto s = rt.site("s", trace::Frame::User);
+    auto tok = rt.token();
+    rt.spawnWorker("parent",
+                   Script()
+                       .fork(tok, "child",
+                             Script().sleep(500).write(x, s))
+                       .join(tok)
+                       .read(x, s));
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    // Find op order: fork < child write < child end < join < read.
+    OpKind expect[] = {OpKind::Fork, OpKind::Write, OpKind::ThreadEnd,
+                       OpKind::Join, OpKind::Read};
+    std::size_t cursor = 0;
+    for (const auto &op : tr.ops()) {
+        if (cursor < 5 && op.kind == expect[cursor])
+            ++cursor;
+    }
+    EXPECT_EQ(cursor, 5u);
+}
+
+TEST(Runtime, AwaitBlocksUntilSignal)
+{
+    Runtime rt;
+    auto h = rt.handle("m");
+    rt.spawnWorker("waiter", Script().await(h), 0);
+    rt.spawnWorker("signaler", Script().sleep(300).signal(h), 0);
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    // Wait op appears after signal op and at its time.
+    trace::OpId sigOp = kInvalidId, waitOp = kInvalidId;
+    for (trace::OpId i = 0; i < tr.numOps(); ++i) {
+        if (tr.op(i).kind == OpKind::Signal)
+            sigOp = i;
+        if (tr.op(i).kind == OpKind::Wait)
+            waitOp = i;
+    }
+    ASSERT_NE(sigOp, kInvalidId);
+    ASSERT_NE(waitOp, kInvalidId);
+    EXPECT_LT(sigOp, waitOp);
+    EXPECT_GE(tr.op(waitOp).vtime, 300u);
+}
+
+TEST(Runtime, AwaitPassesIfAlreadySignaled)
+{
+    Runtime rt;
+    auto h = rt.handle("m");
+    rt.spawnWorker("a", Script().signal(h), 0);
+    rt.spawnWorker("b", Script().sleep(100).await(h), 0);
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+}
+
+TEST(Runtime, AwaitInsideLooperEventBlocksLooper)
+{
+    // Fig 8a shape: E2 waits on a handle signaled by a worker.
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto h = rt.handle("m");
+    rt.spawnWorker("w", Script()
+                            .post(q, Script().await(h))  // e0
+                            .post(q, Script())           // e1
+                            .sleep(200)
+                            .signal(h));
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    EXPECT_EQ(beginOrder(tr), (std::vector<EventId>{0, 1}));
+    // e1 begins only after e0 (and hence the signal at t>=200).
+    EXPECT_GE(tr.op(tr.event(1).beginOp).vtime, 200u);
+}
+
+TEST(Runtime, BinderPoolRunsEventsConcurrently)
+{
+    Runtime rt;
+    auto q = rt.addBinderPool("ipc", 2);
+    rt.spawnWorker("w", Script()
+                            .post(q, Script().sleep(100))  // e0
+                            .post(q, Script().sleep(100))  // e1
+                            .post(q, Script().sleep(100))); // e2
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    // Begins in FIFO order.
+    EXPECT_EQ(beginOrder(tr), (std::vector<EventId>{0, 1, 2}));
+    // e0 and e1 overlap: e1 begins before e0 ends.
+    EXPECT_LT(tr.event(1).beginOp, tr.event(0).endOp);
+    // Pool of 2: e2 begins only after one of them ends.
+    EXPECT_GT(tr.event(2).beginOp, std::min(tr.event(0).endOp,
+                                            tr.event(1).endOp));
+    // Total runtime ~200ms, not ~300ms (concurrency).
+    EXPECT_LT(rt.lastRun().endTimeMs, 290u);
+}
+
+TEST(Runtime, EventsPostingEventsFormChains)
+{
+    // A three-deep chain: worker -> e0 -> e1 -> e2.
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    Script level3;
+    Script level2 = Script().post(q, Script());
+    Script level1 = Script().post(q, level2);
+    rt.spawnWorker("w", Script().post(q, level1));
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    ASSERT_EQ(tr.events().size(), 3u);
+    EXPECT_EQ(tr.event(1).sender, Task::event(0));
+    EXPECT_EQ(tr.event(2).sender, Task::event(1));
+}
+
+TEST(Runtime, MultipleLoopersIndependent)
+{
+    Runtime rt;
+    auto q1 = rt.addLooper("main");
+    auto q2 = rt.addLooper("bg");
+    rt.spawnWorker("w", Script()
+                            .post(q1, Script().sleep(500))
+                            .post(q2, Script()));
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    // The q2 event does not wait for the q1 event.
+    EXPECT_LT(tr.op(tr.event(1).endOp).vtime, 500u);
+    EXPECT_NE(tr.looperOf(0), tr.looperOf(1));
+}
+
+TEST(Runtime, VtimeMonotoneAndStepCost)
+{
+    Runtime rt(RuntimeConfig{5});
+    auto q = rt.addLooper("main");
+    auto x = rt.var("x");
+    auto s = rt.site("s", trace::Frame::User);
+    rt.spawnWorker("w", Script().write(x, s).write(x, s).post(
+                            q, Script().read(x, s)));
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(), "");
+    std::uint64_t prev = 0;
+    for (const auto &op : tr.ops()) {
+        EXPECT_GE(op.vtime, prev);
+        prev = op.vtime;
+    }
+    // Two writes at cost 5 each: second write at t=5.
+    EXPECT_EQ(tr.op(tr.event(0).sendOp).vtime, 10u);
+}
+
+TEST(Runtime, DeterministicAcrossRuns)
+{
+    auto make = [] {
+        Runtime rt;
+        auto q = rt.addLooper("main");
+        auto q2 = rt.addBinderPool("ipc", 2);
+        auto h = rt.handle("h");
+        rt.spawnWorker("a", Script()
+                                .post(q, Script().sleep(7))
+                                .post(q2, Script().sleep(3))
+                                .signal(h));
+        rt.spawnWorker("b", Script().await(h).post(q, Script()));
+        return rt.run();
+    };
+    Trace t1 = make();
+    Trace t2 = make();
+    ASSERT_EQ(t1.numOps(), t2.numOps());
+    for (trace::OpId i = 0; i < t1.numOps(); ++i) {
+        EXPECT_EQ(t1.op(i).kind, t2.op(i).kind);
+        EXPECT_EQ(t1.op(i).task, t2.op(i).task);
+        EXPECT_EQ(t1.op(i).vtime, t2.op(i).vtime);
+    }
+}
+
+TEST(Runtime, MixedPriorityStressValidates)
+{
+    // A dense mix of every posting mode; the full validator (which
+    // cross-checks dispatch order against the Table 1 priority
+    // function) must accept the produced trace.
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto h = rt.handle("gate");
+    Script w;
+    w.post(q, Script().await(h));
+    for (int i = 0; i < 10; ++i) {
+        w.post(q, Script(), PostOpts::delayed(i * 13 % 40));
+        w.post(q, Script(), PostOpts::at(100 + (i * 29) % 70, i % 2));
+        w.post(q, Script(), PostOpts::atFront(i % 3 == 0));
+        w.post(q, Script(), PostOpts::delayed(i * 7 % 30, true));
+    }
+    w.signal(h);
+    rt.spawnWorker("w", w);
+    Trace tr = rt.run();
+    EXPECT_EQ(tr.validate(true), "");
+    EXPECT_EQ(beginOrder(tr).size(), 41u);
+}
+
+} // namespace
+} // namespace asyncclock::runtime

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the support substrate: formatting, statistics,
+ * deterministic RNG, FlatMap, and InvPtr.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/flat_map.hh"
+#include "support/format.hh"
+#include "support/inv_ptr.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace asyncclock {
+namespace {
+
+TEST(Format, Strf)
+{
+    EXPECT_EQ(strf("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+    EXPECT_EQ(strf("empty"), "empty");
+}
+
+TEST(Format, HumanBytes)
+{
+    EXPECT_EQ(humanBytes(512), "512B");
+    EXPECT_EQ(humanBytes(2048), "2.0KB");
+    EXPECT_EQ(humanBytes(3 * 1024ull * 1024), "3.0MB");
+}
+
+TEST(Format, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(1234567), "1,234,567");
+}
+
+TEST(MemStats, AllocReleaseAndPeak)
+{
+    MemStats s;
+    s.alloc(MemCat::EventMeta, 100);
+    s.alloc(MemCat::VectorClock, 50);
+    EXPECT_EQ(s.live(MemCat::EventMeta), 100u);
+    EXPECT_EQ(s.liveTotal(), 150u);
+    s.release(MemCat::EventMeta, 60);
+    EXPECT_EQ(s.live(MemCat::EventMeta), 40u);
+    EXPECT_EQ(s.peak(MemCat::EventMeta), 100u);
+    EXPECT_EQ(s.peakTotal(), 150u);
+}
+
+TEST(MemStats, SampleSetsAbsoluteValue)
+{
+    MemStats s;
+    s.sample(MemCat::AsyncClock, 500);
+    s.sample(MemCat::AsyncClock, 200);
+    EXPECT_EQ(s.live(MemCat::AsyncClock), 200u);
+    EXPECT_EQ(s.peak(MemCat::AsyncClock), 500u);
+    EXPECT_EQ(s.peakTotal(), 500u);
+    s.sample(MemCat::GraphNode, 1000);
+    EXPECT_EQ(s.liveTotal(), 1200u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(1);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(r.range(3, 5));
+    EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(9);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    // Child stream differs from parent's continuation.
+    EXPECT_NE(child.next(), Rng(5).next());
+}
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<int> m;
+    EXPECT_TRUE(m.empty());
+    m[3] = 30;
+    m[7] = 70;
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find(3), nullptr);
+    EXPECT_EQ(*m.find(3), 30);
+    EXPECT_EQ(m.find(4), nullptr);
+    EXPECT_TRUE(m.erase(3));
+    EXPECT_FALSE(m.erase(3));
+    EXPECT_EQ(m.find(3), nullptr);
+    ASSERT_NE(m.find(7), nullptr);
+    EXPECT_EQ(*m.find(7), 70);
+}
+
+TEST(FlatMap, MatchesStdMapUnderRandomOps)
+{
+    FlatMap<std::uint64_t> m;
+    std::map<std::uint32_t, std::uint64_t> ref;
+    Rng r(123);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint32_t key = static_cast<std::uint32_t>(r.below(300));
+        switch (r.below(3)) {
+          case 0:
+            m[key] = i;
+            ref[key] = i;
+            break;
+          case 1:
+            EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+            break;
+          default:
+            {
+                const auto *found = m.find(key);
+                auto it = ref.find(key);
+                if (it == ref.end()) {
+                    EXPECT_EQ(found, nullptr);
+                } else {
+                    ASSERT_NE(found, nullptr);
+                    EXPECT_EQ(*found, it->second);
+                }
+            }
+        }
+        EXPECT_EQ(m.size(), ref.size());
+    }
+    // Final full sweep both directions.
+    m.forEach([&](std::uint32_t k, std::uint64_t &v) {
+        auto it = ref.find(k);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(v, it->second);
+    });
+}
+
+TEST(FlatMap, EraseIf)
+{
+    FlatMap<int> m;
+    for (std::uint32_t i = 0; i < 100; ++i)
+        m[i] = static_cast<int>(i);
+    m.eraseIf([](std::uint32_t k, int &) { return k % 2 == 0; });
+    EXPECT_EQ(m.size(), 50u);
+    m.forEach([](std::uint32_t k, int &) { EXPECT_EQ(k % 2, 1u); });
+}
+
+TEST(FlatMap, ByteSizeGrows)
+{
+    FlatMap<int> m;
+    EXPECT_EQ(m.byteSize(), 0u);
+    for (std::uint32_t i = 0; i < 100; ++i)
+        m[i] = 1;
+    EXPECT_GT(m.byteSize(), 100 * sizeof(int));
+}
+
+struct Probe
+{
+    static int liveCount;
+    int value;
+    explicit Probe(int v) : value(v) { ++liveCount; }
+    ~Probe() { --liveCount; }
+};
+int Probe::liveCount = 0;
+
+TEST(InvPtr, RefCountingReclaims)
+{
+    Probe::liveCount = 0;
+    {
+        auto p = InvPtr<Probe>::make(5);
+        EXPECT_EQ(p.refCount(), 1u);
+        EXPECT_EQ(Probe::liveCount, 1);
+        {
+            InvPtr<Probe> q = p;
+            EXPECT_EQ(p.refCount(), 2u);
+            EXPECT_EQ(q->value, 5);
+        }
+        EXPECT_EQ(p.refCount(), 1u);
+        EXPECT_EQ(Probe::liveCount, 1);
+    }
+    EXPECT_EQ(Probe::liveCount, 0);
+}
+
+TEST(InvPtr, InvalidateFreesEagerly)
+{
+    Probe::liveCount = 0;
+    auto p = InvPtr<Probe>::make(1);
+    InvPtr<Probe> q = p;
+    p.invalidate();
+    EXPECT_EQ(Probe::liveCount, 0);
+    EXPECT_EQ(p.get(), nullptr);
+    EXPECT_EQ(q.get(), nullptr);
+    EXPECT_TRUE(q.hasRef());
+    p.invalidate();  // idempotent
+    EXPECT_EQ(Probe::liveCount, 0);
+}
+
+TEST(InvPtr, MoveSemantics)
+{
+    Probe::liveCount = 0;
+    auto p = InvPtr<Probe>::make(3);
+    InvPtr<Probe> q = std::move(p);
+    EXPECT_EQ(p.get(), nullptr);  // NOLINT(bugprone-use-after-move)
+    ASSERT_NE(q.get(), nullptr);
+    EXPECT_EQ(q->value, 3);
+    EXPECT_EQ(q.refCount(), 1u);
+    q.reset();
+    EXPECT_EQ(Probe::liveCount, 0);
+}
+
+TEST(InvPtr, SameAsComparesIdentity)
+{
+    auto p = InvPtr<Probe>::make(1);
+    auto q = p;
+    auto r = InvPtr<Probe>::make(1);
+    EXPECT_TRUE(p.sameAs(q));
+    EXPECT_FALSE(p.sameAs(r));
+}
+
+} // namespace
+} // namespace asyncclock

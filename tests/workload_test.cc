@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the workload generator: every generated trace validates,
+ * is deterministic in its seed, has the promised structure (event
+ * volumes, priority mix, seeded ground truth), and the dedicated
+ * pattern generators have their documented shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gold/closure.hh"
+#include "trace/trace.hh"
+#include "trace/trace_io.hh"
+#include "workload/workload.hh"
+
+namespace asyncclock::workload {
+namespace {
+
+using trace::SeedLabel;
+using trace::SendKind;
+using trace::Trace;
+
+AppProfile
+smallProfile(std::uint64_t seed)
+{
+    AppProfile p;
+    p.seed = seed;
+    p.looperEvents = 120;
+    p.binderEvents = 10;
+    p.spanMs = 30000;
+    return p;
+}
+
+TEST(Workload, GeneratedTraceValidates)
+{
+    GeneratedApp app = generateApp(smallProfile(1));
+    EXPECT_EQ(app.trace.validate(true), "");
+    EXPECT_GT(app.trace.numOps(), 200u);
+}
+
+TEST(Workload, DeterministicInSeed)
+{
+    GeneratedApp a = generateApp(smallProfile(7));
+    GeneratedApp b = generateApp(smallProfile(7));
+    EXPECT_EQ(trace::writeTraceToString(a.trace),
+              trace::writeTraceToString(b.trace));
+    GeneratedApp c = generateApp(smallProfile(8));
+    EXPECT_NE(trace::writeTraceToString(a.trace),
+              trace::writeTraceToString(c.trace));
+}
+
+TEST(Workload, EventVolumeNearTarget)
+{
+    AppProfile p = smallProfile(3);
+    p.looperEvents = 300;
+    GeneratedApp app = generateApp(p);
+    auto stats = app.trace.stats();
+    // Within 40% of target (children + seeds add events; barrier
+    // stalls may strand a few).
+    EXPECT_GT(stats.looperEvents, 180u);
+    EXPECT_LT(stats.looperEvents, 500u);
+    EXPECT_GT(stats.binderEvents, 0u);
+}
+
+TEST(Workload, PriorityMixPresent)
+{
+    AppProfile p = smallProfile(4);
+    p.looperEvents = 400;
+    GeneratedApp app = generateApp(p);
+    unsigned delayed = 0, atTime = 0, atFront = 0, async = 0,
+             fifo = 0;
+    for (const auto &ev : app.trace.events()) {
+        if (ev.sendOp == trace::kInvalidId)
+            continue;
+        if (ev.attrs.async)
+            ++async;
+        switch (ev.attrs.kind) {
+          case SendKind::Delayed:
+            ev.attrs.time ? ++delayed : ++fifo;
+            break;
+          case SendKind::AtTime: ++atTime; break;
+          case SendKind::AtFront: ++atFront; break;
+        }
+    }
+    EXPECT_GT(delayed, 0u);
+    EXPECT_GT(atTime, 0u);
+    EXPECT_GT(atFront, 0u);
+    EXPECT_GT(async, 0u);
+    EXPECT_GT(fifo, delayed + atTime + atFront);  // FIFO dominates
+}
+
+TEST(Workload, SeededTruthMatchesVarLabels)
+{
+    AppProfile p = smallProfile(5);
+    GeneratedApp app = generateApp(p);
+    EXPECT_EQ(app.truth.harmful, p.seededHarmful);
+    EXPECT_EQ(app.truth.typeI, p.seededTypeI);
+    EXPECT_EQ(app.truth.typeII, p.seededTypeII);
+    EXPECT_EQ(app.truth.commutative, p.seededCommutative);
+    unsigned harmful = 0, typeI = 0, typeII = 0, comm = 0;
+    for (const auto &v : app.trace.vars()) {
+        switch (v.seedLabel) {
+          case SeedLabel::Harmful: ++harmful; break;
+          case SeedLabel::HarmlessTypeI: ++typeI; break;
+          case SeedLabel::HarmlessTypeII: ++typeII; break;
+          case SeedLabel::HarmlessCommutative: ++comm; break;
+          default: break;
+        }
+    }
+    EXPECT_EQ(harmful, p.seededHarmful);
+    EXPECT_EQ(typeI, p.seededTypeI);
+    EXPECT_EQ(typeII, p.seededTypeII);
+    EXPECT_EQ(comm, p.seededCommutative);
+}
+
+TEST(Workload, SeededRacesAreRealAndOnlyOnLabeledVars)
+{
+    // On a small app, the gold oracle must find races exactly on the
+    // seeded variables (benign traffic is confined by construction).
+    AppProfile p = smallProfile(6);
+    p.looperEvents = 80;
+    p.binderEvents = 6;
+    GeneratedApp app = generateApp(p);
+    ASSERT_EQ(app.trace.validate(true), "");
+    gold::Closure hb(app.trace);
+    std::set<trace::VarId> racyVars;
+    for (const auto &race : hb.races())
+        racyVars.insert(app.trace.op(race.first).target);
+    unsigned expected = p.seededHarmful + p.seededTypeI +
+                        p.seededTypeII + p.seededCommutative +
+                        p.seededFrameworkNoise;
+    EXPECT_EQ(racyVars.size(), expected);
+    for (trace::VarId v : racyVars) {
+        EXPECT_NE(app.trace.var(v).seedLabel, SeedLabel::None)
+            << "unplanned race on var " << app.trace.var(v).name;
+    }
+}
+
+TEST(Workload, BarcodePatternShape)
+{
+    Trace tr = barcodePattern(20);
+    EXPECT_EQ(tr.validate(true), "");
+    unsigned atTime = 0;
+    for (const auto &ev : tr.events()) {
+        if (ev.sendOp != trace::kInvalidId &&
+            ev.attrs.kind == SendKind::AtTime) {
+            ++atTime;
+        }
+    }
+    EXPECT_EQ(atTime, 20u);
+    // 20 inputs + 20 decodes (the innermost input is an empty tail).
+    EXPECT_GE(tr.events().size(), 40u);
+    gold::Closure hb(tr);
+    EXPECT_TRUE(hb.races().empty());
+}
+
+TEST(Workload, PingPongPatternShape)
+{
+    Trace tr = pingPongPattern(5, 4);
+    EXPECT_EQ(tr.validate(true), "");
+    EXPECT_EQ(tr.events().size(), 5u * 4u);
+    gold::Closure hb(tr);
+    EXPECT_TRUE(hb.races().empty());
+}
+
+TEST(Workload, MultiPathPatternShape)
+{
+    Trace tr = multiPathPattern(8);
+    EXPECT_EQ(tr.validate(true), "");
+    EXPECT_EQ(tr.events().size(), 8u * 3u);
+    gold::Closure hb(tr);
+    EXPECT_TRUE(hb.races().empty());
+}
+
+TEST(Workload, Table2ProfilesComplete)
+{
+    auto profiles = table2Profiles(0.05);
+    ASSERT_EQ(profiles.size(), 20u);
+    EXPECT_EQ(profiles[0].name, "AnyMemo");
+    EXPECT_EQ(profiles[19].name, "ATimeTracker");
+    // Ordered by looper events, like Table 2.
+    for (std::size_t i = 1; i < profiles.size(); ++i)
+        EXPECT_GE(profiles[i - 1].looperEvents,
+                  profiles[i].looperEvents);
+    EXPECT_EQ(profileByName("VLCPlayer", 0.05).name, "VLCPlayer");
+}
+
+TEST(Workload, SmallProfileAppGeneratesQuickly)
+{
+    // Smoke test at a size the property sweeps will use.
+    AppProfile p = smallProfile(11);
+    p.looperEvents = 60;
+    GeneratedApp app = generateApp(p);
+    EXPECT_EQ(app.trace.validate(true), "");
+    EXPECT_LT(app.trace.numOps(), 20000u);
+}
+
+} // namespace
+} // namespace asyncclock::workload
