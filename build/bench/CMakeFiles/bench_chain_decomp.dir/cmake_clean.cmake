@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_decomp.dir/bench_chain_decomp.cpp.o"
+  "CMakeFiles/bench_chain_decomp.dir/bench_chain_decomp.cpp.o.d"
+  "bench_chain_decomp"
+  "bench_chain_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_window.cpp" "bench/CMakeFiles/bench_fig10_window.dir/bench_fig10_window.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_window.dir/bench_fig10_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gold/CMakeFiles/ac_gold.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ac_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ac_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ac_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ac_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/ac_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

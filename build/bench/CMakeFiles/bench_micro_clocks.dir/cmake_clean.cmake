@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_clocks.dir/bench_micro_clocks.cpp.o"
+  "CMakeFiles/bench_micro_clocks.dir/bench_micro_clocks.cpp.o.d"
+  "bench_micro_clocks"
+  "bench_micro_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_races.dir/bench_table3_races.cpp.o"
+  "CMakeFiles/bench_table3_races.dir/bench_table3_races.cpp.o.d"
+  "bench_table3_races"
+  "bench_table3_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

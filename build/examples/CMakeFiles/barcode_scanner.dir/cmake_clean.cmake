@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barcode_scanner.dir/barcode_scanner.cpp.o"
+  "CMakeFiles/barcode_scanner.dir/barcode_scanner.cpp.o.d"
+  "barcode_scanner"
+  "barcode_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barcode_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for barcode_scanner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_app.dir/chat_app.cpp.o"
+  "CMakeFiles/chat_app.dir/chat_app.cpp.o.d"
+  "chat_app"
+  "chat_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

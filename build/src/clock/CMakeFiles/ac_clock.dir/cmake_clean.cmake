@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_clock.dir/vector_clock.cc.o"
+  "CMakeFiles/ac_clock.dir/vector_clock.cc.o.d"
+  "libac_clock.a"
+  "libac_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_core.dir/detector.cc.o"
+  "CMakeFiles/ac_core.dir/detector.cc.o.d"
+  "libac_core.a"
+  "libac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_gold.dir/closure.cc.o"
+  "CMakeFiles/ac_gold.dir/closure.cc.o.d"
+  "libac_gold.a"
+  "libac_gold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_gold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_graph.dir/eventracer.cc.o"
+  "CMakeFiles/ac_graph.dir/eventracer.cc.o.d"
+  "libac_graph.a"
+  "libac_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

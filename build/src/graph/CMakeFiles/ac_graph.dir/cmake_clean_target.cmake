@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libac_graph.a"
+)

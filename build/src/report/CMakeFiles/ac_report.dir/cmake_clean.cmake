@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_report.dir/export.cc.o"
+  "CMakeFiles/ac_report.dir/export.cc.o.d"
+  "CMakeFiles/ac_report.dir/fasttrack.cc.o"
+  "CMakeFiles/ac_report.dir/fasttrack.cc.o.d"
+  "CMakeFiles/ac_report.dir/races.cc.o"
+  "CMakeFiles/ac_report.dir/races.cc.o.d"
+  "libac_report.a"
+  "libac_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

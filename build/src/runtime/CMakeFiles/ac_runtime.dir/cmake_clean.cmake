@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_runtime.dir/runtime.cc.o"
+  "CMakeFiles/ac_runtime.dir/runtime.cc.o.d"
+  "libac_runtime.a"
+  "libac_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

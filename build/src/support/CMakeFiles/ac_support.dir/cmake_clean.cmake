@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_support.dir/format.cc.o"
+  "CMakeFiles/ac_support.dir/format.cc.o.d"
+  "CMakeFiles/ac_support.dir/logging.cc.o"
+  "CMakeFiles/ac_support.dir/logging.cc.o.d"
+  "CMakeFiles/ac_support.dir/stats.cc.o"
+  "CMakeFiles/ac_support.dir/stats.cc.o.d"
+  "libac_support.a"
+  "libac_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

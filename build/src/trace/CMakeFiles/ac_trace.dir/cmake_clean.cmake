@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_trace.dir/trace.cc.o"
+  "CMakeFiles/ac_trace.dir/trace.cc.o.d"
+  "CMakeFiles/ac_trace.dir/trace_io.cc.o"
+  "CMakeFiles/ac_trace.dir/trace_io.cc.o.d"
+  "libac_trace.a"
+  "libac_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

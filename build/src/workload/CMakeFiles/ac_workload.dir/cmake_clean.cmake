@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_workload.dir/workload.cc.o"
+  "CMakeFiles/ac_workload.dir/workload.cc.o.d"
+  "libac_workload.a"
+  "libac_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncclock_test.dir/asyncclock_test.cc.o"
+  "CMakeFiles/asyncclock_test.dir/asyncclock_test.cc.o.d"
+  "asyncclock_test"
+  "asyncclock_test.pdb"
+  "asyncclock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncclock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventracer_test.dir/eventracer_test.cc.o"
+  "CMakeFiles/eventracer_test.dir/eventracer_test.cc.o.d"
+  "eventracer_test"
+  "eventracer_test.pdb"
+  "eventracer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventracer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

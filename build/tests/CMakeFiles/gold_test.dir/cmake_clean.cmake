@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gold_test.dir/gold_test.cc.o"
+  "CMakeFiles/gold_test.dir/gold_test.cc.o.d"
+  "gold_test"
+  "gold_test.pdb"
+  "gold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
