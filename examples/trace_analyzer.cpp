@@ -7,14 +7,21 @@
  * resource usage.
  *
  * Usage:
- *   trace_analyzer gen <AppName> <out.trace> [scale]
+ *   trace_analyzer gen <AppName> <out.trace> [scale] [--binary]
  *   trace_analyzer analyze <in.trace> [--detector=asyncclock|eventracer]
  *                  [--window-ms=N] [--chains=fifo|greedy]
  *                  [--no-reclaim] [--all-races]
+ *                  [--streaming] [--shards=N]
+ *
+ * analyze auto-detects text vs binary traces by magic. --streaming
+ * feeds the detector from the file without materializing the op
+ * vector (O(1) trace memory); --shards=N fans the race checks out to
+ * N parallel FastTrack shards.
  *
  * Example:
  *   ./build/examples/trace_analyzer gen Firefox /tmp/firefox.trace 0.02
- *   ./build/examples/trace_analyzer analyze /tmp/firefox.trace
+ *   ./build/examples/trace_analyzer analyze /tmp/firefox.trace \
+ *       --streaming --shards=4
  */
 
 #include <chrono>
@@ -28,6 +35,7 @@
 #include "report/export.hh"
 #include "report/fasttrack.hh"
 #include "report/races.hh"
+#include "report/sharded.hh"
 #include "support/format.hh"
 #include "trace/trace_io.hh"
 #include "workload/workload.hh"
@@ -42,7 +50,7 @@ usage()
     std::fprintf(
         stderr,
         "usage:\n"
-        "  trace_analyzer gen <AppName> <out.trace> [scale]\n"
+        "  trace_analyzer gen <AppName> <out.trace> [scale] [--binary]\n"
         "  trace_analyzer analyze <in.trace> [options]\n"
         "options:\n"
         "  --detector=asyncclock|eventracer   (default asyncclock)\n"
@@ -51,7 +59,11 @@ usage()
         "  --no-reclaim     disable heirless-event reclamation\n"
         "  --all-races      disable the user-induced and\n"
         "                   commutativity filters\n"
-        "  --json           print the report as JSON\n");
+        "  --streaming      stream the trace from the file instead\n"
+        "                   of materializing the operation vector\n"
+        "  --shards=N       check races on N parallel shards\n"
+        "  --json           print the report as JSON (materialized\n"
+        "                   mode only)\n");
     return 2;
 }
 
@@ -60,7 +72,15 @@ cmdGen(int argc, char **argv)
 {
     if (argc < 4)
         return usage();
-    double scale = argc > 4 ? std::strtod(argv[4], nullptr) : 0.05;
+    bool binary = false;
+    double scale = 0.05;
+    for (int i = 4; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--binary")
+            binary = true;
+        else
+            scale = std::strtod(arg.c_str(), nullptr);
+    }
     workload::AppProfile profile =
         workload::profileByName(argv[2], scale);
     std::printf("generating %s at scale %.3f (~%u looper events)...\n",
@@ -69,8 +89,12 @@ cmdGen(int argc, char **argv)
     std::string problem = app.trace.validate(true);
     if (!problem.empty())
         fatal("generated trace invalid: " + problem);
-    trace::saveTraceFile(app.trace, argv[3]);
-    std::printf("wrote %s: %s\n", argv[3],
+    if (binary)
+        trace::saveBinaryTraceFile(app.trace, argv[3]);
+    else
+        trace::saveTraceFile(app.trace, argv[3]);
+    std::printf("wrote %s (%s): %s\n", argv[3],
+                binary ? "binary" : "text",
                 app.trace.stats().summary().c_str());
     return 0;
 }
@@ -84,6 +108,8 @@ cmdAnalyze(int argc, char **argv)
     core::DetectorConfig cfg;
     report::FilterConfig filters;
     bool json = false;
+    bool streaming = false;
+    unsigned shards = 0;
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--detector=", 0) == 0) {
@@ -100,25 +126,60 @@ cmdAnalyze(int argc, char **argv)
         } else if (arg == "--all-races") {
             filters.userInducedOnly = false;
             filters.commutativityFilter = false;
+        } else if (arg == "--streaming") {
+            streaming = true;
+        } else if (arg.rfind("--shards=", 0) == 0) {
+            shards = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 9, nullptr, 10));
         } else if (arg == "--json") {
             json = true;
         } else {
             return usage();
         }
     }
+    if (json && streaming) {
+        std::fprintf(stderr,
+                     "--json requires materialized mode\n");
+        return 2;
+    }
 
-    trace::Trace tr = trace::loadTraceFile(argv[2]);
-    std::printf("loaded %s: %s\n", argv[2],
-                tr.stats().summary().c_str());
+    std::unique_ptr<report::AccessChecker> checker;
+    if (shards > 0) {
+        report::ShardedConfig scfg;
+        scfg.shards = shards;
+        checker = std::make_unique<report::ShardedChecker>(scfg);
+    } else {
+        checker = std::make_unique<report::FastTrackChecker>();
+    }
 
-    report::FastTrackChecker checker;
+    trace::Trace tr;            // materialized mode only
+    trace::OpenedSource opened; // streaming mode only
     std::unique_ptr<report::Detector> detector;
+    bool binary = trace::isBinaryTraceFile(argv[2]);
+    if (streaming) {
+        opened = trace::openTraceSource(argv[2]);
+        std::printf("streaming %s (%s format)\n", argv[2],
+                    binary ? "binary" : "text");
+    } else {
+        tr = binary ? trace::loadBinaryTraceFile(argv[2])
+                    : trace::loadTraceFile(argv[2]);
+        std::printf("loaded %s: %s\n", argv[2],
+                    tr.stats().summary().c_str());
+    }
     if (detectorName == "asyncclock") {
-        detector = std::make_unique<core::AsyncClockDetector>(
-            tr, checker, cfg);
+        detector = streaming
+                       ? std::make_unique<core::AsyncClockDetector>(
+                             *opened.source, *checker, cfg)
+                       : std::make_unique<core::AsyncClockDetector>(
+                             tr, *checker, cfg);
     } else if (detectorName == "eventracer") {
-        detector = std::make_unique<graph::EventRacerDetector>(
-            tr, checker, graph::EventRacerConfig{});
+        detector =
+            streaming
+                ? std::make_unique<graph::EventRacerDetector>(
+                      *opened.source, *checker,
+                      graph::EventRacerConfig{})
+                : std::make_unique<graph::EventRacerDetector>(
+                      tr, *checker, graph::EventRacerConfig{});
     } else {
         return usage();
     }
@@ -126,18 +187,26 @@ cmdAnalyze(int argc, char **argv)
     MemStats mem;
     auto start = std::chrono::steady_clock::now();
     detector->runAll(&mem, 1024);
+    if (auto *sharded =
+            dynamic_cast<report::ShardedChecker *>(checker.get()))
+        sharded->drain();
     auto elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+    if (streaming && !opened.source->ok())
+        fatal("trace stream failed: " + opened.source->error());
 
-    std::printf("\nanalysis (%s): %.3fs, peak metadata %s\n",
-                detectorName.c_str(), elapsed,
-                humanBytes(mem.peakTotal()).c_str());
+    std::printf("\nanalysis (%s%s): %.3fs, peak metadata %s\n",
+                detectorName.c_str(),
+                shards > 0 ? strf(", %u shards", shards).c_str() : "",
+                elapsed, humanBytes(mem.peakTotal()).c_str());
     std::printf("%s", mem.summary().c_str());
 
-    report::RaceAnalyzer analyzer(tr);
+    report::RaceAnalyzer analyzer =
+        streaming ? report::RaceAnalyzer(opened.source->meta())
+                  : report::RaceAnalyzer(tr);
     report::ReportSummary summary =
-        analyzer.analyze(checker.races(), filters);
+        analyzer.analyze(checker->races(), filters);
     if (json) {
         std::printf("%s\n", report::toJson(summary, tr).c_str());
         return 0;

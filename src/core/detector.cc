@@ -69,24 +69,50 @@ AsyncClockDetector::ChainState::byteSize() const
     return total;
 }
 
+AsyncClockDetector::AsyncClockDetector(trace::TraceSource &src,
+                                       report::AccessChecker &checker,
+                                       DetectorConfig cfg)
+    : source_(&src), checker_(checker), cfg_(cfg)
+{
+    syncEntities();
+}
+
 AsyncClockDetector::AsyncClockDetector(const trace::Trace &tr,
                                        report::AccessChecker &checker,
                                        DetectorConfig cfg)
-    : trace_(tr), checker_(checker), cfg_(cfg)
+    : owned_(std::make_unique<trace::MaterializedSource>(tr)),
+      source_(owned_.get()), checker_(checker), cfg_(cfg)
 {
-    threadChain_.assign(tr.threads().size(), kInvalidId);
-    eventChain_.assign(tr.events().size(), kInvalidId);
-    forkSnap_.resize(tr.threads().size());
-    forkSnapValid_.assign(tr.threads().size(), false);
-    threadEndState_.resize(tr.threads().size());
-    threadEndEpoch_.resize(tr.threads().size());
-    handleState_.resize(tr.handles().size());
-    looperBegin_.resize(tr.threads().size());
-    looperBeginEpoch_.resize(tr.threads().size());
-    looperEndAccum_.resize(tr.threads().size());
-    pending_.resize(tr.queues().size());
-    windowClock_.resize(tr.queues().size());
-    freeByQueue_.resize(tr.queues().size());
+    syncEntities();
+}
+
+void
+AsyncClockDetector::syncEntities()
+{
+    const trace::TraceMeta &m = meta();
+    std::size_t nt = m.threads().size();
+    if (threadChain_.size() < nt) {
+        threadChain_.resize(nt, kInvalidId);
+        forkSnap_.resize(nt);
+        forkSnapValid_.resize(nt, false);
+        threadEndState_.resize(nt);
+        threadEndEpoch_.resize(nt);
+        looperBegin_.resize(nt);
+        looperBeginEpoch_.resize(nt);
+        looperEndAccum_.resize(nt);
+    }
+    std::size_t ne = m.events().size();
+    if (eventChain_.size() < ne)
+        eventChain_.resize(ne, kInvalidId);
+    std::size_t nq = m.queues().size();
+    if (pending_.size() < nq) {
+        pending_.resize(nq);
+        windowClock_.resize(nq);
+        freeByQueue_.resize(nq);
+    }
+    std::size_t nh = m.handles().size();
+    if (handleState_.size() < nh)
+        handleState_.resize(nh);
 }
 
 AsyncClockDetector::~AsyncClockDetector()
@@ -165,17 +191,18 @@ AsyncClockDetector::joinIntoChain(ChainId c, const Snapshot &snap)
 bool
 AsyncClockDetector::processNext()
 {
-    if (cursor_ >= trace_.numOps())
+    Operation op;
+    if (!source_->next(op))
         return false;
-    processOp(static_cast<OpId>(cursor_));
+    syncEntities();
+    processOp(op, static_cast<OpId>(cursor_));
     ++cursor_;
     return true;
 }
 
 void
-AsyncClockDetector::processOp(OpId id)
+AsyncClockDetector::processOp(const Operation &op, OpId id)
 {
-    const Operation &op = trace_.op(id);
     switch (op.kind) {
       case OpKind::ThreadBegin:
         onThreadBegin(op);
@@ -274,7 +301,7 @@ AsyncClockDetector::onThreadBegin(const Operation &op)
         forkSnapValid_[t] = false;
     }
     Epoch beginEpoch = tickChain(c);
-    if (trace_.thread(t).kind == trace::ThreadKind::Looper) {
+    if (meta().thread(t).kind == trace::ThreadKind::Looper) {
         ChainState &ch = chains_[c];
         Snapshot &lb = looperBegin_[t];
         lb.vc = ch.vc;
@@ -388,7 +415,7 @@ AsyncClockDetector::onRemove(const Operation &op)
 {
     ChainId c = chainOf(op.task);
     tickChain(c);
-    const trace::EventInfo &info = trace_.event(op.event);
+    const trace::MetaEvent &info = meta().event(op.event);
     EventRef *ref = pending_[info.queue].find(op.event);
     acAssert(ref != nullptr && ref->get() != nullptr,
              "remove of unknown event");
@@ -714,7 +741,7 @@ AsyncClockDetector::maybeAtomicFold(Task task)
     if (!task.isEvent())
         return;
     EventId e = task.index();
-    ThreadId looper = trace_.looperOf(e);
+    ThreadId looper = meta().looperOf(e);
     if (looper == kInvalidId)
         return;
     EventRef *ref = running_.find(e);
@@ -728,7 +755,7 @@ clock::ChainId
 AsyncClockDetector::chooseChain(EventMeta *m, const Resolution &r)
 {
     const bool binder =
-        trace_.queue(m->queue).kind == QueueKind::Binder;
+        meta().queue(m->queue).kind == QueueKind::Binder;
     if (binder) {
         for (ChainId c : binderChains_) {
             ChainState &ch = chains_[c];
@@ -815,7 +842,7 @@ AsyncClockDetector::onEventBegin(const Operation &op, OpId id)
 {
     (void)id;
     EventId e = op.task.index();
-    const trace::EventInfo &info = trace_.event(e);
+    const trace::MetaEvent &info = meta().event(e);
     EventRef *pref = pending_[info.queue].find(e);
     acAssert(pref != nullptr && pref->get() != nullptr,
              "begin of unknown event");
@@ -823,7 +850,7 @@ AsyncClockDetector::onEventBegin(const Operation &op, OpId id)
     pending_[info.queue].erase(e);
     EventMeta *m = ref.get();
     const bool binder =
-        trace_.queue(info.queue).kind == QueueKind::Binder;
+        meta().queue(info.queue).kind == QueueKind::Binder;
 
     Resolution r;
     r.vc = m->sendVC;
@@ -852,7 +879,7 @@ AsyncClockDetector::onEventBegin(const Operation &op, OpId id)
             joinAtomicSet(r.atomic, tc.atomic);
         }
     }
-    ThreadId looper = trace_.looperOf(e);
+    ThreadId looper = meta().looperOf(e);
     if (looper != kInvalidId &&
         !r.vc.knows(looperBeginEpoch_[looper])) {
         const Snapshot &lb = looperBegin_[looper];
@@ -980,7 +1007,7 @@ AsyncClockDetector::onEventEnd(const Operation &op)
     // and the own-queue AsyncClock slot): a self-reference would keep
     // the refcount above zero forever. Inheritors of this end restore
     // the AsyncClock slot with their own reference (inheritEnd).
-    if (AtomicClock *own = m->endAtomic.find(trace_.looperOf(e))) {
+    if (AtomicClock *own = m->endAtomic.find(meta().looperOf(e))) {
         own->eraseIf([m](ChainId, AtomicEntry &entry) {
             return entry.ev.get() == m;
         });
@@ -994,7 +1021,7 @@ AsyncClockDetector::onEventEnd(const Operation &op)
     m->endVtime = op.vtime;
     ch.lastEnded = true;
 
-    ThreadId looper = trace_.looperOf(e);
+    ThreadId looper = meta().looperOf(e);
     if (looper != kInvalidId)
         looperEndAccum_[looper].joinWith(m->endVC);
 

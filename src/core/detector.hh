@@ -36,12 +36,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "core/config.hh"
 #include "core/meta.hh"
 #include "report/checker.hh"
 #include "report/detector.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace asyncclock::core {
@@ -49,7 +51,15 @@ namespace asyncclock::core {
 class AsyncClockDetector : public report::Detector
 {
   public:
-    /** @p tr and @p checker must outlive the detector. */
+    /** Stream operations from @p src. @p src and @p checker must
+     * outlive the detector. */
+    AsyncClockDetector(trace::TraceSource &src,
+                       report::AccessChecker &checker,
+                       DetectorConfig cfg = {});
+
+    /** Convenience over a materialized trace (owns a
+     * MaterializedSource internally). @p tr and @p checker must
+     * outlive the detector. */
     AsyncClockDetector(const trace::Trace &tr,
                        report::AccessChecker &checker,
                        DetectorConfig cfg = {});
@@ -161,8 +171,14 @@ class AsyncClockDetector : public report::Detector
         clock::Tick version = 0;
     };
 
+    /** Entity tables seen so far by the source. */
+    const trace::TraceMeta &meta() const { return source_->meta(); }
+    /** Grow per-entity state to match meta() (entities may be
+     * declared mid-stream). */
+    void syncEntities();
+
     // ----- op handlers ----------------------------------------------
-    void processOp(trace::OpId id);
+    void processOp(const trace::Operation &op, trace::OpId id);
     void onThreadBegin(const trace::Operation &op);
     void onThreadEnd(const trace::Operation &op);
     void onSend(const trace::Operation &op);
@@ -235,7 +251,8 @@ class AsyncClockDetector : public report::Detector
      * argument). */
     void dominanceDrop(EventMeta *m);
 
-    const trace::Trace &trace_;
+    std::unique_ptr<trace::TraceSource> owned_;
+    trace::TraceSource *source_;
     report::AccessChecker &checker_;
     DetectorConfig cfg_;
     std::uint64_t cursor_ = 0;

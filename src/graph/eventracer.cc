@@ -18,22 +18,48 @@ using trace::SendKind;
 using trace::Task;
 using trace::ThreadId;
 
+EventRacerDetector::EventRacerDetector(trace::TraceSource &src,
+                                       report::AccessChecker &checker,
+                                       EventRacerConfig cfg)
+    : source_(&src), checker_(checker), cfg_(cfg)
+{
+    syncEntities();
+}
+
 EventRacerDetector::EventRacerDetector(const trace::Trace &tr,
                                        report::AccessChecker &checker,
                                        EventRacerConfig cfg)
-    : trace_(tr), checker_(checker), cfg_(cfg)
+    : owned_(std::make_unique<trace::MaterializedSource>(tr)),
+      source_(owned_.get()), checker_(checker), cfg_(cfg)
 {
-    threadStates_.resize(tr.threads().size());
-    eventStates_.resize(tr.events().size());
-    events_.resize(tr.events().size());
-    handles_.resize(tr.handles().size());
-    loopers_.resize(tr.threads().size());
-    pending_.resize(tr.queues().size());
-    forkNode_.assign(tr.threads().size(), kInvalidId);
-    threadBeginNode_.assign(tr.threads().size(), kInvalidId);
-    threadEndNode_.assign(tr.threads().size(), kInvalidId);
-    threadEndEpoch_.resize(tr.threads().size());
-    chainOf_.assign(tr.events().size(), kInvalidId);
+    syncEntities();
+}
+
+void
+EventRacerDetector::syncEntities()
+{
+    const trace::TraceMeta &m = meta();
+    std::size_t nt = m.threads().size();
+    if (threadStates_.size() < nt) {
+        threadStates_.resize(nt);
+        loopers_.resize(nt);
+        forkNode_.resize(nt, kInvalidId);
+        threadBeginNode_.resize(nt, kInvalidId);
+        threadEndNode_.resize(nt, kInvalidId);
+        threadEndEpoch_.resize(nt);
+    }
+    std::size_t ne = m.events().size();
+    if (eventStates_.size() < ne) {
+        eventStates_.resize(ne);
+        events_.resize(ne);
+        chainOf_.resize(ne, kInvalidId);
+    }
+    std::size_t nq = m.queues().size();
+    if (pending_.size() < nq)
+        pending_.resize(nq);
+    std::size_t nh = m.handles().size();
+    if (handles_.size() < nh)
+        handles_.resize(nh);
 }
 
 EventRacerDetector::TaskState &
@@ -79,17 +105,18 @@ EventRacerDetector::newNode(OpId op, TaskState &ts)
 bool
 EventRacerDetector::processNext()
 {
-    if (cursor_ >= trace_.numOps())
+    Operation op;
+    if (!source_->next(op))
         return false;
-    processOp(static_cast<OpId>(cursor_));
+    syncEntities();
+    processOp(op, static_cast<OpId>(cursor_));
     ++cursor_;
     return true;
 }
 
 void
-EventRacerDetector::processOp(OpId id)
+EventRacerDetector::processOp(const Operation &op, OpId id)
 {
-    const Operation &op = trace_.op(id);
     switch (op.kind) {
       case OpKind::ThreadBegin:
         {
@@ -183,12 +210,12 @@ EventRacerDetector::processOp(OpId id)
             TaskState &ts = state(op.task);
             newNode(id, ts);
             events_[op.event].removed = true;
-            auto &pq = pending_[trace_.event(op.event).queue];
+            auto &pq = pending_[meta().event(op.event).queue];
             pq.erase(std::find(pq.begin(), pq.end(), op.event));
         }
         break;
       case OpKind::EventBegin:
-        onEventBegin(id);
+        onEventBegin(op, id);
         break;
       case OpKind::EventEnd:
         {
@@ -197,7 +224,7 @@ EventRacerDetector::processOp(OpId id)
             std::uint32_t node = newNode(id, ts);
             events_[e].endNode = node;
             events_[e].endEpoch = nodes_[node].epoch;
-            ThreadId looper = trace_.looperOf(e);
+            ThreadId looper = meta().looperOf(e);
             if (looper != kInvalidId) {
                 loopers_[looper].endAccum.joinWith(nodes_[node].vc);
                 loopers_[looper].executed.push_back(e);
@@ -248,9 +275,9 @@ EventRacerDetector::collectPredecessors(EventId e, VectorClock &vc,
                                         std::uint32_t beginNode)
 {
     std::vector<EventId> predEvents;
-    const trace::EventInfo &info = trace_.event(e);
+    const trace::MetaEvent &info = meta().event(e);
     const bool binder =
-        trace_.queue(info.queue).kind == QueueKind::Binder;
+        meta().queue(info.queue).kind == QueueKind::Binder;
     if (!binder && info.attrs.kind == SendKind::AtFront) {
         // No Table 1 row orders anything before an AtFront event.
         return predEvents;
@@ -274,8 +301,8 @@ EventRacerDetector::collectPredecessors(EventId e, VectorClock &vc,
         Node &node = nodes_[n];
         EventId se = node.sendEvent;
         if (se != kInvalidId && se != e &&
-            trace_.event(se).queue == info.queue) {
-            const trace::EventInfo &seInfo = trace_.event(se);
+            meta().event(se).queue == info.queue) {
+            const trace::MetaEvent &seInfo = meta().event(se);
             if (binder) {
                 // Binder rule: begins follow sends; inherit the begin.
                 std::uint32_t bn = events_[se].beginNode;
@@ -316,7 +343,7 @@ void
 EventRacerDetector::atomicFold(EventId self, TaskState &ts,
                                std::uint32_t node)
 {
-    ThreadId looper = trace_.looperOf(self);
+    ThreadId looper = meta().looperOf(self);
     if (looper == kInvalidId)
         return;
     LooperState &ls = loopers_[looper];
@@ -377,20 +404,19 @@ EventRacerDetector::atFrontFold(EventId e, TaskState &ts,
 }
 
 void
-EventRacerDetector::onEventBegin(OpId id)
+EventRacerDetector::onEventBegin(const Operation &op, OpId id)
 {
-    const Operation &op = trace_.op(id);
     EventId e = op.task.index();
     EventState &es = events_[e];
     TaskState &ts = eventStates_[e];
-    const trace::EventInfo &info = trace_.event(e);
+    const trace::MetaEvent &info = meta().event(e);
     const bool binder =
-        trace_.queue(info.queue).kind == QueueKind::Binder;
+        meta().queue(info.queue).kind == QueueKind::Binder;
 
     // Rule SEND: inherit the send clock.
     ts.vc = nodes_[es.sendNode].vc;
     // Rule LOOPBEGIN.
-    ThreadId looper = trace_.looperOf(e);
+    ThreadId looper = meta().looperOf(e);
     std::vector<std::uint32_t> extraPreds{es.sendNode};
     if (looper != kInvalidId &&
         threadBeginNode_[looper] != kInvalidId) {

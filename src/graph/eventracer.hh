@@ -29,11 +29,13 @@
 #define ASYNCCLOCK_GRAPH_EVENTRACER_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "clock/vector_clock.hh"
 #include "report/checker.hh"
 #include "report/detector.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace asyncclock::graph {
@@ -58,7 +60,15 @@ struct GraphCounters
 class EventRacerDetector : public report::Detector
 {
   public:
-    /** @p tr and @p checker must outlive the detector. */
+    /** Stream operations from @p src. @p src and @p checker must
+     * outlive the detector. */
+    EventRacerDetector(trace::TraceSource &src,
+                       report::AccessChecker &checker,
+                       EventRacerConfig cfg = {});
+
+    /** Convenience over a materialized trace (owns a
+     * MaterializedSource internally). @p tr and @p checker must
+     * outlive the detector. */
     EventRacerDetector(const trace::Trace &tr,
                        report::AccessChecker &checker,
                        EventRacerConfig cfg = {});
@@ -128,8 +138,14 @@ class EventRacerDetector : public report::Detector
     ChainId newChain();
     Epoch tick(TaskState &ts);
 
-    void processOp(trace::OpId id);
-    void onEventBegin(trace::OpId id);
+    /** Entity tables seen so far by the source. */
+    const trace::TraceMeta &meta() const { return source_->meta(); }
+    /** Grow per-entity state to match meta() (entities may be
+     * declared mid-stream). */
+    void syncEntities();
+
+    void processOp(const trace::Operation &op, trace::OpId id);
+    void onEventBegin(const trace::Operation &op, trace::OpId id);
     /** Backward traversal collecting priority/binder predecessors of
      * @p e into its begin-time clock @p vc. Returns pred event list
      * (for greedy chain assignment). */
@@ -141,7 +157,8 @@ class EventRacerDetector : public report::Detector
     void atFrontFold(trace::EventId e, TaskState &ts,
                      std::uint32_t node);
 
-    const trace::Trace &trace_;
+    std::unique_ptr<trace::TraceSource> owned_;
+    trace::TraceSource *source_;
     report::AccessChecker &checker_;
     EventRacerConfig cfg_;
     std::uint64_t cursor_ = 0;

@@ -28,7 +28,7 @@ RaceAnalyzer::userInduced(SiteId site) const
 {
     if (site == kInvalidId)
         return false;
-    return trace_.site(site).frame != trace::Frame::Framework;
+    return meta_.site(site).frame != trace::Frame::Framework;
 }
 
 bool
@@ -36,15 +36,15 @@ RaceAnalyzer::commutative(SiteId a, SiteId b) const
 {
     if (a == kInvalidId || b == kInvalidId)
         return false;
-    std::uint32_t ga = trace_.site(a).commGroup;
-    std::uint32_t gb = trace_.site(b).commGroup;
+    std::uint32_t ga = meta_.site(a).commGroup;
+    std::uint32_t gb = meta_.site(b).commGroup;
     return ga != kInvalidId && ga == gb;
 }
 
 Verdict
 RaceAnalyzer::classify(const RaceGroup &group) const
 {
-    switch (trace_.var(group.sample.var).seedLabel) {
+    switch (meta_.var(group.sample.var).seedLabel) {
       case SeedLabel::Harmful:
         return Verdict::Harmful;
       case SeedLabel::HarmlessTypeI:
@@ -104,9 +104,9 @@ RaceAnalyzer::analyze(const std::vector<RaceReport> &races,
 std::string
 RaceAnalyzer::describe(const RaceGroup &group) const
 {
-    const auto &sa = trace_.site(group.siteA);
-    const auto &sb = trace_.site(group.siteB);
-    const auto &var = trace_.var(group.sample.var);
+    const auto &sa = meta_.site(group.siteA);
+    const auto &sb = meta_.site(group.siteB);
+    const auto &var = meta_.var(group.sample.var);
     return strf("%s: %u race(s) between %s and %s on '%s' (%s %s)",
                 verdictName(group.verdict), group.raceCount,
                 sa.name.c_str(), sb.name.c_str(), var.name.c_str(),

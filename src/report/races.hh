@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "report/checker.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace asyncclock::report {
@@ -83,12 +84,21 @@ struct ReportSummary
 
 /**
  * Post-processor turning a raw race list into a user-facing report.
- * Holds only a reference to the trace (site/var tables).
+ * Holds its own copy of the entity tables (site/var names and labels),
+ * so it works the same over a materialized trace or the meta view a
+ * streaming source accumulated.
  */
 class RaceAnalyzer
 {
   public:
-    explicit RaceAnalyzer(const trace::Trace &tr) : trace_(tr) {}
+    explicit RaceAnalyzer(const trace::Trace &tr)
+        : meta_(trace::TraceMeta::fromTrace(tr))
+    {
+    }
+    explicit RaceAnalyzer(trace::TraceMeta meta)
+        : meta_(std::move(meta))
+    {
+    }
 
     /** Is @p site user-induced (user code, or a library reachable
      * from user code)? */
@@ -107,7 +117,7 @@ class RaceAnalyzer
   private:
     Verdict classify(const RaceGroup &group) const;
 
-    const trace::Trace &trace_;
+    trace::TraceMeta meta_;
 };
 
 } // namespace asyncclock::report

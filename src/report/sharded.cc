@@ -1,0 +1,119 @@
+#include "report/sharded.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace asyncclock::report {
+
+ShardedChecker::ShardedChecker(Config cfg)
+    : batchOps_(cfg.batchOps > 0 ? cfg.batchOps : 1)
+{
+    unsigned n = cfg.shards > 0 ? cfg.shards : 1;
+    std::size_t cap = cfg.queueCapacity > 0 ? cfg.queueCapacity : 1;
+    shards_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        shards_.push_back(std::make_unique<Shard>(cap));
+        Shard &shard = *shards_.back();
+        shard.pending.reserve(batchOps_);
+        shard.worker =
+            std::thread([this, &shard] { workerLoop(shard); });
+    }
+}
+
+ShardedChecker::~ShardedChecker()
+{
+    drain();
+}
+
+void
+ShardedChecker::workerLoop(Shard &shard)
+{
+    Batch batch;
+    while (shard.queue.pop(batch)) {
+        for (const Item &item : batch)
+            shard.checker.onAccess(item.var, item.access, item.vc);
+        shard.bytes.store(shard.checker.byteSize(),
+                          std::memory_order_relaxed);
+    }
+}
+
+void
+ShardedChecker::flushShard(Shard &shard)
+{
+    if (shard.pending.empty())
+        return;
+    Batch batch;
+    batch.reserve(batchOps_);
+    batch.swap(shard.pending);
+    shard.queue.push(std::move(batch));
+}
+
+void
+ShardedChecker::onAccess(trace::VarId var, const Access &access,
+                         const clock::VectorClock &vc)
+{
+    assert(!drained_ && "onAccess after drain");
+    Shard &shard = *shards_[var % shards_.size()];
+    shard.pending.push_back({var, access, vc});
+    if (shard.pending.size() >= batchOps_)
+        flushShard(shard);
+}
+
+void
+ShardedChecker::drain()
+{
+    if (drained_)
+        return;
+    drained_ = true;
+    for (auto &shard : shards_) {
+        flushShard(*shard);
+        shard->queue.close();
+    }
+    for (auto &shard : shards_) {
+        if (shard->worker.joinable())
+            shard->worker.join();
+    }
+    std::size_t total = 0;
+    for (auto &shard : shards_)
+        total += shard->checker.races().size();
+    merged_.reserve(total);
+    for (auto &shard : shards_) {
+        const auto &rs = shard->checker.races();
+        merged_.insert(merged_.end(), rs.begin(), rs.end());
+        shard->bytes.store(shard->checker.byteSize(),
+                           std::memory_order_relaxed);
+    }
+    // Canonical order: by the racy (current) access, then its
+    // predecessor — matches the order a sequential checker discovers
+    // races in, independent of shard count.
+    std::sort(merged_.begin(), merged_.end(),
+              [](const RaceReport &a, const RaceReport &b) {
+                  if (a.curOp != b.curOp)
+                      return a.curOp < b.curOp;
+                  if (a.prevOp != b.prevOp)
+                      return a.prevOp < b.prevOp;
+                  return a.var < b.var;
+              });
+}
+
+const std::vector<RaceReport> &
+ShardedChecker::races() const
+{
+    // Logically const: finishing the pipeline doesn't change the
+    // answer, only materializes it.
+    const_cast<ShardedChecker *>(this)->drain();
+    return merged_;
+}
+
+std::uint64_t
+ShardedChecker::byteSize() const
+{
+    std::uint64_t total = merged_.capacity() * sizeof(RaceReport);
+    for (const auto &shard : shards_) {
+        total += shard->bytes.load(std::memory_order_relaxed);
+        total += shard->pending.capacity() * sizeof(Item);
+    }
+    return total;
+}
+
+} // namespace asyncclock::report

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Sharded parallel race checking.
+ *
+ * The detectors' work splits cleanly in two: resolving each task's
+ * logical time is inherently sequential (chain state threads through
+ * the whole trace), but the per-variable FastTrack check depends only
+ * on that variable's access history. ShardedChecker exploits this: the
+ * detector thread keeps resolving clocks and hands (var, access, clock)
+ * tuples to N worker shards over bounded queues; shard `var % N` runs
+ * its own FastTrackChecker.
+ *
+ * Determinism: partitioning by variable preserves each variable's
+ * access order, so every shard's FastTrack state machine sees exactly
+ * the sequence the sequential checker would — the union of shard race
+ * sets equals the sequential race set regardless of shard count or
+ * scheduling. drain() merges them into a canonical (curOp, prevOp)
+ * order.
+ */
+
+#ifndef ASYNCCLOCK_REPORT_SHARDED_HH
+#define ASYNCCLOCK_REPORT_SHARDED_HH
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "report/fasttrack.hh"
+#include "support/bounded_queue.hh"
+
+namespace asyncclock::report {
+
+/**
+ * AccessChecker fanning accesses out to per-shard FastTrack workers.
+ * onAccess() batches and enqueues; races()/byteSize() remain usable
+ * from the producer thread (races() drains first). Not reusable after
+ * drain().
+ */
+struct ShardedConfig
+{
+    unsigned shards = 4;
+    /** Accesses buffered per shard before enqueueing a batch. */
+    std::size_t batchOps = 256;
+    /** Max batches in flight per shard (backpressure bound). */
+    std::size_t queueCapacity = 64;
+};
+
+class ShardedChecker : public AccessChecker
+{
+  public:
+    using Config = ShardedConfig;
+
+    explicit ShardedChecker(Config cfg = Config());
+    ~ShardedChecker() override;
+
+    ShardedChecker(const ShardedChecker &) = delete;
+    ShardedChecker &operator=(const ShardedChecker &) = delete;
+
+    void onAccess(trace::VarId var, const Access &access,
+                  const clock::VectorClock &vc) override;
+
+    /** Flush pending batches, stop the workers, and merge the shard
+     * race sets. Idempotent; called implicitly by races() and the
+     * destructor. No onAccess() after this. */
+    void drain();
+
+    /** Merged races in (curOp, prevOp) order; drains first. */
+    const std::vector<RaceReport> &races() const override;
+
+    /** Checker metadata bytes across shards. Safe to poll while the
+     * workers run (per-shard atomic counters). */
+    std::uint64_t byteSize() const override;
+
+    unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+
+  private:
+    struct Item
+    {
+        trace::VarId var = trace::kInvalidId;
+        Access access{};
+        clock::VectorClock vc;
+    };
+    using Batch = std::vector<Item>;
+
+    struct Shard
+    {
+        explicit Shard(std::size_t queueCapacity)
+            : queue(queueCapacity)
+        {
+        }
+
+        support::BoundedQueue<Batch> queue;
+        std::thread worker;
+        FastTrackChecker checker;
+        /** checker.byteSize() published after each batch, so the
+         * producer can poll without racing the worker. */
+        std::atomic<std::uint64_t> bytes{0};
+        /** Producer-side buffer (only the producer touches it). */
+        Batch pending;
+    };
+
+    void workerLoop(Shard &shard);
+    void flushShard(Shard &shard);
+
+    std::size_t batchOps_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<RaceReport> merged_;
+    bool drained_ = false;
+};
+
+} // namespace asyncclock::report
+
+#endif // ASYNCCLOCK_REPORT_SHARDED_HH

@@ -108,7 +108,16 @@ struct TokenSlot
 struct Runtime::Impl
 {
     RuntimeConfig cfg;
+    /** Entity-id allocation and (in materializing mode) op storage.
+     * In sink mode only the entity tables grow — O(entities). */
     trace::Trace trace;
+    trace::TraceBuildSink ownSink{trace};
+    /** Where operations go: the internal trace by default, the
+     * caller's sink in runToSink mode. */
+    trace::TraceSink *sink = &ownSink;
+    /** Non-null in runToSink mode: mid-run entity declarations are
+     * forwarded here so the sink's tables keep pace with the ops. */
+    trace::TraceSink *ext = nullptr;
 
     std::vector<Fiber> fibers;
     std::vector<QueueState> queues;
@@ -129,6 +138,30 @@ struct Runtime::Impl
     {
         return f.curEvent != kInvalidId ? Task::event(f.curEvent)
                                         : Task::thread(f.thread);
+    }
+
+    // ----- mid-run entity creation ----------------------------------
+    // The internal trace stays the id allocator; in sink mode the
+    // declaration is forwarded so the sink's tables keep pace.
+    EventId
+    newEvent()
+    {
+        EventId e = trace.addEvent();
+        if (ext)
+            ext->declEvent();
+        return e;
+    }
+
+    ThreadId
+    newWorkerThread(const std::string &name)
+    {
+        ThreadId t =
+            trace.addThread(trace::ThreadKind::Worker, name);
+        if (ext) {
+            ext->declThread(trace::ThreadKind::Worker, name,
+                            kInvalidId);
+        }
+        return t;
     }
 
     void
@@ -348,7 +381,7 @@ void
 Runtime::Impl::finishWorker(std::uint32_t fi)
 {
     Fiber &f = fibers[fi];
-    trace.threadEnd(f.thread, f.time);
+    sink->threadEnd(f.thread, f.time);
     f.st = Fiber::St::Done;
     for (std::uint32_t w : f.joinWaiters)
         wake(w, f.time);
@@ -359,7 +392,7 @@ void
 Runtime::Impl::finishEvent(std::uint32_t fi)
 {
     Fiber &f = fibers[fi];
-    trace.eventEnd(f.curEvent, f.time);
+    sink->eventEnd(f.curEvent, f.time);
     f.curEvent = kInvalidId;
     f.evBody.reset();
     f.evPc = 0;
@@ -395,10 +428,10 @@ Runtime::Impl::executeStep(std::uint32_t fi)
 
     switch (step.kind) {
       case Step::Kind::Read:
-        trace.read(task, step.a, step.b, f.time);
+        sink->read(task, step.a, step.b, f.time);
         break;
       case Step::Kind::Write:
-        trace.write(task, step.a, step.b, f.time);
+        sink->write(task, step.a, step.b, f.time);
         break;
       case Step::Kind::Sleep:
         ++pc;
@@ -438,8 +471,8 @@ Runtime::Impl::executeStep(std::uint32_t fi)
                              attrs.time == 0,
                          "binder queues accept only plain FIFO posts");
             }
-            EventId e = trace.addEvent();
-            trace.send(task, qid, e, attrs, f.time);
+            EventId e = newEvent();
+            sink->send(task, qid, e, attrs, f.time);
 
             QueueEntry entry;
             entry.event = e;
@@ -485,7 +518,7 @@ Runtime::Impl::executeStep(std::uint32_t fi)
                     }
                 }
                 if (owner) {
-                    trace.removeEvent(task, slot.value, f.time);
+                    sink->removeEvent(task, slot.value, f.time);
                     slot.active = false;
                 }
             }
@@ -493,10 +526,9 @@ Runtime::Impl::executeStep(std::uint32_t fi)
         break;
       case Step::Kind::Fork:
         {
-            ThreadId t = trace.addThread(trace::ThreadKind::Worker,
-                                         step.name);
+            ThreadId t = newWorkerThread(step.name);
             const std::uint64_t forkTime = f.time;
-            trace.fork(task, t, forkTime);
+            sink->fork(task, t, forkTime);
             Fiber child;
             child.thread = t;
             child.script = step.body;
@@ -527,12 +559,12 @@ Runtime::Impl::executeStep(std::uint32_t fi)
                 child.joinWaiters.push_back(fi);
                 return;  // pc unchanged; re-run when woken
             }
-            trace.join(task, child.thread, f.time);
+            sink->join(task, child.thread, f.time);
         }
         break;
       case Step::Kind::Signal:
         {
-            trace.signal(task, step.a, f.time);
+            sink->signal(task, step.a, f.time);
             HandleState &h = handles[step.a];
             ++h.signals;
             for (std::uint32_t w : h.waiters)
@@ -548,7 +580,7 @@ Runtime::Impl::executeStep(std::uint32_t fi)
                 h.waiters.push_back(fi);
                 return;  // pc unchanged
             }
-            trace.wait(task, step.a, f.time);
+            sink->wait(task, step.a, f.time);
         }
         break;
       case Step::Kind::PostBarrier:
@@ -598,7 +630,7 @@ Runtime::Impl::processActivation(const Activation &act)
     f.time = std::max(f.time, act.time);
 
     if (!f.began) {
-        trace.threadBegin(f.thread, f.time);
+        sink->threadBegin(f.thread, f.time);
         f.began = true;
     }
 
@@ -625,7 +657,7 @@ Runtime::Impl::processActivation(const Activation &act)
     }
 
     if (f.curEvent != kInvalidId && !f.evBegun) {
-        trace.eventBegin(f.curEvent, f.thread, f.time);
+        sink->eventBegin(f.curEvent, f.thread, f.time);
         f.evBegun = true;
         f.time += cfg.stepCostMs;
         schedule(act.fiber, f.time);
@@ -655,14 +687,14 @@ Runtime::Impl::drainChecksAndShutdown()
     for (auto &f : fibers) {
         if ((f.isLooper || f.isBinder) && f.began &&
             f.st != Fiber::St::Done) {
-            trace.threadEnd(f.thread, now);
+            sink->threadEnd(f.thread, now);
             f.st = Fiber::St::Done;
         }
     }
 }
 
-trace::Trace
-Runtime::run()
+void
+Runtime::runCommon()
 {
     Impl &im = *impl_;
     acAssert(!im.ran, "Runtime::run is single-shot");
@@ -687,8 +719,25 @@ Runtime::run()
     info_.undelivered = 0;
     for (auto &q : im.queues)
         info_.undelivered += q.entries.size();
+}
 
-    return std::move(im.trace);
+trace::Trace
+Runtime::run()
+{
+    runCommon();
+    return std::move(impl_->trace);
+}
+
+RunInfo
+Runtime::runToSink(trace::TraceSink &sink)
+{
+    Impl &im = *impl_;
+    acAssert(!im.ran, "Runtime::run is single-shot");
+    trace::replayEntities(im.trace, sink);
+    im.sink = &sink;
+    im.ext = &sink;
+    runCommon();
+    return info_;
 }
 
 } // namespace asyncclock::runtime

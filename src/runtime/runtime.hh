@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "runtime/script.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace asyncclock::runtime {
@@ -92,10 +93,23 @@ class Runtime
     /** Run to completion and return the trace. Single-shot. */
     trace::Trace run();
 
+    /**
+     * Run to completion emitting directly into @p sink instead of
+     * materializing the operation vector: pre-declared entities are
+     * replayed into the sink up front (per-table order preserves
+     * their ids), entities created during the run (forked workers,
+     * posted events) are declared as they appear, and every operation
+     * is pushed the moment it happens. Single-shot, exclusive with
+     * run(). The runtime's own footprint stays O(entities).
+     */
+    RunInfo runToSink(trace::TraceSink &sink);
+
     /** Info about the last run() call. */
     const RunInfo &lastRun() const { return info_; }
 
   private:
+    void runCommon();
+
     struct Impl;
     std::unique_ptr<Impl> impl_;
     RunInfo info_;

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bounded MPSC/SPSC queue for the sharded checker pipeline: blocking
+ * push with backpressure, blocking pop, close() to drain and stop.
+ */
+
+#ifndef ASYNCCLOCK_SUPPORT_BOUNDED_QUEUE_HH
+#define ASYNCCLOCK_SUPPORT_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace asyncclock::support {
+
+/**
+ * A mutex/condvar bounded queue. push() blocks while the queue is at
+ * capacity (backpressure keeps the pipeline's buffering bounded);
+ * pop() blocks while empty. close() wakes everyone: subsequent push()
+ * fails and pop() drains the remaining items then fails.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /** Enqueue @p item; false if the queue was closed. */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notFull_.wait(lock, [this] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Dequeue into @p item; false when closed and drained. */
+    bool
+    pop(T &item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notEmpty_.wait(lock,
+                       [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Stop the queue: pending items remain poppable, new pushes fail. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+  private:
+    const std::size_t capacity_;
+    std::mutex mu_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace asyncclock::support
+
+#endif // ASYNCCLOCK_SUPPORT_BOUNDED_QUEUE_HH

@@ -1,0 +1,182 @@
+#include "trace/source.hh"
+
+namespace asyncclock::trace {
+
+namespace {
+
+Operation
+makeOp(OpKind kind, Task task, std::uint64_t vtime)
+{
+    Operation op;
+    op.kind = kind;
+    op.task = task;
+    op.vtime = vtime;
+    return op;
+}
+
+} // namespace
+
+void
+TraceSink::threadBegin(ThreadId t, std::uint64_t vtime)
+{
+    emit(makeOp(OpKind::ThreadBegin, Task::thread(t), vtime));
+}
+
+void
+TraceSink::threadEnd(ThreadId t, std::uint64_t vtime)
+{
+    emit(makeOp(OpKind::ThreadEnd, Task::thread(t), vtime));
+}
+
+void
+TraceSink::eventBegin(EventId e, ThreadId executor, std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::EventBegin, Task::event(e), vtime);
+    op.target = executor;
+    emit(op);
+}
+
+void
+TraceSink::eventEnd(EventId e, std::uint64_t vtime)
+{
+    emit(makeOp(OpKind::EventEnd, Task::event(e), vtime));
+}
+
+void
+TraceSink::read(Task task, VarId var, SiteId site, std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::Read, task, vtime);
+    op.target = var;
+    op.site = site;
+    emit(op);
+}
+
+void
+TraceSink::write(Task task, VarId var, SiteId site, std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::Write, task, vtime);
+    op.target = var;
+    op.site = site;
+    emit(op);
+}
+
+void
+TraceSink::fork(Task task, ThreadId child, std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::Fork, task, vtime);
+    op.target = child;
+    emit(op);
+}
+
+void
+TraceSink::join(Task task, ThreadId child, std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::Join, task, vtime);
+    op.target = child;
+    emit(op);
+}
+
+void
+TraceSink::signal(Task task, HandleId handle, std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::Signal, task, vtime);
+    op.target = handle;
+    emit(op);
+}
+
+void
+TraceSink::wait(Task task, HandleId handle, std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::Wait, task, vtime);
+    op.target = handle;
+    emit(op);
+}
+
+void
+TraceSink::send(Task task, QueueId queue, EventId event,
+                const SendAttrs &attrs, std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::Send, task, vtime);
+    op.target = queue;
+    op.event = event;
+    op.attrs = attrs;
+    emit(op);
+}
+
+void
+TraceSink::removeEvent(Task task, EventId event, std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::RemoveEvent, task, vtime);
+    op.event = event;
+    emit(op);
+}
+
+TraceMeta
+TraceMeta::fromTrace(const Trace &tr)
+{
+    TraceMeta meta;
+    meta.threads_ = tr.threads();
+    meta.queues_ = tr.queues();
+    meta.vars_ = tr.vars();
+    meta.handles_ = tr.handles();
+    meta.sites_ = tr.sites();
+    meta.events_.reserve(tr.events().size());
+    for (const EventInfo &ev : tr.events())
+        meta.events_.push_back({ev.queue, ev.attrs});
+    return meta;
+}
+
+std::uint64_t
+TraceMeta::byteSize() const
+{
+    std::uint64_t total =
+        threads_.capacity() * sizeof(ThreadInfo) +
+        queues_.capacity() * sizeof(QueueInfo) +
+        events_.capacity() * sizeof(MetaEvent) +
+        vars_.capacity() * sizeof(VarInfo) +
+        handles_.capacity() * sizeof(HandleInfo) +
+        sites_.capacity() * sizeof(SiteInfo);
+    for (const auto &t : threads_)
+        total += t.name.capacity();
+    for (const auto &q : queues_)
+        total += q.name.capacity();
+    for (const auto &v : vars_)
+        total += v.name.capacity();
+    for (const auto &h : handles_)
+        total += h.name.capacity();
+    for (const auto &s : sites_)
+        total += s.name.capacity();
+    return total;
+}
+
+void
+replayEntities(const Trace &tr, EntitySink &sink)
+{
+    for (const QueueInfo &q : tr.queues())
+        sink.declQueue(q.kind, q.name);
+    for (const ThreadInfo &t : tr.threads())
+        sink.declThread(t.kind, t.name, t.queue);
+    for (std::size_t q = 0; q < tr.queues().size(); ++q) {
+        if (tr.queues()[q].looper != kInvalidId) {
+            sink.bindLooper(static_cast<QueueId>(q),
+                            tr.queues()[q].looper);
+        }
+    }
+    for (std::size_t i = 0; i < tr.events().size(); ++i)
+        sink.declEvent();
+    for (const VarInfo &v : tr.vars())
+        sink.declVar(v.name, v.seedLabel);
+    for (const HandleInfo &h : tr.handles())
+        sink.declHandle(h.name);
+    for (const SiteInfo &s : tr.sites())
+        sink.declSite(s.name, s.frame, s.commGroup);
+}
+
+const std::string &
+TraceSource::error() const
+{
+    static const std::string empty;
+    return empty;
+}
+
+} // namespace asyncclock::trace

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Streaming trace pipeline: sinks, the slim TraceMeta view, and the
+ * TraceSource pull interface.
+ *
+ * The paper's analysis is single-pass (section 3): nothing in either
+ * detector needs the whole operation sequence in memory. This module
+ * decouples trace *storage* from trace *consumption* so million-op
+ * traces never fully materialize:
+ *
+ *  - TraceSink / EntitySink: push interface a producer (the simulated
+ *    runtime, a format writer) emits entity declarations and
+ *    operations into.
+ *  - TraceMeta: the entity tables alone — threads, queues, vars,
+ *    handles, sites, and a per-event {queue, attrs} record filled in
+ *    when the event's send streams past. This is all the metadata the
+ *    detectors read; the O(n) operation vector stays out of it.
+ *  - TraceSource: pull interface the detectors consume — entity
+ *    tables via meta(), then next(Operation&) until exhausted.
+ *    Implementations: MaterializedSource (wraps a whole-trace
+ *    trace::Trace), StreamingTextSource and StreamingBinarySource
+ *    (trace/trace_io.hh) which hold O(1) state in the op count.
+ *
+ * Entity tables may *grow* mid-stream (the runtime forks threads and
+ * allocates events while executing); consumers size their per-entity
+ * state lazily from meta() after each pull.
+ */
+
+#ifndef ASYNCCLOCK_TRACE_SOURCE_HH
+#define ASYNCCLOCK_TRACE_SOURCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace asyncclock::trace {
+
+/** Push interface for entity declarations. Ids are allocated densely
+ * per table, in declaration order. */
+class EntitySink
+{
+  public:
+    virtual ~EntitySink() = default;
+
+    virtual ThreadId declThread(ThreadKind kind, std::string name,
+                                QueueId queue) = 0;
+    virtual QueueId declQueue(QueueKind kind, std::string name) = 0;
+    virtual void bindLooper(QueueId queue, ThreadId looper) = 0;
+    virtual EventId declEvent() = 0;
+    virtual VarId declVar(std::string name, SeedLabel label) = 0;
+    virtual HandleId declHandle(std::string name) = 0;
+    virtual SiteId declSite(std::string name, Frame frame,
+                            std::uint32_t commGroup) = 0;
+};
+
+/** Push interface for a full trace: entity declarations plus the
+ * operation stream, with convenience emitters mirroring the Trace
+ * appenders. */
+class TraceSink : public EntitySink
+{
+  public:
+    virtual void emit(const Operation &op) = 0;
+
+    // ----- convenience emitters -------------------------------------
+    void threadBegin(ThreadId t, std::uint64_t vtime);
+    void threadEnd(ThreadId t, std::uint64_t vtime);
+    void eventBegin(EventId e, ThreadId executor, std::uint64_t vtime);
+    void eventEnd(EventId e, std::uint64_t vtime);
+    void read(Task task, VarId var, SiteId site, std::uint64_t vtime);
+    void write(Task task, VarId var, SiteId site, std::uint64_t vtime);
+    void fork(Task task, ThreadId child, std::uint64_t vtime);
+    void join(Task task, ThreadId child, std::uint64_t vtime);
+    void signal(Task task, HandleId handle, std::uint64_t vtime);
+    void wait(Task task, HandleId handle, std::uint64_t vtime);
+    void send(Task task, QueueId queue, EventId event,
+              const SendAttrs &attrs, std::uint64_t vtime);
+    void removeEvent(Task task, EventId event, std::uint64_t vtime);
+};
+
+/** TraceSink adapter materializing into a trace::Trace. */
+class TraceBuildSink : public TraceSink
+{
+  public:
+    explicit TraceBuildSink(Trace &tr) : trace_(tr) {}
+
+    ThreadId
+    declThread(ThreadKind kind, std::string name, QueueId queue) override
+    {
+        return trace_.addThread(kind, std::move(name), queue);
+    }
+    QueueId
+    declQueue(QueueKind kind, std::string name) override
+    {
+        return trace_.addQueue(kind, std::move(name));
+    }
+    void
+    bindLooper(QueueId queue, ThreadId looper) override
+    {
+        trace_.bindLooper(queue, looper);
+    }
+    EventId declEvent() override { return trace_.addEvent(); }
+    VarId
+    declVar(std::string name, SeedLabel label) override
+    {
+        return trace_.addVar(std::move(name), label);
+    }
+    HandleId
+    declHandle(std::string name) override
+    {
+        return trace_.addHandle(std::move(name));
+    }
+    SiteId
+    declSite(std::string name, Frame frame,
+             std::uint32_t commGroup) override
+    {
+        return trace_.addSite(std::move(name), frame, commGroup);
+    }
+    void emit(const Operation &op) override { trace_.append(op); }
+
+  private:
+    Trace &trace_;
+};
+
+/** Per-event record of a TraceMeta: the queueing facts the detectors
+ * read, available from the event's send onward. */
+struct MetaEvent
+{
+    QueueId queue = kInvalidId;
+    SendAttrs attrs{};
+};
+
+/**
+ * The slim trace view: entity tables without the operation vector.
+ * Ground-truth seed labels ride along in the var table (they are
+ * entity data, used only by report post-processing, never by the
+ * detectors' hot path).
+ */
+class TraceMeta : public EntitySink
+{
+  public:
+    // ----- EntitySink -----------------------------------------------
+    ThreadId
+    declThread(ThreadKind kind, std::string name, QueueId queue) override
+    {
+        threads_.push_back({kind, queue, std::move(name)});
+        return static_cast<ThreadId>(threads_.size() - 1);
+    }
+    QueueId
+    declQueue(QueueKind kind, std::string name) override
+    {
+        queues_.push_back({kind, kInvalidId, std::move(name)});
+        return static_cast<QueueId>(queues_.size() - 1);
+    }
+    void
+    bindLooper(QueueId queue, ThreadId looper) override
+    {
+        // Tolerate out-of-range ids from a malformed stream (the
+        // binding is dropped; the op stream then fails validation
+        // instead of indexing out of bounds).
+        if (queue >= queues_.size() || looper >= threads_.size())
+            return;
+        queues_[queue].looper = looper;
+        threads_[looper].queue = queue;
+    }
+    EventId
+    declEvent() override
+    {
+        events_.push_back({});
+        return static_cast<EventId>(events_.size() - 1);
+    }
+    VarId
+    declVar(std::string name, SeedLabel label) override
+    {
+        vars_.push_back({std::move(name), label});
+        return static_cast<VarId>(vars_.size() - 1);
+    }
+    HandleId
+    declHandle(std::string name) override
+    {
+        handles_.push_back({std::move(name)});
+        return static_cast<HandleId>(handles_.size() - 1);
+    }
+    SiteId
+    declSite(std::string name, Frame frame,
+             std::uint32_t commGroup) override
+    {
+        sites_.push_back({std::move(name), frame, commGroup});
+        return static_cast<SiteId>(sites_.size() - 1);
+    }
+
+    /** Record an observed send: fills the event's queueing facts. */
+    void
+    noteSend(EventId event, QueueId queue, const SendAttrs &attrs)
+    {
+        MetaEvent &ev = events_[event];
+        ev.queue = queue;
+        ev.attrs = attrs;
+    }
+
+    // ----- access ---------------------------------------------------
+    const std::vector<ThreadInfo> &threads() const { return threads_; }
+    const std::vector<QueueInfo> &queues() const { return queues_; }
+    const std::vector<MetaEvent> &events() const { return events_; }
+    const std::vector<VarInfo> &vars() const { return vars_; }
+    const std::vector<HandleInfo> &handles() const { return handles_; }
+    const std::vector<SiteInfo> &sites() const { return sites_; }
+
+    const ThreadInfo &thread(ThreadId id) const { return threads_[id]; }
+    const QueueInfo &queue(QueueId id) const { return queues_[id]; }
+    const MetaEvent &event(EventId id) const { return events_[id]; }
+    const VarInfo &var(VarId id) const { return vars_[id]; }
+    const HandleInfo &handle(HandleId id) const { return handles_[id]; }
+    const SiteInfo &site(SiteId id) const { return sites_[id]; }
+
+    /** Looper thread of the queue executing event @p e (kInvalidId for
+     * binder events and events not yet sent). */
+    ThreadId
+    looperOf(EventId e) const
+    {
+        const MetaEvent &ev = events_[e];
+        if (ev.queue == kInvalidId)
+            return kInvalidId;
+        const QueueInfo &q = queues_[ev.queue];
+        return q.kind == QueueKind::Looper ? q.looper : kInvalidId;
+    }
+
+    /** Build the slim view of a materialized trace (event queueing
+     * facts pre-filled from its event table). */
+    static TraceMeta fromTrace(const Trace &tr);
+
+    /** Heap bytes of the tables, for memory accounting. */
+    std::uint64_t byteSize() const;
+
+  private:
+    std::vector<ThreadInfo> threads_;
+    std::vector<QueueInfo> queues_;
+    std::vector<MetaEvent> events_;
+    std::vector<VarInfo> vars_;
+    std::vector<HandleInfo> handles_;
+    std::vector<SiteInfo> sites_;
+};
+
+/**
+ * Pull interface the detectors consume. meta() is valid immediately
+ * and may grow as records stream past; next() yields operations in
+ * trace order. next() returning false means exhausted *or* failed —
+ * check ok() to distinguish.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Entity tables seen so far (grows as the stream advances). */
+    virtual const TraceMeta &meta() const = 0;
+
+    /** Pull the next operation; false when exhausted or on error. */
+    virtual bool next(Operation &op) = 0;
+
+    /** False after a malformed stream; error() describes why. */
+    virtual bool ok() const { return true; }
+    virtual const std::string &error() const;
+
+    /** Bytes held by the trace *container* this source reads from —
+     * O(ops) for MaterializedSource, O(1) for the streaming sources.
+     * This is the quantity the streaming pipeline removes from the
+     * analysis' peak footprint; detector metadata is accounted
+     * separately. */
+    virtual std::uint64_t containerBytes() const = 0;
+};
+
+/** Replay @p tr's entity tables into @p sink. Each table is dense and
+ * independent, so per-table declaration order reproduces the original
+ * ids exactly. */
+void replayEntities(const Trace &tr, EntitySink &sink);
+
+/** TraceSource over a fully materialized trace::Trace. */
+class MaterializedSource : public TraceSource
+{
+  public:
+    /** @p tr must outlive the source. */
+    explicit MaterializedSource(const Trace &tr)
+        : trace_(tr), meta_(TraceMeta::fromTrace(tr))
+    {
+    }
+
+    const TraceMeta &meta() const override { return meta_; }
+
+    bool
+    next(Operation &op) override
+    {
+        if (pos_ >= trace_.numOps())
+            return false;
+        op = trace_.op(pos_++);
+        return true;
+    }
+
+    std::uint64_t
+    containerBytes() const override
+    {
+        return trace_.ops().capacity() * sizeof(Operation);
+    }
+
+    /** Restart from the first operation (cheap for replays). */
+    void rewind() { pos_ = 0; }
+
+  private:
+    const Trace &trace_;
+    TraceMeta meta_;
+    OpId pos_ = 0;
+};
+
+} // namespace asyncclock::trace
+
+#endif // ASYNCCLOCK_TRACE_SOURCE_HH

@@ -1,0 +1,675 @@
+/**
+ * @file
+ * Compact binary trace format (trace_io.hh): LEB128 varints, tagged
+ * records, zigzag-delta-coded vtimes.
+ *
+ * Layout:
+ *   magic "ACTB", version byte
+ *   records until the end marker:
+ *     0x00..0x0B  operation (tag == OpKind)
+ *     0xE0..0xE6  entity declaration
+ *     0xFF        end marker
+ *
+ * Operation record: task varint ((index << 1) | isEvent), then the
+ * kind-specific payload, then zigzag varint of (vtime - prev vtime).
+ * Optional ids (site, thread queue, site commGroup) are stored as
+ * id + 1 with 0 meaning absent, so kInvalidId never costs 5 bytes.
+ * Strings are varint length + bytes.
+ *
+ * Entity declarations may appear anywhere before first use, which is
+ * what lets the runtime's direct-to-sink mode stream a recording while
+ * it forks threads and allocates events mid-run. A missing end marker
+ * means truncation; every id is bounds-checked against the tables
+ * declared so far, so corrupted bytes are rejected, not crashed on.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/format.hh"
+#include "support/logging.hh"
+#include "trace/trace_io.hh"
+
+namespace asyncclock::trace {
+
+const char kBinaryMagic[4] = {'A', 'C', 'T', 'B'};
+
+namespace {
+
+constexpr std::uint8_t kTagThread = 0xE0;
+constexpr std::uint8_t kTagQueue = 0xE1;
+constexpr std::uint8_t kTagBindLooper = 0xE2;
+constexpr std::uint8_t kTagEvent = 0xE3;
+constexpr std::uint8_t kTagVar = 0xE4;
+constexpr std::uint8_t kTagHandle = 0xE5;
+constexpr std::uint8_t kTagSite = 0xE6;
+constexpr std::uint8_t kTagEnd = 0xFF;
+constexpr std::uint8_t kMaxOpTag = 0x0B;
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t z)
+{
+    return static_cast<std::int64_t>(z >> 1) ^
+           -static_cast<std::int64_t>(z & 1);
+}
+
+void
+putVarint(std::ostream &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.put(static_cast<char>((v & 0x7F) | 0x80));
+        v >>= 7;
+    }
+    out.put(static_cast<char>(v));
+}
+
+void
+putString(std::ostream &out, const std::string &s)
+{
+    putVarint(out, s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/** Incremental decoder shared by the materializing reader and the
+ * streaming source. Tracks declared-entity counts for bounds checks
+ * and the running vtime for delta decoding. */
+class BinaryDecoder
+{
+  public:
+    explicit BinaryDecoder(std::istream &in) : in_(in) {}
+
+    bool ok() const { return ok_; }
+    const std::string &error() const { return error_; }
+    bool atEnd() const { return sawEnd_; }
+
+    /** Validate magic + version; call once before records. */
+    bool
+    readHeader()
+    {
+        char magic[4];
+        if (!in_.read(magic, 4))
+            return fail("missing magic");
+        if (std::memcmp(magic, kBinaryMagic, 4) != 0)
+            return fail("bad magic");
+        int version = in_.get();
+        if (version == EOF)
+            return fail("missing version");
+        if (version != kBinaryVersion)
+            return fail(strf("unsupported version %d", version));
+        return true;
+    }
+
+    /**
+     * Decode the next record. Entity declarations are applied to
+     * @p entities; an operation sets @p isOp and fills @p op. Returns
+     * false at the end marker or on error (check ok()).
+     */
+    bool
+    nextRecord(EntitySink &entities, bool &isOp, Operation &op)
+    {
+        isOp = false;
+        if (!ok_ || sawEnd_)
+            return false;
+        int tag = in_.get();
+        if (tag == EOF)
+            return fail("truncated: missing end marker");
+        std::uint8_t t = static_cast<std::uint8_t>(tag);
+        if (t == kTagEnd) {
+            sawEnd_ = true;
+            return false;
+        }
+        if (t <= kMaxOpTag)
+            return decodeOp(static_cast<OpKind>(t), op) &&
+                   (isOp = true);
+        switch (t) {
+          case kTagThread:
+            {
+                std::uint64_t kind, queuePlus1;
+                std::string name;
+                if (!getVarint(kind) || !getVarint(queuePlus1) ||
+                    !getString(name)) {
+                    return false;
+                }
+                if (kind > 2)
+                    return fail("bad thread kind");
+                QueueId q = queuePlus1 == 0
+                                ? kInvalidId
+                                : static_cast<QueueId>(queuePlus1 - 1);
+                entities.declThread(static_cast<ThreadKind>(kind),
+                                    std::move(name), q);
+                ++threads_;
+                return true;
+            }
+          case kTagQueue:
+            {
+                std::uint64_t kind;
+                std::string name;
+                if (!getVarint(kind) || !getString(name))
+                    return false;
+                if (kind > 1)
+                    return fail("bad queue kind");
+                entities.declQueue(static_cast<QueueKind>(kind),
+                                   std::move(name));
+                ++queues_;
+                return true;
+            }
+          case kTagBindLooper:
+            {
+                std::uint64_t q, looper;
+                if (!getVarint(q) || !getVarint(looper))
+                    return false;
+                if (q >= queues_ || looper >= threads_)
+                    return fail("bind-looper id out of range");
+                entities.bindLooper(static_cast<QueueId>(q),
+                                    static_cast<ThreadId>(looper));
+                return true;
+            }
+          case kTagEvent:
+            entities.declEvent();
+            ++events_;
+            return true;
+          case kTagVar:
+            {
+                std::uint64_t label;
+                std::string name;
+                if (!getVarint(label) || !getString(name))
+                    return false;
+                if (label > 5)
+                    return fail("bad seed label");
+                entities.declVar(std::move(name),
+                                 static_cast<SeedLabel>(label));
+                ++vars_;
+                return true;
+            }
+          case kTagHandle:
+            {
+                std::string name;
+                if (!getString(name))
+                    return false;
+                entities.declHandle(std::move(name));
+                ++handles_;
+                return true;
+            }
+          case kTagSite:
+            {
+                std::uint64_t frame, groupPlus1;
+                std::string name;
+                if (!getVarint(frame) || !getVarint(groupPlus1) ||
+                    !getString(name)) {
+                    return false;
+                }
+                if (frame > 2)
+                    return fail("bad site frame");
+                std::uint32_t g =
+                    groupPlus1 == 0
+                        ? kInvalidId
+                        : static_cast<std::uint32_t>(groupPlus1 - 1);
+                entities.declSite(std::move(name),
+                                  static_cast<Frame>(frame), g);
+                ++sites_;
+                return true;
+            }
+          default:
+            return fail(strf("unknown record tag 0x%02X", t));
+        }
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (ok_) {
+            ok_ = false;
+            // tellg() refuses once eof/fail bits are set (the usual
+            // state on a truncated stream); clear, read, restore so
+            // the error still carries the real offset.
+            std::ios_base::iostate state = in_.rdstate();
+            in_.clear();
+            long long at = static_cast<long long>(in_.tellg());
+            in_.setstate(state);
+            error_ = strf("byte %lld: %s", at, msg.c_str());
+        }
+        return false;
+    }
+
+    bool
+    getVarint(std::uint64_t &v)
+    {
+        v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            int byte = in_.get();
+            if (byte == EOF)
+                return fail("truncated varint");
+            v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+            if (!(byte & 0x80))
+                return true;
+        }
+        return fail("varint overflow");
+    }
+
+    bool
+    getId32(std::uint32_t &id)
+    {
+        std::uint64_t v;
+        if (!getVarint(v))
+            return false;
+        if (v > 0xFFFFFFFFull)
+            return fail("id out of 32-bit range");
+        id = static_cast<std::uint32_t>(v);
+        return true;
+    }
+
+    bool
+    getString(std::string &s)
+    {
+        std::uint64_t len;
+        if (!getVarint(len))
+            return false;
+        if (len > (1u << 20))
+            return fail("unreasonable string length");
+        s.resize(len);
+        if (len &&
+            !in_.read(s.data(), static_cast<std::streamsize>(len))) {
+            return fail("truncated string");
+        }
+        return true;
+    }
+
+    bool
+    decodeOp(OpKind kind, Operation &op)
+    {
+        op = Operation();
+        op.kind = kind;
+        std::uint32_t taskRaw;
+        if (!getId32(taskRaw))
+            return false;
+        std::uint32_t index = taskRaw >> 1;
+        bool isEvent = taskRaw & 1;
+        op.task =
+            isEvent ? Task::event(index) : Task::thread(index);
+        if (isEvent ? index >= events_ : index >= threads_)
+            return fail("op task out of range");
+        switch (kind) {
+          case OpKind::ThreadBegin:
+          case OpKind::ThreadEnd:
+          case OpKind::EventEnd:
+            break;
+          case OpKind::EventBegin:
+          case OpKind::Fork:
+          case OpKind::Join:
+            if (!getId32(op.target))
+                return false;
+            if (op.target >= threads_)
+                return fail("op thread out of range");
+            break;
+          case OpKind::Signal:
+          case OpKind::Wait:
+            if (!getId32(op.target))
+                return false;
+            if (op.target >= handles_)
+                return fail("op handle out of range");
+            break;
+          case OpKind::Read:
+          case OpKind::Write:
+            {
+                std::uint32_t sitePlus1;
+                if (!getId32(op.target) || !getId32(sitePlus1))
+                    return false;
+                if (op.target >= vars_)
+                    return fail("op var out of range");
+                op.site = sitePlus1 == 0 ? kInvalidId : sitePlus1 - 1;
+                if (op.site != kInvalidId && op.site >= sites_)
+                    return fail("op site out of range");
+            }
+            break;
+          case OpKind::Send:
+            {
+                std::uint64_t attrByte, time;
+                if (!getId32(op.target) || !getId32(op.event) ||
+                    !getVarint(attrByte) || !getVarint(time)) {
+                    return false;
+                }
+                if (op.target >= queues_)
+                    return fail("op queue out of range");
+                if (op.event >= events_)
+                    return fail("op event out of range");
+                if (attrByte > 5)
+                    return fail("bad send attrs");
+                op.attrs.kind =
+                    static_cast<SendKind>(attrByte >> 1);
+                op.attrs.async = attrByte & 1;
+                op.attrs.time = time;
+            }
+            break;
+          case OpKind::RemoveEvent:
+            if (!getId32(op.event))
+                return false;
+            if (op.event >= events_)
+                return fail("op event out of range");
+            break;
+        }
+        std::uint64_t delta;
+        if (!getVarint(delta))
+            return false;
+        std::int64_t signedDelta = unzigzag(delta);
+        lastVtime_ =
+            static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(lastVtime_) + signedDelta);
+        op.vtime = lastVtime_;
+        return true;
+    }
+
+    std::istream &in_;
+    std::uint64_t threads_ = 0, queues_ = 0, events_ = 0;
+    std::uint64_t vars_ = 0, handles_ = 0, sites_ = 0;
+    std::uint64_t lastVtime_ = 0;
+    bool ok_ = true;
+    bool sawEnd_ = false;
+    std::string error_;
+};
+
+} // namespace
+
+// ----- BinaryTraceWriter ----------------------------------------------
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream &out) : out_(out)
+{
+    out_.write(kBinaryMagic, 4);
+    out_.put(static_cast<char>(kBinaryVersion));
+}
+
+BinaryTraceWriter::~BinaryTraceWriter()
+{
+    finish();
+}
+
+void
+BinaryTraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    out_.put(static_cast<char>(kTagEnd));
+    out_.flush();
+}
+
+ThreadId
+BinaryTraceWriter::declThread(ThreadKind kind, std::string name,
+                              QueueId queue)
+{
+    out_.put(static_cast<char>(kTagThread));
+    putVarint(out_, static_cast<std::uint64_t>(kind));
+    putVarint(out_, queue == kInvalidId
+                        ? 0
+                        : static_cast<std::uint64_t>(queue) + 1);
+    putString(out_, name);
+    return threads_++;
+}
+
+QueueId
+BinaryTraceWriter::declQueue(QueueKind kind, std::string name)
+{
+    out_.put(static_cast<char>(kTagQueue));
+    putVarint(out_, static_cast<std::uint64_t>(kind));
+    putString(out_, name);
+    return queues_++;
+}
+
+void
+BinaryTraceWriter::bindLooper(QueueId queue, ThreadId looper)
+{
+    out_.put(static_cast<char>(kTagBindLooper));
+    putVarint(out_, queue);
+    putVarint(out_, looper);
+}
+
+EventId
+BinaryTraceWriter::declEvent()
+{
+    out_.put(static_cast<char>(kTagEvent));
+    return events_++;
+}
+
+VarId
+BinaryTraceWriter::declVar(std::string name, SeedLabel label)
+{
+    out_.put(static_cast<char>(kTagVar));
+    putVarint(out_, static_cast<std::uint64_t>(label));
+    putString(out_, name);
+    return vars_++;
+}
+
+HandleId
+BinaryTraceWriter::declHandle(std::string name)
+{
+    out_.put(static_cast<char>(kTagHandle));
+    putString(out_, name);
+    return handles_++;
+}
+
+SiteId
+BinaryTraceWriter::declSite(std::string name, Frame frame,
+                            std::uint32_t commGroup)
+{
+    out_.put(static_cast<char>(kTagSite));
+    putVarint(out_, static_cast<std::uint64_t>(frame));
+    putVarint(out_, commGroup == kInvalidId
+                        ? 0
+                        : static_cast<std::uint64_t>(commGroup) + 1);
+    putString(out_, name);
+    return sites_++;
+}
+
+void
+BinaryTraceWriter::emit(const Operation &op)
+{
+    out_.put(static_cast<char>(op.kind));
+    putVarint(out_, (static_cast<std::uint64_t>(op.task.index()) << 1) |
+                        (op.task.isEvent() ? 1 : 0));
+    switch (op.kind) {
+      case OpKind::ThreadBegin:
+      case OpKind::ThreadEnd:
+      case OpKind::EventEnd:
+        break;
+      case OpKind::EventBegin:
+      case OpKind::Fork:
+      case OpKind::Join:
+      case OpKind::Signal:
+      case OpKind::Wait:
+        putVarint(out_, op.target);
+        break;
+      case OpKind::Read:
+      case OpKind::Write:
+        putVarint(out_, op.target);
+        putVarint(out_, op.site == kInvalidId
+                            ? 0
+                            : static_cast<std::uint64_t>(op.site) + 1);
+        break;
+      case OpKind::Send:
+        putVarint(out_, op.target);
+        putVarint(out_, op.event);
+        putVarint(out_,
+                  (static_cast<std::uint64_t>(op.attrs.kind) << 1) |
+                      (op.attrs.async ? 1 : 0));
+        putVarint(out_, op.attrs.time);
+        break;
+      case OpKind::RemoveEvent:
+        putVarint(out_, op.event);
+        break;
+    }
+    putVarint(out_, zigzag(static_cast<std::int64_t>(op.vtime) -
+                           static_cast<std::int64_t>(lastVtime_)));
+    lastVtime_ = op.vtime;
+    ++ops_;
+}
+
+// ----- materializing writer/reader ------------------------------------
+
+void
+writeBinaryTrace(const Trace &tr, std::ostream &out)
+{
+    BinaryTraceWriter writer(out);
+    replayEntities(tr, writer);
+    for (const Operation &op : tr.ops())
+        writer.emit(op);
+    writer.finish();
+}
+
+std::string
+writeBinaryTraceToString(const Trace &tr)
+{
+    std::ostringstream ss;
+    writeBinaryTrace(tr, ss);
+    return ss.str();
+}
+
+bool
+readBinaryTrace(std::istream &in, Trace &tr, std::string &error)
+{
+    tr = Trace();
+    BinaryDecoder dec(in);
+    if (!dec.readHeader()) {
+        error = dec.error();
+        return false;
+    }
+    TraceBuildSink sink(tr);
+    bool isOp = false;
+    Operation op;
+    while (dec.nextRecord(sink, isOp, op)) {
+        if (isOp)
+            tr.append(op);
+    }
+    if (!dec.ok()) {
+        error = dec.error();
+        tr = Trace();
+        return false;
+    }
+    return true;
+}
+
+bool
+readBinaryTraceFromString(const std::string &data, Trace &tr,
+                          std::string &error)
+{
+    std::istringstream ss(data);
+    return readBinaryTrace(ss, tr, error);
+}
+
+void
+saveBinaryTraceFile(const Trace &tr, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open " + path + " for writing");
+    writeBinaryTrace(tr, out);
+    if (!out)
+        fatal("write to " + path + " failed");
+}
+
+Trace
+loadBinaryTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open " + path);
+    Trace tr;
+    std::string error;
+    if (!readBinaryTrace(in, tr, error))
+        fatal("parsing " + path + ": " + error);
+    return tr;
+}
+
+// ----- StreamingBinarySource ------------------------------------------
+
+struct StreamingBinarySource::Impl
+{
+    explicit Impl(std::istream &in) : dec(in) {}
+    BinaryDecoder dec;
+};
+
+StreamingBinarySource::StreamingBinarySource(std::istream &in)
+    : impl_(new Impl(in))
+{
+    impl_->dec.readHeader();
+}
+
+StreamingBinarySource::~StreamingBinarySource() = default;
+
+bool
+StreamingBinarySource::next(Operation &op)
+{
+    bool isOp = false;
+    while (impl_->dec.nextRecord(meta_, isOp, op)) {
+        if (isOp) {
+            if (op.kind == OpKind::Send)
+                meta_.noteSend(op.event, op.target, op.attrs);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+StreamingBinarySource::ok() const
+{
+    return impl_->dec.ok();
+}
+
+const std::string &
+StreamingBinarySource::error() const
+{
+    return impl_->dec.error();
+}
+
+std::uint64_t
+StreamingBinarySource::containerBytes() const
+{
+    // The decoder holds no per-op state; only fixed-size counters.
+    return sizeof(Impl);
+}
+
+// ----- format-agnostic helpers ----------------------------------------
+
+bool
+isBinaryTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open " + path);
+    char magic[4] = {};
+    in.read(magic, 4);
+    return in && std::memcmp(magic, kBinaryMagic, 4) == 0;
+}
+
+OpenedSource
+openTraceSource(const std::string &path)
+{
+    OpenedSource out;
+    bool binary = isBinaryTraceFile(path);
+    auto stream = std::make_unique<std::ifstream>(
+        path, binary ? std::ios::binary : std::ios::in);
+    if (!*stream)
+        fatal("cannot open " + path);
+    std::unique_ptr<TraceSource> source;
+    if (binary)
+        source = std::make_unique<StreamingBinarySource>(*stream);
+    else
+        source = std::make_unique<StreamingTextSource>(*stream);
+    if (!source->ok())
+        fatal("parsing " + path + ": " + source->error());
+    out.stream = std::move(stream);
+    out.source = std::move(source);
+    return out;
+}
+
+} // namespace asyncclock::trace

@@ -11,6 +11,8 @@ namespace asyncclock::trace {
 
 namespace {
 
+constexpr const char *kTextHeader = "asyncclock-trace v1";
+
 const char *
 threadKindName(ThreadKind k)
 {
@@ -77,12 +79,216 @@ parseAttrs(const std::string &tok, SendAttrs &attrs)
     return true;
 }
 
+/**
+ * One-line parser shared by the materializing reader and the
+ * streaming source. Entity lines are applied to @p entities; op lines
+ * set @p isOp and fill @p op (the caller routes the op to its trace or
+ * its consumer). On failure, @p error gets "line N: <message>
+ * ('<token>')" naming the offending token.
+ */
+class TextLineParser
+{
+  public:
+    explicit TextLineParser(EntitySink &entities) : entities_(entities)
+    {
+    }
+
+    bool
+    parseLine(const std::string &line, std::size_t lineNo, bool &isOp,
+              Operation &op, std::string &error)
+    {
+        isOp = false;
+        if (line.empty() || line[0] == '#')
+            return true;
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        auto fail = [&](const std::string &msg,
+                        const std::string &token) {
+            error = strf("line %zu: %s ('%s')", lineNo, msg.c_str(),
+                         token.c_str());
+            return false;
+        };
+        try {
+            if (tag == "thread") {
+                std::uint32_t id;
+                std::string kind, queueTok, name;
+                ls >> id >> kind >> queueTok >> name;
+                if (ls.fail())
+                    return fail("bad thread line", line);
+                ThreadKind tk = kind == "worker" ? ThreadKind::Worker
+                              : kind == "looper" ? ThreadKind::Looper
+                              : ThreadKind::Binder;
+                QueueId q = queueTok == "-"
+                                ? kInvalidId
+                                : static_cast<QueueId>(
+                                      std::stoul(queueTok));
+                ThreadId got = entities_.declThread(
+                    tk, name == "-" ? "" : name, q);
+                if (got != id)
+                    return fail("thread ids must be dense",
+                                strf("%u", id));
+            } else if (tag == "queue") {
+                std::uint32_t id;
+                std::string kind, looperTok, name;
+                ls >> id >> kind >> looperTok >> name;
+                if (ls.fail())
+                    return fail("bad queue line", line);
+                QueueId got = entities_.declQueue(
+                    kind == "looper" ? QueueKind::Looper
+                                     : QueueKind::Binder,
+                    name == "-" ? "" : name);
+                if (got != id)
+                    return fail("queue ids must be dense",
+                                strf("%u", id));
+                if (looperTok != "-") {
+                    entities_.bindLooper(
+                        got,
+                        static_cast<ThreadId>(std::stoul(looperTok)));
+                }
+            } else if (tag == "events") {
+                std::uint32_t n;
+                ls >> n;
+                if (ls.fail())
+                    return fail("bad events line", line);
+                for (std::uint32_t i = 0; i < n; ++i)
+                    entities_.declEvent();
+            } else if (tag == "var") {
+                std::uint32_t id;
+                std::string label, name;
+                ls >> id >> label >> name;
+                if (ls.fail())
+                    return fail("bad var line", line);
+                SeedLabel sl = SeedLabel::None;
+                for (int l = 0; l <= 5; ++l) {
+                    if (label ==
+                        seedLabelName(static_cast<SeedLabel>(l))) {
+                        sl = static_cast<SeedLabel>(l);
+                        break;
+                    }
+                }
+                VarId got =
+                    entities_.declVar(name == "-" ? "" : name, sl);
+                if (got != id)
+                    return fail("var ids must be dense",
+                                strf("%u", id));
+            } else if (tag == "handle") {
+                std::uint32_t id;
+                std::string name;
+                ls >> id >> name;
+                if (ls.fail())
+                    return fail("bad handle line", line);
+                HandleId got =
+                    entities_.declHandle(name == "-" ? "" : name);
+                if (got != id)
+                    return fail("handle ids must be dense",
+                                strf("%u", id));
+            } else if (tag == "site") {
+                std::uint32_t id;
+                std::string frame, groupTok, name;
+                ls >> id >> frame >> groupTok >> name;
+                if (ls.fail())
+                    return fail("bad site line", line);
+                Frame f = frame == "user" ? Frame::User
+                        : frame == "framework" ? Frame::Framework
+                        : Frame::Library;
+                std::uint32_t g = groupTok == "-"
+                                      ? kInvalidId
+                                      : static_cast<std::uint32_t>(
+                                            std::stoul(groupTok));
+                SiteId got =
+                    entities_.declSite(name == "-" ? "" : name, f, g);
+                if (got != id)
+                    return fail("site ids must be dense",
+                                strf("%u", id));
+            } else if (tag == "op") {
+                std::string kindTok, taskTok;
+                ls >> kindTok >> taskTok;
+                if (ls.fail())
+                    return fail("bad op line", line);
+                op = Operation();
+                if (!parseTask(taskTok, op.task))
+                    return fail("bad task token", taskTok);
+                bool found = false;
+                for (int k = 0; k <= 11; ++k) {
+                    if (kindTok == opKindName(static_cast<OpKind>(k))) {
+                        op.kind = static_cast<OpKind>(k);
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    return fail("unknown op kind", kindTok);
+                std::string tok;
+                switch (op.kind) {
+                  case OpKind::ThreadBegin:
+                  case OpKind::ThreadEnd:
+                  case OpKind::EventEnd:
+                    break;
+                  case OpKind::EventBegin:
+                  case OpKind::Fork:
+                  case OpKind::Join:
+                  case OpKind::Signal:
+                  case OpKind::Wait:
+                    ls >> op.target;
+                    break;
+                  case OpKind::Read:
+                  case OpKind::Write:
+                    ls >> op.target >> tok;
+                    op.site = tok == "-" ? kInvalidId
+                                         : static_cast<SiteId>(
+                                               std::stoul(tok));
+                    break;
+                  case OpKind::Send:
+                    ls >> op.target >> op.event >> tok;
+                    if (!parseAttrs(tok, op.attrs))
+                        return fail("bad send attrs", tok);
+                    break;
+                  case OpKind::RemoveEvent:
+                    ls >> op.event;
+                    break;
+                }
+                std::string at;
+                ls >> at;
+                if (ls.fail() || at.empty() || at[0] != '@')
+                    return fail("missing @vtime", at);
+                op.vtime = std::stoull(at.substr(1));
+                isOp = true;
+            } else {
+                return fail("unknown tag", tag);
+            }
+        } catch (const std::exception &e) {
+            error = strf("line %zu: parse error: %s", lineNo, e.what());
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    EntitySink &entities_;
+};
+
+/** Event ids index the event table on both the materializing and the
+ * streaming path; reject out-of-range references instead of crashing.
+ * Returns the offending token, or nullopt-style empty string if ok. */
+std::string
+checkOpEventRange(const Operation &op, std::uint64_t numEvents)
+{
+    if (op.task.isEvent() && op.task.index() >= numEvents)
+        return strf("E%u", op.task.index());
+    if ((op.kind == OpKind::Send || op.kind == OpKind::RemoveEvent) &&
+        op.event >= numEvents) {
+        return strf("%u", op.event);
+    }
+    return "";
+}
+
 } // namespace
 
 void
 writeTrace(const Trace &tr, std::ostream &out)
 {
-    out << "asyncclock-trace v1\n";
+    out << kTextHeader << '\n';
     for (std::size_t i = 0; i < tr.threads().size(); ++i) {
         const ThreadInfo &t = tr.threads()[i];
         out << "thread " << i << ' ' << threadKindName(t.kind) << ' ';
@@ -173,165 +379,32 @@ readTrace(std::istream &in, Trace &tr, std::string &error)
 {
     tr = Trace();
     std::string line;
-    if (!std::getline(in, line) || line != "asyncclock-trace v1") {
-        error = "bad header";
+    if (!std::getline(in, line) || line != kTextHeader) {
+        error = strf("line 1: bad header ('%s')", line.c_str());
         return false;
     }
+    TraceBuildSink sink(tr);
+    TextLineParser parser(sink);
     std::size_t lineNo = 1;
-    auto fail = [&](const std::string &msg) {
-        error = strf("line %zu: %s", lineNo, msg.c_str());
-        return false;
-    };
-
     while (std::getline(in, line)) {
         ++lineNo;
-        if (line.empty() || line[0] == '#')
-            continue;
-        std::istringstream ls(line);
-        std::string tag;
-        ls >> tag;
-        try {
-            if (tag == "thread") {
-                std::uint32_t id;
-                std::string kind, queueTok, name;
-                ls >> id >> kind >> queueTok >> name;
-                if (ls.fail())
-                    return fail("bad thread line");
-                ThreadKind tk = kind == "worker" ? ThreadKind::Worker
-                              : kind == "looper" ? ThreadKind::Looper
-                              : ThreadKind::Binder;
-                QueueId q = queueTok == "-"
-                                ? kInvalidId
-                                : static_cast<QueueId>(
-                                      std::stoul(queueTok));
-                ThreadId got = tr.addThread(tk, name == "-" ? "" : name,
-                                            q);
-                if (got != id)
-                    return fail("thread ids must be dense");
-            } else if (tag == "queue") {
-                std::uint32_t id;
-                std::string kind, looperTok, name;
-                ls >> id >> kind >> looperTok >> name;
-                if (ls.fail())
-                    return fail("bad queue line");
-                QueueId got = tr.addQueue(kind == "looper"
-                                              ? QueueKind::Looper
-                                              : QueueKind::Binder,
-                                          name == "-" ? "" : name);
-                if (got != id)
-                    return fail("queue ids must be dense");
-                if (looperTok != "-") {
-                    tr.bindLooper(got, static_cast<ThreadId>(
-                                           std::stoul(looperTok)));
-                }
-            } else if (tag == "events") {
-                std::uint32_t n;
-                ls >> n;
-                if (ls.fail())
-                    return fail("bad events line");
-                for (std::uint32_t i = 0; i < n; ++i)
-                    tr.addEvent();
-            } else if (tag == "var") {
-                std::uint32_t id;
-                std::string label, name;
-                ls >> id >> label >> name;
-                if (ls.fail())
-                    return fail("bad var line");
-                SeedLabel sl = SeedLabel::None;
-                for (int l = 0; l <= 5; ++l) {
-                    if (label == seedLabelName(
-                            static_cast<SeedLabel>(l))) {
-                        sl = static_cast<SeedLabel>(l);
-                        break;
-                    }
-                }
-                VarId got = tr.addVar(name == "-" ? "" : name, sl);
-                if (got != id)
-                    return fail("var ids must be dense");
-            } else if (tag == "handle") {
-                std::uint32_t id;
-                std::string name;
-                ls >> id >> name;
-                if (ls.fail())
-                    return fail("bad handle line");
-                HandleId got = tr.addHandle(name == "-" ? "" : name);
-                if (got != id)
-                    return fail("handle ids must be dense");
-            } else if (tag == "site") {
-                std::uint32_t id;
-                std::string frame, groupTok, name;
-                ls >> id >> frame >> groupTok >> name;
-                if (ls.fail())
-                    return fail("bad site line");
-                Frame f = frame == "user" ? Frame::User
-                        : frame == "framework" ? Frame::Framework
-                        : Frame::Library;
-                std::uint32_t g = groupTok == "-"
-                                      ? kInvalidId
-                                      : static_cast<std::uint32_t>(
-                                            std::stoul(groupTok));
-                SiteId got = tr.addSite(name == "-" ? "" : name, f, g);
-                if (got != id)
-                    return fail("site ids must be dense");
-            } else if (tag == "op") {
-                std::string kindTok, taskTok;
-                ls >> kindTok >> taskTok;
-                if (ls.fail())
-                    return fail("bad op line");
-                Operation op;
-                if (!parseTask(taskTok, op.task))
-                    return fail("bad task token");
-                bool found = false;
-                for (int k = 0; k <= 11; ++k) {
-                    if (kindTok == opKindName(
-                            static_cast<OpKind>(k))) {
-                        op.kind = static_cast<OpKind>(k);
-                        found = true;
-                        break;
-                    }
-                }
-                if (!found)
-                    return fail("unknown op kind");
-                std::string tok;
-                switch (op.kind) {
-                  case OpKind::ThreadBegin:
-                  case OpKind::ThreadEnd:
-                  case OpKind::EventEnd:
-                    break;
-                  case OpKind::EventBegin:
-                  case OpKind::Fork:
-                  case OpKind::Join:
-                  case OpKind::Signal:
-                  case OpKind::Wait:
-                    ls >> op.target;
-                    break;
-                  case OpKind::Read:
-                  case OpKind::Write:
-                    ls >> op.target >> tok;
-                    op.site = tok == "-" ? kInvalidId
-                                         : static_cast<SiteId>(
-                                               std::stoul(tok));
-                    break;
-                  case OpKind::Send:
-                    ls >> op.target >> op.event >> tok;
-                    if (!parseAttrs(tok, op.attrs))
-                        return fail("bad send attrs");
-                    break;
-                  case OpKind::RemoveEvent:
-                    ls >> op.event;
-                    break;
-                }
-                std::string at;
-                ls >> at;
-                if (ls.fail() || at.empty() || at[0] != '@')
-                    return fail("missing @vtime");
-                op.vtime = std::stoull(at.substr(1));
-                tr.append(op);
-            } else {
-                return fail("unknown tag '" + tag + "'");
+        bool isOp = false;
+        Operation op;
+        if (!parser.parseLine(line, lineNo, isOp, op, error)) {
+            tr = Trace();
+            return false;
+        }
+        if (isOp) {
+            std::string bad =
+                checkOpEventRange(op, tr.events().size());
+            if (!bad.empty()) {
+                error = strf("line %zu: op names undeclared event "
+                             "('%s')",
+                             lineNo, bad.c_str());
+                tr = Trace();
+                return false;
             }
-        } catch (const std::exception &e) {
-            return fail(std::string("parse error: ") + e.what());
+            tr.append(op);
         }
     }
     return true;
@@ -367,6 +440,58 @@ loadTraceFile(const std::string &path)
     if (!readTrace(in, tr, error))
         fatal("parsing " + path + ": " + error);
     return tr;
+}
+
+// ----- StreamingTextSource --------------------------------------------
+
+StreamingTextSource::StreamingTextSource(std::istream &in) : in_(in)
+{
+    lineNo_ = 1;
+    if (!std::getline(in_, line_) || line_ != kTextHeader)
+        fail(strf("line 1: bad header ('%s')", line_.c_str()));
+}
+
+bool
+StreamingTextSource::fail(const std::string &msg)
+{
+    ok_ = false;
+    error_ = msg;
+    return false;
+}
+
+bool
+StreamingTextSource::next(Operation &op)
+{
+    if (!ok_)
+        return false;
+    TextLineParser parser(meta_);
+    while (std::getline(in_, line_)) {
+        ++lineNo_;
+        bool isOp = false;
+        std::string err;
+        if (!parser.parseLine(line_, lineNo_, isOp, op, err))
+            return fail(err);
+        if (isOp) {
+            std::string bad =
+                checkOpEventRange(op, meta_.events().size());
+            if (!bad.empty()) {
+                return fail(strf("line %zu: op names undeclared "
+                                 "event ('%s')",
+                                 lineNo_, bad.c_str()));
+            }
+            if (op.kind == OpKind::Send)
+                meta_.noteSend(op.event, op.target, op.attrs);
+            return true;
+        }
+    }
+    return false;  // clean EOF
+}
+
+std::uint64_t
+StreamingTextSource::containerBytes() const
+{
+    // Only the current line buffer; the stream itself is O(1).
+    return line_.capacity();
 }
 
 } // namespace asyncclock::trace

@@ -244,11 +244,14 @@ seedGap(Ctx &ctx)
 
 } // namespace
 
-GeneratedApp
-generateApp(const AppProfile &p)
+namespace {
+
+/** Build the whole app on @p ctx's runtime (entities, workers,
+ * seeded races); the caller picks how to run it. */
+void
+buildApp(Ctx &ctx, SeededTruth &truth)
 {
-    Ctx ctx(p);
-    GeneratedApp out;
+    const AppProfile &p = ctx.profile;
 
     for (unsigned i = 0; i < std::max(1u, p.loopers); ++i)
         ctx.loopers.push_back(ctx.rt.addLooper(strf("looper%u", i)));
@@ -329,7 +332,7 @@ generateApp(const AppProfile &p)
         seedPair(ctx, strf("seed.harmful%u", i), v, sa, sb, true,
                  false, spread(i, p.seededHarmful), seedGap(ctx),
                  ctx.anyLooper());
-        ++out.truth.harmful;
+        ++truth.harmful;
     }
     for (unsigned i = 0; i < p.seededTypeI; ++i) {
         VarId v = ctx.rt.var(strf("ui.model%u", i),
@@ -341,7 +344,7 @@ generateApp(const AppProfile &p)
         seedPair(ctx, strf("seed.typeI%u", i), v, sa, sb, true, false,
                  spread(i, p.seededTypeI) + 7, seedGap(ctx),
                  ctx.loopers[0]);
-        ++out.truth.typeI;
+        ++truth.typeI;
     }
     for (unsigned i = 0; i < p.seededTypeII; ++i) {
         VarId v = ctx.rt.var(strf("flag%u", i),
@@ -353,7 +356,7 @@ generateApp(const AppProfile &p)
         seedPair(ctx, strf("seed.typeII%u", i), v, sa, sb, true,
                  false, spread(i, p.seededTypeII) + 13, seedGap(ctx),
                  ctx.anyLooper());
-        ++out.truth.typeII;
+        ++truth.typeII;
     }
     for (unsigned i = 0; i < p.seededCommutative; ++i) {
         VarId v = ctx.rt.var(strf("list.size%u", i),
@@ -367,7 +370,7 @@ generateApp(const AppProfile &p)
         seedPair(ctx, strf("seed.comm%u", i), v, sa, sb, true, true,
                  spread(i, p.seededCommutative) + 17, seedGap(ctx),
                  ctx.anyLooper());
-        ++out.truth.commutative;
+        ++truth.commutative;
     }
     for (unsigned i = 0; i < p.seededFrameworkNoise; ++i) {
         VarId v = ctx.rt.var(strf("fw.cache%u", i),
@@ -378,12 +381,34 @@ generateApp(const AppProfile &p)
         seedPair(ctx, strf("seed.fw%u", i), v, sa, sb, true, true,
                  spread(i, p.seededFrameworkNoise) + 23, seedGap(ctx),
                  ctx.anyLooper());
-        ++out.truth.frameworkNoise;
+        ++truth.frameworkNoise;
     }
+}
 
+} // namespace
+
+GeneratedApp
+generateApp(const AppProfile &p)
+{
+    Ctx ctx(p);
+    GeneratedApp out;
+    buildApp(ctx, out.truth);
     out.trace = ctx.rt.run();
     out.endTimeMs = ctx.rt.lastRun().endTimeMs;
     return out;
+}
+
+SeededTruth
+generateAppToSink(const AppProfile &p, trace::TraceSink &sink,
+                  std::uint64_t *endTimeMs)
+{
+    Ctx ctx(p);
+    SeededTruth truth;
+    buildApp(ctx, truth);
+    runtime::RunInfo info = ctx.rt.runToSink(sink);
+    if (endTimeMs)
+        *endTimeMs = info.endTimeMs;
+    return truth;
 }
 
 trace::Trace

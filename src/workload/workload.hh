@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace asyncclock::workload {
@@ -100,6 +101,17 @@ struct GeneratedApp
 
 /** Synthesize an app from a profile (deterministic in profile.seed). */
 GeneratedApp generateApp(const AppProfile &profile);
+
+/**
+ * Synthesize the same app (bit-identical stream for the same profile)
+ * directly into @p sink without materializing the operation vector —
+ * e.g. a trace::BinaryTraceWriter recording to disk. Returns the
+ * planted ground truth; @p endTimeMs (if non-null) receives the final
+ * virtual time.
+ */
+SeededTruth generateAppToSink(const AppProfile &profile,
+                              trace::TraceSink &sink,
+                              std::uint64_t *endTimeMs = nullptr);
 
 /**
  * Fig 9b: chains of input events; input event I_k posts I_{k+1}, an

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * ShardedChecker determinism: for any shard count, batch size, and
+ * queue capacity, the merged race set must equal the sequential
+ * FastTrackChecker's — per-variable access order is preserved by the
+ * var % N partition, so shard scheduling cannot change the result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/detector.hh"
+#include "graph/eventracer.hh"
+#include "report/fasttrack.hh"
+#include "report/sharded.hh"
+#include "workload/workload.hh"
+
+namespace asyncclock {
+namespace {
+
+using report::RaceReport;
+using trace::Trace;
+
+/** The canonical order drain() merges into. */
+bool
+canonicalLess(const RaceReport &a, const RaceReport &b)
+{
+    if (a.curOp != b.curOp)
+        return a.curOp < b.curOp;
+    if (a.prevOp != b.prevOp)
+        return a.prevOp < b.prevOp;
+    return a.var < b.var;
+}
+
+std::vector<RaceReport>
+canonical(std::vector<RaceReport> races)
+{
+    std::sort(races.begin(), races.end(), canonicalLess);
+    return races;
+}
+
+template <typename Detector>
+std::vector<RaceReport>
+sequentialRaces(const Trace &tr)
+{
+    report::FastTrackChecker checker;
+    Detector det(tr, checker);
+    det.runAll();
+    return canonical(checker.races());
+}
+
+template <typename Detector>
+std::vector<RaceReport>
+shardedRaces(const Trace &tr, report::ShardedConfig cfg)
+{
+    report::ShardedChecker checker(cfg);
+    Detector det(tr, checker);
+    det.runAll();
+    return checker.races();  // drains; already canonical order
+}
+
+Trace
+workloadTrace(std::uint64_t seed, unsigned events)
+{
+    workload::AppProfile p;
+    p.seed = seed;
+    p.looperEvents = events;
+    return workload::generateApp(p).trace;
+}
+
+TEST(ShardedChecker, MatchesSequentialAcrossShardCounts)
+{
+    for (auto [seed, events] :
+         {std::pair<unsigned, unsigned>{3, 120}, {42, 200}}) {
+        Trace tr = workloadTrace(seed, events);
+        auto expected = sequentialRaces<core::AsyncClockDetector>(tr);
+        ASSERT_FALSE(expected.empty()) << "workload should race";
+        for (unsigned shards : {1u, 2u, 8u}) {
+            report::ShardedConfig cfg;
+            cfg.shards = shards;
+            EXPECT_EQ(
+                shardedRaces<core::AsyncClockDetector>(tr, cfg),
+                expected)
+                << "shards=" << shards << " seed=" << seed;
+        }
+    }
+}
+
+TEST(ShardedChecker, MatchesSequentialForEventRacerDetector)
+{
+    Trace tr = workloadTrace(7, 150);
+    auto expected = sequentialRaces<graph::EventRacerDetector>(tr);
+    for (unsigned shards : {1u, 8u}) {
+        report::ShardedConfig cfg;
+        cfg.shards = shards;
+        EXPECT_EQ(shardedRaces<graph::EventRacerDetector>(tr, cfg),
+                  expected)
+            << "shards=" << shards;
+    }
+}
+
+TEST(ShardedChecker, InsensitiveToBatchAndQueueSizes)
+{
+    Trace tr = workload::chaosTrace(19, 80);
+    auto expected = sequentialRaces<core::AsyncClockDetector>(tr);
+    ASSERT_FALSE(expected.empty());
+    // Tiny batches/queues maximize handoffs and backpressure stalls;
+    // huge batches collapse everything into the final drain flush.
+    const report::ShardedConfig cfgs[] = {
+        {.shards = 2, .batchOps = 1, .queueCapacity = 1},
+        {.shards = 8, .batchOps = 3, .queueCapacity = 2},
+        {.shards = 4, .batchOps = 1 << 20, .queueCapacity = 64},
+    };
+    for (const auto &cfg : cfgs) {
+        EXPECT_EQ(shardedRaces<core::AsyncClockDetector>(tr, cfg),
+                  expected)
+            << "shards=" << cfg.shards
+            << " batchOps=" << cfg.batchOps
+            << " queueCapacity=" << cfg.queueCapacity;
+    }
+}
+
+TEST(ShardedChecker, RepeatedRunsAreIdentical)
+{
+    Trace tr = workloadTrace(11, 100);
+    report::ShardedConfig cfg;
+    cfg.shards = 4;
+    cfg.batchOps = 8;
+    auto first = shardedRaces<core::AsyncClockDetector>(tr, cfg);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(shardedRaces<core::AsyncClockDetector>(tr, cfg),
+                  first)
+            << "run " << i;
+}
+
+TEST(ShardedChecker, ByteSizePollableWhileRunning)
+{
+    Trace tr = workloadTrace(5, 150);
+    report::ShardedConfig cfg;
+    cfg.shards = 4;
+    cfg.batchOps = 4;
+    report::ShardedChecker checker(cfg);
+    core::AsyncClockDetector det(tr, checker);
+    std::uint64_t lastSeen = 0;
+    while (det.processNext())
+        lastSeen = std::max(lastSeen, checker.byteSize());
+    EXPECT_GT(lastSeen, 0u);
+    checker.drain();
+    EXPECT_GT(checker.byteSize(), 0u);
+    EXPECT_FALSE(checker.races().empty());
+}
+
+TEST(ShardedChecker, DrainIsIdempotentAndZeroShardClampsToOne)
+{
+    Trace tr = workload::chaosTrace(23, 40);
+    report::ShardedConfig cfg;
+    cfg.shards = 0;  // clamps to 1
+    report::ShardedChecker checker(cfg);
+    EXPECT_EQ(checker.shards(), 1u);
+    core::AsyncClockDetector det(tr, checker);
+    det.runAll();
+    checker.drain();
+    auto first = checker.races();
+    checker.drain();
+    EXPECT_EQ(checker.races(), first);
+    EXPECT_EQ(first,
+              sequentialRaces<core::AsyncClockDetector>(tr));
+}
+
+} // namespace
+} // namespace asyncclock

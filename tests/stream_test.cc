@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Streaming-pipeline tests: every TraceSource (materialized, streaming
+ * text, streaming binary) feeds both detectors to identical race
+ * reports; the binary format round-trips randomized workload traces
+ * byte-exactly at the Trace level; truncated or corrupted binary
+ * streams are rejected, not misparsed; and the runtime's
+ * direct-to-sink mode reproduces the materialized trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/detector.hh"
+#include "graph/eventracer.hh"
+#include "report/fasttrack.hh"
+#include "trace/trace_io.hh"
+#include "workload/workload.hh"
+
+namespace asyncclock {
+namespace {
+
+using trace::Operation;
+using trace::Trace;
+
+using RaceKey = std::tuple<trace::OpId, trace::OpId, trace::VarId>;
+
+std::set<RaceKey>
+keysOf(const std::vector<report::RaceReport> &races)
+{
+    std::set<RaceKey> out;
+    for (const auto &r : races)
+        out.insert({r.prevOp, r.curOp, r.var});
+    return out;
+}
+
+std::set<RaceKey>
+runAsyncClock(trace::TraceSource &src)
+{
+    report::FastTrackChecker checker;
+    core::AsyncClockDetector det(src, checker);
+    det.runAll();
+    EXPECT_TRUE(src.ok()) << src.error();
+    return keysOf(checker.races());
+}
+
+std::set<RaceKey>
+runEventRacer(trace::TraceSource &src)
+{
+    report::FastTrackChecker checker;
+    graph::EventRacerDetector det(src, checker);
+    det.runAll();
+    EXPECT_TRUE(src.ok()) << src.error();
+    return keysOf(checker.races());
+}
+
+workload::AppProfile
+profile(std::uint64_t seed, unsigned events)
+{
+    workload::AppProfile p;
+    p.seed = seed;
+    p.looperEvents = events;
+    return p;
+}
+
+/** Entity tables equal at the level both formats preserve. */
+void
+expectSameEntities(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.threads().size(), b.threads().size());
+    for (std::size_t i = 0; i < a.threads().size(); ++i) {
+        EXPECT_EQ(a.threads()[i].kind, b.threads()[i].kind);
+        EXPECT_EQ(a.threads()[i].queue, b.threads()[i].queue);
+        EXPECT_EQ(a.threads()[i].name, b.threads()[i].name);
+    }
+    ASSERT_EQ(a.queues().size(), b.queues().size());
+    for (std::size_t i = 0; i < a.queues().size(); ++i) {
+        EXPECT_EQ(a.queues()[i].kind, b.queues()[i].kind);
+        EXPECT_EQ(a.queues()[i].looper, b.queues()[i].looper);
+        EXPECT_EQ(a.queues()[i].name, b.queues()[i].name);
+    }
+    EXPECT_EQ(a.events().size(), b.events().size());
+    ASSERT_EQ(a.vars().size(), b.vars().size());
+    for (std::size_t i = 0; i < a.vars().size(); ++i) {
+        EXPECT_EQ(a.vars()[i].name, b.vars()[i].name);
+        EXPECT_EQ(a.vars()[i].seedLabel, b.vars()[i].seedLabel);
+    }
+    ASSERT_EQ(a.handles().size(), b.handles().size());
+    ASSERT_EQ(a.sites().size(), b.sites().size());
+    for (std::size_t i = 0; i < a.sites().size(); ++i) {
+        EXPECT_EQ(a.sites()[i].name, b.sites()[i].name);
+        EXPECT_EQ(a.sites()[i].frame, b.sites()[i].frame);
+        EXPECT_EQ(a.sites()[i].commGroup, b.sites()[i].commGroup);
+    }
+}
+
+void
+expectSameOps(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.numOps(), b.numOps());
+    for (trace::OpId i = 0; i < a.numOps(); ++i) {
+        const Operation &x = a.op(i);
+        const Operation &y = b.op(i);
+        EXPECT_EQ(x.kind, y.kind) << "op " << i;
+        EXPECT_EQ(x.task.raw(), y.task.raw()) << "op " << i;
+        EXPECT_EQ(x.target, y.target) << "op " << i;
+        EXPECT_EQ(x.event, y.event) << "op " << i;
+        EXPECT_EQ(x.site, y.site) << "op " << i;
+        EXPECT_EQ(x.vtime, y.vtime) << "op " << i;
+        EXPECT_EQ(x.attrs.kind, y.attrs.kind) << "op " << i;
+        EXPECT_EQ(x.attrs.async, y.attrs.async) << "op " << i;
+        EXPECT_EQ(x.attrs.time, y.attrs.time) << "op " << i;
+    }
+}
+
+// ----- source equivalence ---------------------------------------------
+
+class SourceEquivalence
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(SourceEquivalence, AllSourcesAllDetectorsAgree)
+{
+    auto [seed, events] = GetParam();
+    auto app = workload::generateApp(profile(seed, events));
+    const Trace &tr = app.trace;
+
+    std::string text = trace::writeTraceToString(tr);
+    std::string bin = trace::writeBinaryTraceToString(tr);
+
+    trace::MaterializedSource mat(tr);
+    std::set<RaceKey> acExpected = runAsyncClock(mat);
+    mat.rewind();
+    std::set<RaceKey> erExpected = runEventRacer(mat);
+    EXPECT_FALSE(acExpected.empty())
+        << "workload seeded races should be detected";
+
+    {
+        std::istringstream in(text);
+        trace::StreamingTextSource src(in);
+        ASSERT_TRUE(src.ok()) << src.error();
+        EXPECT_EQ(runAsyncClock(src), acExpected);
+    }
+    {
+        std::istringstream in(text);
+        trace::StreamingTextSource src(in);
+        EXPECT_EQ(runEventRacer(src), erExpected);
+    }
+    {
+        std::istringstream in(bin);
+        trace::StreamingBinarySource src(in);
+        ASSERT_TRUE(src.ok()) << src.error();
+        EXPECT_EQ(runAsyncClock(src), acExpected);
+    }
+    {
+        std::istringstream in(bin);
+        trace::StreamingBinarySource src(in);
+        EXPECT_EQ(runEventRacer(src), erExpected);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, SourceEquivalence,
+    ::testing::Values(std::make_pair(11u, 80u),
+                      std::make_pair(2024u, 150u),
+                      std::make_pair(777u, 220u)));
+
+// ----- binary round-trip property -------------------------------------
+
+TEST(BinaryFormat, RoundTripsRandomizedWorkloads)
+{
+    for (std::uint64_t seed : {1u, 99u, 31337u, 555u}) {
+        auto app = workload::generateApp(
+            profile(seed, 60 + unsigned(seed % 100)));
+        std::string bin = trace::writeBinaryTraceToString(app.trace);
+        Trace back;
+        std::string error;
+        ASSERT_TRUE(trace::readBinaryTraceFromString(bin, back, error))
+            << error;
+        expectSameEntities(app.trace, back);
+        expectSameOps(app.trace, back);
+        EXPECT_EQ(back.validate(true), "");
+        // Re-encoding the decoded trace is byte-identical.
+        EXPECT_EQ(trace::writeBinaryTraceToString(back), bin);
+    }
+}
+
+TEST(BinaryFormat, RoundTripsThroughTextAndBack)
+{
+    auto app = workload::generateApp(profile(4321, 120));
+    // text -> Trace -> binary -> Trace: same ops either way.
+    Trace viaText;
+    std::string error;
+    ASSERT_TRUE(trace::readTraceFromString(
+        trace::writeTraceToString(app.trace), viaText, error))
+        << error;
+    Trace viaBin;
+    ASSERT_TRUE(trace::readBinaryTraceFromString(
+        trace::writeBinaryTraceToString(viaText), viaBin, error))
+        << error;
+    expectSameEntities(app.trace, viaBin);
+    expectSameOps(app.trace, viaBin);
+}
+
+TEST(BinaryFormat, CompressesWellBelowMemoryFootprint)
+{
+    auto app = workload::generateApp(profile(8, 200));
+    std::string bin = trace::writeBinaryTraceToString(app.trace);
+    EXPECT_LT(bin.size(),
+              app.trace.numOps() * sizeof(Operation) / 2);
+}
+
+// ----- rejection of damaged streams -----------------------------------
+
+TEST(BinaryFormat, RejectsTruncation)
+{
+    auto app = workload::generateApp(profile(5, 60));
+    std::string bin = trace::writeBinaryTraceToString(app.trace);
+    // Chop anywhere: header-only, mid-record, missing end marker.
+    for (std::size_t cut :
+         {std::size_t(3), std::size_t(5), bin.size() / 3,
+          bin.size() / 2, bin.size() - 1}) {
+        Trace tr;
+        // Poison the output to verify the reset-on-failure contract.
+        tr.addVar("poison");
+        std::string error;
+        EXPECT_FALSE(trace::readBinaryTraceFromString(
+            bin.substr(0, cut), tr, error))
+            << "cut at " << cut;
+        EXPECT_FALSE(error.empty());
+        EXPECT_EQ(tr.vars().size(), 0u) << "trace not reset";
+        EXPECT_EQ(tr.numOps(), 0u);
+    }
+}
+
+TEST(BinaryFormat, RejectsBadMagicAndVersion)
+{
+    auto app = workload::generateApp(profile(5, 30));
+    std::string bin = trace::writeBinaryTraceToString(app.trace);
+    Trace tr;
+    std::string error;
+
+    std::string badMagic = bin;
+    badMagic[0] = 'X';
+    EXPECT_FALSE(
+        trace::readBinaryTraceFromString(badMagic, tr, error));
+
+    std::string badVersion = bin;
+    badVersion[4] = char(0x7E);
+    EXPECT_FALSE(
+        trace::readBinaryTraceFromString(badVersion, tr, error));
+}
+
+TEST(BinaryFormat, RejectsCorruptedBytes)
+{
+    auto app = workload::generateApp(profile(7, 80));
+    std::string bin = trace::writeBinaryTraceToString(app.trace);
+    // Flip bytes across the stream. Every flip must either still
+    // decode (the flip may hit a name byte or produce another valid
+    // stream) or fail cleanly with an error — never crash. Flips that
+    // corrupt an id past its declared table must be rejected.
+    unsigned rejected = 0;
+    for (std::size_t pos = 5; pos < bin.size(); pos += 11) {
+        std::string bad = bin;
+        bad[pos] = char(bad[pos] ^ 0xA5);
+        Trace tr;
+        std::string error;
+        if (!trace::readBinaryTraceFromString(bad, tr, error)) {
+            EXPECT_FALSE(error.empty());
+            EXPECT_EQ(tr.numOps(), 0u) << "trace not reset";
+            ++rejected;
+        }
+    }
+    EXPECT_GT(rejected, 0u);
+}
+
+TEST(BinaryFormat, StreamingSourceReportsTruncation)
+{
+    auto app = workload::generateApp(profile(5, 60));
+    std::string bin = trace::writeBinaryTraceToString(app.trace);
+    std::istringstream in(bin.substr(0, bin.size() / 2));
+    trace::StreamingBinarySource src(in);
+    ASSERT_TRUE(src.ok());
+    Operation op;
+    while (src.next(op)) {
+    }
+    EXPECT_FALSE(src.ok());
+    EXPECT_FALSE(src.error().empty());
+}
+
+// ----- text error contract --------------------------------------------
+
+TEST(TextFormat, ErrorsCarryLineAndTokenAndResetTrace)
+{
+    struct Case
+    {
+        const char *text;
+        const char *line;   ///< expected "line N" fragment
+        const char *token;  ///< expected offending token
+    };
+    const Case cases[] = {
+        {"not-a-header\n", "line 1", "not-a-header"},
+        {"asyncclock-trace v1\nbogus x\n", "line 2", "bogus"},
+        {"asyncclock-trace v1\nthread zz name -\n", "line 2", "zz"},
+        {"asyncclock-trace v1\nop zz T0 5 -\n", "line 2", "zz"},
+        {"asyncclock-trace v1\nthread looper main q9\n", "line 2",
+         "q9"},
+    };
+    for (const Case &c : cases) {
+        Trace tr;
+        tr.addVar("poison");
+        std::string error;
+        EXPECT_FALSE(trace::readTraceFromString(c.text, tr, error))
+            << c.text;
+        EXPECT_NE(error.find(c.line), std::string::npos) << error;
+        EXPECT_NE(error.find(c.token), std::string::npos) << error;
+        EXPECT_EQ(tr.vars().size(), 0u)
+            << "trace must be reset on failure";
+    }
+}
+
+// ----- direct-to-sink generation --------------------------------------
+
+TEST(SinkMode, GenerateAppToSinkMatchesMaterialized)
+{
+    workload::AppProfile p = profile(321, 100);
+    auto app = workload::generateApp(p);
+
+    Trace streamed;
+    trace::TraceBuildSink sink(streamed);
+    std::uint64_t endMs = 0;
+    workload::SeededTruth truth =
+        workload::generateAppToSink(p, sink, &endMs);
+
+    expectSameEntities(app.trace, streamed);
+    expectSameOps(app.trace, streamed);
+    EXPECT_EQ(endMs, app.endTimeMs);
+    EXPECT_EQ(truth.harmful, p.seededHarmful);
+}
+
+TEST(SinkMode, BinaryRecordingDecodesToMaterializedTrace)
+{
+    // Record straight to the binary writer. The live stream interleaves
+    // mid-run entity declarations with ops (the batch encoder hoists
+    // them all up front), so the bytes differ — but decoding must yield
+    // the same trace, and re-encoding that trace must be byte-identical
+    // to encoding the materialized run.
+    workload::AppProfile p = profile(654, 80);
+    auto app = workload::generateApp(p);
+
+    std::ostringstream recorded;
+    {
+        trace::BinaryTraceWriter writer(recorded);
+        workload::generateAppToSink(p, writer);
+        writer.finish();
+    }
+    Trace decoded;
+    std::string error;
+    ASSERT_TRUE(trace::readBinaryTraceFromString(recorded.str(),
+                                                 decoded, error))
+        << error;
+    expectSameEntities(app.trace, decoded);
+    expectSameOps(app.trace, decoded);
+    EXPECT_EQ(trace::writeBinaryTraceToString(decoded),
+              trace::writeBinaryTraceToString(app.trace));
+}
+
+// ----- container-bytes contract ---------------------------------------
+
+TEST(Sources, StreamingContainerBytesAreO1InOps)
+{
+    auto small = workload::generateApp(profile(9, 40));
+    auto large = workload::generateApp(profile(9, 400));
+    ASSERT_GT(large.trace.numOps(), 4 * small.trace.numOps());
+
+    auto streamingPeak = [](const Trace &tr) {
+        std::istringstream in(trace::writeBinaryTraceToString(tr));
+        trace::StreamingBinarySource src(in);
+        std::uint64_t peak = 0;
+        Operation op;
+        while (src.next(op))
+            peak = std::max(peak, src.containerBytes());
+        return peak;
+    };
+    std::uint64_t smallPeak = streamingPeak(small.trace);
+    std::uint64_t largePeak = streamingPeak(large.trace);
+    EXPECT_EQ(smallPeak, largePeak)
+        << "streaming container state must not scale with ops";
+
+    trace::MaterializedSource matSmall(small.trace);
+    trace::MaterializedSource matLarge(large.trace);
+    EXPECT_GT(matLarge.containerBytes(),
+              3 * matSmall.containerBytes());
+    EXPECT_LT(largePeak, matLarge.containerBytes() / 100);
+}
+
+} // namespace
+} // namespace asyncclock
