@@ -17,7 +17,14 @@
  * modest throughput cost, the binary decoder outpaces the text parser,
  * and every mode reports the identical number of races.
  *
- * Usage: bench_streaming [--scale=0.05]
+ * With --metrics-out=PATH every mode run additionally attaches a
+ * MetricsRegistry (detector counters, shard queue stats, per-category
+ * memory) and the harness writes one JSON document with the per-run
+ * snapshots. The default run attaches nothing — the observability
+ * hooks must stay invisible in the numbers this bench exists to
+ * measure.
+ *
+ * Usage: bench_streaming [--scale=0.05] [--metrics-out=PATH]
  */
 
 #include <chrono>
@@ -25,10 +32,13 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench_util.hh"
+#include "obs/obs.hh"
 #include "report/sharded.hh"
 #include "support/format.hh"
+#include "support/json.hh"
 #include "trace/trace_io.hh"
 #include "workload/workload.hh"
 
@@ -42,22 +52,32 @@ struct ModeResult
     double opsPerSec = 0;
     std::uint64_t peakContainer = 0;
     std::size_t races = 0;
+    std::string metricsJson;  ///< only with --metrics-out
 };
 
 /** One timed AsyncClock pass over @p src; @p shards == 0 checks
- * sequentially. Polls the source's container footprint as it runs. */
+ * sequentially. Polls the source's container footprint as it runs.
+ * @p withMetrics attaches a registry and snapshots it into the
+ * result (adds measurable work — off for the headline numbers). */
 ModeResult
-runMode(trace::TraceSource &src, unsigned shards)
+runMode(trace::TraceSource &src, unsigned shards,
+        bool withMetrics = false)
 {
+    obs::MetricsRegistry registry;
+    obs::ObsContext octx;
+    if (withMetrics)
+        octx.metrics = &registry;
     std::unique_ptr<report::AccessChecker> checker;
     if (shards > 0) {
         report::ShardedConfig cfg;
         cfg.shards = shards;
+        cfg.obs = octx;
         checker = std::make_unique<report::ShardedChecker>(cfg);
     } else {
         checker = std::make_unique<report::FastTrackChecker>();
     }
     core::AsyncClockDetector det(src, *checker);
+    det.attachObs(octx);
     ModeResult out;
     std::uint64_t n = 0;
     auto start = std::chrono::steady_clock::now();
@@ -77,6 +97,10 @@ runMode(trace::TraceSource &src, unsigned shards)
         std::max(out.peakContainer, src.containerBytes());
     if (!src.ok())
         fatal("source failed: " + src.error());
+    // Snapshot while the detector and checker (the callback metrics'
+    // producers) are still alive.
+    if (withMetrics)
+        out.metricsJson = registry.snapshot().toJson();
     return out;
 }
 
@@ -94,7 +118,19 @@ int
 main(int argc, char **argv)
 {
     double scale = argDouble(argc, argv, "scale", 0.05);
+    std::string metricsOut =
+        argString(argc, argv, "metrics-out", "");
+    bool withMetrics = !metricsOut.empty();
     const char *apps[] = {"AnyMemo", "Firefox", "VLCPlayer"};
+
+    // (app, mode, per-run metrics snapshot JSON)
+    std::vector<std::pair<std::string, std::string>> snapshots;
+    auto record = [&](const std::string &app, const char *mode,
+                      const ModeResult &r) {
+        printRow(mode, r);
+        if (withMetrics)
+            snapshots.emplace_back(app + "/" + mode, r.metricsJson);
+    };
 
     for (const char *name : apps) {
         workload::AppProfile profile =
@@ -109,27 +145,50 @@ main(int argc, char **argv)
 
         {
             trace::MaterializedSource src(app.trace);
-            printRow("materialized", runMode(src, 0));
+            record(name, "materialized", runMode(src, 0, withMetrics));
         }
         {
             std::istringstream in(text);
             trace::StreamingTextSource src(in);
-            printRow("streaming-text", runMode(src, 0));
+            record(name, "streaming-text",
+                   runMode(src, 0, withMetrics));
         }
         {
             std::istringstream in(bin);
             trace::StreamingBinarySource src(in);
-            printRow("streaming-binary", runMode(src, 0));
+            record(name, "streaming-binary",
+                   runMode(src, 0, withMetrics));
         }
         for (unsigned shards : {1u, 4u}) {
             std::istringstream in(bin);
             trace::StreamingBinarySource src(in);
-            printRow(strf("streaming + %u shard%s", shards,
-                          shards == 1 ? "" : "s")
-                         .c_str(),
-                     runMode(src, shards));
+            record(name,
+                   strf("streaming + %u shard%s", shards,
+                        shards == 1 ? "" : "s")
+                       .c_str(),
+                   runMode(src, shards, withMetrics));
         }
         std::printf("\n");
+    }
+
+    if (withMetrics) {
+        JsonWriter w;
+        w.beginObject();
+        w.field("schema",
+                std::string("asyncclock-bench-streaming-v1"));
+        w.key("runs").beginObject();
+        for (const auto &[run, json] : snapshots)
+            w.key(run).raw(json);
+        w.endObject().endObject();
+        std::FILE *f = std::fopen(metricsOut.c_str(), "wb");
+        if (!f)
+            fatal("cannot open " + metricsOut + " for writing");
+        if (std::fwrite(w.str().data(), 1, w.str().size(), f) !=
+                w.str().size() ||
+            std::fclose(f) != 0)
+            fatal("short write to " + metricsOut);
+        std::printf("wrote per-run metrics to %s\n",
+                    metricsOut.c_str());
     }
     return 0;
 }

@@ -92,6 +92,20 @@ argDouble(int argc, char **argv, const std::string &name, double dflt)
     return dflt;
 }
 
+/** Parse a `--name=value` style string argument. */
+inline std::string
+argString(int argc, char **argv, const std::string &name,
+          const std::string &dflt)
+{
+    std::string prefix = "--" + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(prefix.size());
+    }
+    return dflt;
+}
+
 } // namespace asyncclock::bench
 
 #endif // ASYNCCLOCK_BENCH_BENCH_UTIL_HH

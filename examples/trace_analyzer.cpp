@@ -12,11 +12,19 @@
  *                  [--window-ms=N] [--chains=fifo|greedy]
  *                  [--no-reclaim] [--all-races]
  *                  [--streaming] [--shards=N]
+ *                  [--progress[=N]] [--trace-out=PATH]
+ *                  [--metrics-out=PATH]
  *
  * analyze auto-detects text vs binary traces by magic. --streaming
  * feeds the detector from the file without materializing the op
  * vector (O(1) trace memory); --shards=N fans the race checks out to
  * N parallel FastTrack shards.
+ *
+ * Observability (all off by default, near-zero cost when off):
+ * --progress prints a heartbeat line to stderr every N ops (default
+ * 100000); --trace-out writes a Chrome trace-event JSON file of the
+ * run's phases (load in Perfetto / chrome://tracing); --metrics-out
+ * writes the end-of-run metrics snapshot as JSON.
  *
  * Example:
  *   ./build/examples/trace_analyzer gen Firefox /tmp/firefox.trace 0.02
@@ -25,6 +33,7 @@
  */
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -32,6 +41,8 @@
 
 #include "core/detector.hh"
 #include "graph/eventracer.hh"
+#include "obs/obs.hh"
+#include "obs/progress.hh"
 #include "report/export.hh"
 #include "report/fasttrack.hh"
 #include "report/races.hh"
@@ -63,8 +74,24 @@ usage()
         "                   of materializing the operation vector\n"
         "  --shards=N       check races on N parallel shards\n"
         "  --json           print the report as JSON (materialized\n"
-        "                   mode only)\n");
+        "                   mode only)\n"
+        "  --progress[=N]   heartbeat line on stderr every N ops\n"
+        "                   (default 100000)\n"
+        "  --trace-out=PATH write Chrome trace-event JSON (Perfetto)\n"
+        "  --metrics-out=PATH write end-of-run metrics JSON\n");
     return 2;
+}
+
+/** Write @p data to @p path, fatal() on failure. */
+void
+writeTextFile(const std::string &path, const std::string &data)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open " + path + " for writing");
+    if (std::fwrite(data.data(), 1, data.size(), f) != data.size() ||
+        std::fclose(f) != 0)
+        fatal("short write to " + path);
 }
 
 int
@@ -110,6 +137,9 @@ cmdAnalyze(int argc, char **argv)
     bool json = false;
     bool streaming = false;
     unsigned shards = 0;
+    std::uint64_t progressEvery = 0;
+    std::string traceOut;
+    std::string metricsOut;
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--detector=", 0) == 0) {
@@ -133,6 +163,15 @@ cmdAnalyze(int argc, char **argv)
                 std::strtoul(arg.c_str() + 9, nullptr, 10));
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--progress") {
+            progressEvery = 100000;
+        } else if (arg.rfind("--progress=", 0) == 0) {
+            progressEvery =
+                std::strtoull(arg.c_str() + 11, nullptr, 10);
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            traceOut = arg.substr(12);
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            metricsOut = arg.substr(14);
         } else {
             return usage();
         }
@@ -143,11 +182,27 @@ cmdAnalyze(int argc, char **argv)
         return 2;
     }
 
+    // Observability: a registry iff --metrics-out, a tracer iff
+    // --trace-out. Both must outlive the detector and checker (their
+    // snapshot callbacks read into those objects), so they live here
+    // and everything below holds nullable pointers.
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer;
+    obs::ObsContext octx;
+    if (!metricsOut.empty())
+        octx.metrics = &registry;
+    if (!traceOut.empty())
+        octx.tracer = &tracer;
+
     std::unique_ptr<report::AccessChecker> checker;
+    report::ShardedChecker *sharded = nullptr;
     if (shards > 0) {
         report::ShardedConfig scfg;
         scfg.shards = shards;
-        checker = std::make_unique<report::ShardedChecker>(scfg);
+        scfg.obs = octx;
+        auto owned = std::make_unique<report::ShardedChecker>(scfg);
+        sharded = owned.get();
+        checker = std::move(owned);
     } else {
         checker = std::make_unique<report::FastTrackChecker>();
     }
@@ -167,11 +222,13 @@ cmdAnalyze(int argc, char **argv)
                     tr.stats().summary().c_str());
     }
     if (detectorName == "asyncclock") {
-        detector = streaming
-                       ? std::make_unique<core::AsyncClockDetector>(
-                             *opened.source, *checker, cfg)
-                       : std::make_unique<core::AsyncClockDetector>(
-                             tr, *checker, cfg);
+        auto ac = streaming
+                      ? std::make_unique<core::AsyncClockDetector>(
+                            *opened.source, *checker, cfg)
+                      : std::make_unique<core::AsyncClockDetector>(
+                            tr, *checker, cfg);
+        ac->attachObs(octx);
+        detector = std::move(ac);
     } else if (detectorName == "eventracer") {
         detector =
             streaming
@@ -185,14 +242,40 @@ cmdAnalyze(int argc, char **argv)
     }
 
     MemStats mem;
+    if (octx.metrics) {
+        obs::registerMemStats(*octx.metrics, mem);
+        octx.metrics->counterFn("run.ops_processed",
+                                [&d = *detector] {
+                                    return d.opsProcessed();
+                                });
+    }
+    obs::ProgressMeter meter(progressEvery);
     auto start = std::chrono::steady_clock::now();
-    detector->runAll(&mem, 1024);
-    if (auto *sharded =
-            dynamic_cast<report::ShardedChecker *>(checker.get()))
+    std::uint64_t n = 0;
+    while (detector->processNext()) {
+        if ((++n % 1024) == 0)
+            detector->sampleMemory(mem);
+        if (meter.due(n)) {
+            detector->sampleMemory(mem);
+            obs::ProgressSample s;
+            s.ops = n;
+            s.liveBytes = mem.liveTotal();
+            s.peakBytes = mem.peakTotal();
+            s.races = checker->racesFound();
+            if (sharded)
+                s.queueDepths = sharded->queueDepths();
+            meter.report(s);
+        }
+    }
+    detector->sampleMemory(mem);
+    if (sharded)
         sharded->drain();
     auto elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+    if (octx.metrics)
+        octx.metrics->gauge("run.elapsed_us")
+            .set(static_cast<std::int64_t>(elapsed * 1e6));
     if (streaming && !opened.source->ok())
         fatal("trace stream failed: " + opened.source->error());
 
@@ -205,8 +288,21 @@ cmdAnalyze(int argc, char **argv)
     report::RaceAnalyzer analyzer =
         streaming ? report::RaceAnalyzer(opened.source->meta())
                   : report::RaceAnalyzer(tr);
-    report::ReportSummary summary =
-        analyzer.analyze(checker->races(), filters);
+    report::ReportSummary summary = [&] {
+        obs::ScopedSpan span(octx.tracer, obs::kMainTrack,
+                             "report_export");
+        return analyzer.analyze(checker->races(), filters);
+    }();
+
+    if (!traceOut.empty()) {
+        tracer.writeFile(traceOut);
+        std::printf("wrote trace events to %s\n", traceOut.c_str());
+    }
+    if (!metricsOut.empty()) {
+        writeTextFile(metricsOut, registry.snapshot().toJson());
+        std::printf("wrote metrics to %s\n", metricsOut.c_str());
+    }
+
     if (json) {
         std::printf("%s\n", report::toJson(summary, tr).c_str());
         return 0;

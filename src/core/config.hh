@@ -65,6 +65,8 @@ struct DetectorCounters
     std::uint64_t gcSweeps = 0;
     std::uint64_t walkSteps = 0;        ///< async-before list visits
     std::uint64_t walkEarlyStops = 0;
+    std::uint64_t clockTicks = 0;       ///< chain clock increments
+    std::uint64_t clockJoins = 0;       ///< vector-clock joins
     /** Events placed in FIFO chains by level (index 1..3); index 0
      * counts greedy-placed events. */
     std::uint64_t fifoLevel[4] = {0, 0, 0, 0};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/format.hh"
 #include "support/logging.hh"
 
 namespace asyncclock::core {
@@ -176,6 +177,7 @@ AsyncClockDetector::tickChain(ChainId c)
     ChainState &ch = chains_[c];
     clock::Tick t = ++ch.tick;
     ch.vc.raise(c, t);
+    ++counters_.clockTicks;
     return {c, t};
 }
 
@@ -184,19 +186,110 @@ AsyncClockDetector::joinIntoChain(ChainId c, const Snapshot &snap)
 {
     ChainState &ch = chains_[c];
     ch.vc.joinWith(snap.vc);
+    ++counters_.clockJoins;
     joinACSet(ch.acs, snap.acs);
     joinAtomicSet(ch.atomic, snap.atomic);
+}
+
+void
+AsyncClockDetector::attachObs(const obs::ObsContext &ctx)
+{
+    obs_ = ctx;
+    if (!obs_.metrics)
+        return;
+    obs::MetricsRegistry &reg = *obs_.metrics;
+    const DetectorCounters *c = &counters_;
+    reg.counterFn("detector.ops_processed",
+                  [this] { return cursor_; });
+    reg.counterFn("detector.events_seen",
+                  [c] { return c->eventsSeen; });
+    reg.counterFn("detector.reclaimed_refcount",
+                  [c] { return c->reclaimedRefcount; });
+    reg.counterFn("detector.reclaimed_multipath",
+                  [c] { return c->reclaimedMultiPath; });
+    reg.counterFn("detector.invalidated_by_window",
+                  [c] { return c->invalidatedByWindow; });
+    reg.counterFn("detector.chains_created",
+                  [c] { return c->chainsCreated; });
+    reg.counterFn("detector.chains_reused",
+                  [c] { return c->chainsReused; });
+    reg.counterFn("detector.gc_sweeps", [c] { return c->gcSweeps; });
+    reg.counterFn("detector.walk_steps",
+                  [c] { return c->walkSteps; });
+    reg.counterFn("detector.walk_early_stops",
+                  [c] { return c->walkEarlyStops; });
+    reg.counterFn("detector.clock_ticks",
+                  [c] { return c->clockTicks; });
+    reg.counterFn("detector.clock_joins",
+                  [c] { return c->clockJoins; });
+    for (unsigned lvl = 0; lvl < 4; ++lvl) {
+        reg.counterFn(strf("detector.fifo_level_%u", lvl),
+                      [c, lvl] { return c->fifoLevel[lvl]; });
+    }
+    reg.gaugeFn("detector.events_live", [c] {
+        return static_cast<std::int64_t>(c->eventsLive);
+    });
+    reg.gaugeFn("detector.events_live_peak", [c] {
+        return static_cast<std::int64_t>(c->eventsLivePeak);
+    });
+    reg.gaugeFn("detector.chains", [this] {
+        return static_cast<std::int64_t>(chains_.size());
+    });
+}
+
+void
+AsyncClockDetector::flushPumpSpan()
+{
+    if (pumpOps_ == 0)
+        return;
+    obs_.tracer->span(
+        obs::kMainTrack, "pump", pumpStartUs_, obs_.tracer->nowUs(),
+        strf("{\"ops\":%llu,\"decode_us\":%llu,\"resolve_us\":%llu}",
+             static_cast<unsigned long long>(pumpOps_),
+             static_cast<unsigned long long>(pumpDecodeUs_),
+             static_cast<unsigned long long>(pumpResolveUs_)));
+    pumpOps_ = 0;
+    pumpDecodeUs_ = 0;
+    pumpResolveUs_ = 0;
 }
 
 bool
 AsyncClockDetector::processNext()
 {
+    if (obs_.tracer) [[unlikely]]
+        return processNextTraced();
     Operation op;
     if (!source_->next(op))
         return false;
     syncEntities();
     processOp(op, static_cast<OpId>(cursor_));
     ++cursor_;
+    return true;
+}
+
+bool
+AsyncClockDetector::processNextTraced()
+{
+    // Traced pump: split the per-op cost into decode (pulling from
+    // the source) and resolve (the causality machinery), aggregated
+    // into one span per kPumpSpanOps block.
+    Operation op;
+    std::uint64_t t0 = obs_.tracer->nowUs();
+    if (pumpOps_ == 0)
+        pumpStartUs_ = t0;
+    bool got = source_->next(op);
+    std::uint64_t t1 = obs_.tracer->nowUs();
+    pumpDecodeUs_ += t1 - t0;
+    if (!got) {
+        flushPumpSpan();
+        return false;
+    }
+    syncEntities();
+    processOp(op, static_cast<OpId>(cursor_));
+    ++cursor_;
+    pumpResolveUs_ += obs_.tracer->nowUs() - t1;
+    if (++pumpOps_ >= kPumpSpanOps)
+        flushPumpSpan();
     return true;
 }
 
@@ -237,6 +330,7 @@ AsyncClockDetector::processOp(const Operation &op, OpId id)
             ChainState &ch = chains_[c];
             Snapshot &h = handleState_[op.target];
             h.vc.joinWith(ch.vc);
+            ++counters_.clockJoins;
             joinACSet(h.acs, ch.acs);
             joinAtomicSet(h.atomic, ch.atomic);
         }
@@ -280,6 +374,8 @@ AsyncClockDetector::processOp(const Operation &op, OpId id)
         ageWindow(op.vtime);
     if (++opsSinceGc_ >= cfg_.gcIntervalOps) {
         opsSinceGc_ = 0;
+        obs::ScopedSpan span(obs_.tracer, obs::kMainTrack,
+                             "gc_sweep");
         gcSweep();
     }
     counters_.eventsLive = registry_.live;
@@ -319,6 +415,7 @@ AsyncClockDetector::onThreadEnd(const Operation &op)
     ChainState &ch = chains_[c];
     // Rule LOOPEND: the looper's end inherits its events' ends.
     ch.vc.joinWith(looperEndAccum_[t]);
+    ++counters_.clockJoins;
     threadEndEpoch_[t] = tickChain(c);
     Snapshot &end = threadEndState_[t];
     end.vc = ch.vc;
@@ -446,6 +543,7 @@ AsyncClockDetector::inheritEnd(Resolution &r, const EventRef &predRef)
 {
     EventMeta *pred = predRef.get();
     r.vc.joinWith(pred->endVC);
+    ++counters_.clockJoins;
     joinACSet(r.acs, pred->endACs);
     joinAtomicSet(r.atomic, pred->endAtomic);
     // The predecessor is itself the latest send from its sender chain
@@ -485,6 +583,7 @@ AsyncClockDetector::priorityResolve(EventMeta *m, Resolution &r)
             if (x->removed) {
                 resolveRemoved(x);
                 r.vc.joinWith(x->endVC);
+                ++counters_.clockJoins;
                 joinACSet(r.acs, x->endACs);
                 joinAtomicSet(r.atomic, x->endAtomic);
             } else {
@@ -628,6 +727,7 @@ AsyncClockDetector::binderResolve(EventMeta *m, Resolution &r)
             if (r.vc.knows(x->beginEpoch))
                 return;  // already inherited transitively
             r.vc.joinWith(x->beginVC);
+            ++counters_.clockJoins;
             joinACSet(r.acs, x->beginACs);
             joinAtomicSet(r.atomic, x->beginAtomic);
             r.acs[x->queue].update(x->sendEpoch.chain, ref,
@@ -713,6 +813,7 @@ AsyncClockDetector::atomicFold(ThreadId looper, const EventMeta *self,
             // Rule ATOMIC: begin(X) hb here (AsyncClock invariant), X
             // runs on our looper, so end(X) hb here too.
             vc.joinWith(x->endVC);
+            ++counters_.clockJoins;
             joinACSet(acs, x->endACs);
             joinAtomicSet(atomic, x->endAtomic);
             acs[x->queue].update(x->sendEpoch.chain, er,
@@ -875,6 +976,7 @@ AsyncClockDetector::onEventBegin(const Operation &op, OpId id)
         if (tc.version > 0 &&
             r.vc.get(tc.marker) < tc.version) {
             r.vc.joinWith(tc.vc);
+            ++counters_.clockJoins;
             joinACSet(r.acs, tc.acs);
             joinAtomicSet(r.atomic, tc.atomic);
         }
@@ -884,6 +986,7 @@ AsyncClockDetector::onEventBegin(const Operation &op, OpId id)
         !r.vc.knows(looperBeginEpoch_[looper])) {
         const Snapshot &lb = looperBegin_[looper];
         r.vc.joinWith(lb.vc);
+        ++counters_.clockJoins;
         joinACSet(r.acs, lb.acs);
         joinAtomicSet(r.atomic, lb.atomic);
     }
@@ -1022,8 +1125,10 @@ AsyncClockDetector::onEventEnd(const Operation &op)
     ch.lastEnded = true;
 
     ThreadId looper = meta().looperOf(e);
-    if (looper != kInvalidId)
+    if (looper != kInvalidId) {
         looperEndAccum_[looper].joinWith(m->endVC);
+        ++counters_.clockJoins;
+    }
 
     // Multi-path reduction (section 4.1): a predecessor held only by
     // this end clock, with send(X) hb send(this), is heirless. Also
@@ -1092,6 +1197,7 @@ AsyncClockDetector::ageWindow(std::uint64_t now)
         if (tc.marker == kInvalidId)
             tc.marker = newChain();
         tc.vc.joinWith(x->endVC);
+        ++counters_.clockJoins;
         joinACSet(tc.acs, x->endACs);
         joinAtomicSet(tc.atomic, x->endAtomic);
         tc.vc.raise(tc.marker, ++tc.version);

@@ -41,6 +41,7 @@
 
 #include "core/config.hh"
 #include "core/meta.hh"
+#include "obs/obs.hh"
 #include "report/checker.hh"
 #include "report/detector.hh"
 #include "trace/source.hh"
@@ -69,6 +70,18 @@ class AsyncClockDetector : public report::Detector
     std::uint64_t opsProcessed() const override { return cursor_; }
     std::uint64_t metadataBytes() const override;
     void sampleMemory(MemStats &stats) const override;
+
+    /**
+     * Attach an observability context. With metrics: every
+     * DetectorCounters field plus ops/chain gauges become callback
+     * metrics (the hot path keeps bumping the plain struct; the
+     * registry reads it at snapshot time, so the registry must not be
+     * snapshotted after this detector dies). With a tracer: "pump"
+     * spans on the main track covering blocks of processed ops (with
+     * decode/resolve cost split in args) and a span per GC sweep.
+     * Call before the first processNext().
+     */
+    void attachObs(const obs::ObsContext &ctx);
 
     const DetectorCounters &counters() const { return counters_; }
     /** Number of chains ever created (clock dimension). */
@@ -296,6 +309,23 @@ class AsyncClockDetector : public report::Detector
     MetaRegistry registry_;
     DetectorCounters counters_;
     std::uint64_t opsSinceGc_ = 0;
+
+    // ----- observability (inactive until attachObs) -----------------
+    /** processNext() with per-block span timing; kept out of line so
+     * the untraced hot path stays small. */
+    bool processNextTraced();
+    /** Emit the accumulated pump span, if any ops are pending. */
+    void flushPumpSpan();
+
+    obs::ObsContext obs_{};
+    /** Ops per "pump" span when tracing: coarse enough that a
+     * million-op run yields a loadable trace, fine enough to see
+     * throughput phases. */
+    static constexpr std::uint64_t kPumpSpanOps = 8192;
+    std::uint64_t pumpOps_ = 0;
+    std::uint64_t pumpStartUs_ = 0;
+    std::uint64_t pumpDecodeUs_ = 0;
+    std::uint64_t pumpResolveUs_ = 0;
 };
 
 } // namespace asyncclock::core

@@ -1,0 +1,207 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "support/format.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace asyncclock::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+{
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+        acAssert(bounds_[i - 1] < bounds_[i],
+                 "histogram bounds not strictly ascending");
+    }
+}
+
+void
+Histogram::observe(std::uint64_t v)
+{
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    std::size_t i = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+Histogram::min() const
+{
+    std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == UINT64_MAX ? 0 : m;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<std::uint64_t> bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+void
+MetricsRegistry::counterFn(const std::string &name,
+                           std::function<std::uint64_t()> fn)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counterFns_[name] = std::move(fn);
+}
+
+void
+MetricsRegistry::gaugeFn(const std::string &name,
+                         std::function<std::int64_t()> fn)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    gaugeFns_[name] = std::move(fn);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot out;
+    // std::map iteration is name-sorted; merge owned and callback
+    // metrics of each kind into one sorted list.
+    for (const auto &[name, c] : counters_)
+        out.counters.emplace_back(name, c->value());
+    for (const auto &[name, fn] : counterFns_)
+        out.counters.emplace_back(name, fn());
+    std::sort(out.counters.begin(), out.counters.end());
+    for (const auto &[name, g] : gauges_)
+        out.gauges.emplace_back(name, g->value());
+    for (const auto &[name, fn] : gaugeFns_)
+        out.gauges.emplace_back(name, fn());
+    std::sort(out.gauges.begin(), out.gauges.end());
+    for (const auto &[name, h] : histograms_) {
+        HistogramSnapshot hs;
+        hs.name = name;
+        hs.bounds = h->bounds();
+        hs.counts.reserve(h->numBuckets());
+        for (std::size_t i = 0; i < h->numBuckets(); ++i)
+            hs.counts.push_back(h->bucketCount(i));
+        hs.count = h->count();
+        hs.sum = h->sum();
+        hs.min = h->min();
+        hs.max = h->max();
+        out.histograms.push_back(std::move(hs));
+    }
+    return out;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "asyncclock-metrics-v1");
+    w.key("counters").beginObject();
+    for (const auto &[name, v] : counters)
+        w.field(name, v);
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto &[name, v] : gauges)
+        w.field(name, v);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const HistogramSnapshot &h : histograms) {
+        w.key(h.name).beginObject();
+        w.key("bounds").beginArray();
+        for (std::uint64_t b : h.bounds)
+            w.value(b);
+        w.endArray();
+        w.key("counts").beginArray();
+        for (std::uint64_t c : h.counts)
+            w.value(c);
+        w.endArray();
+        w.field("count", h.count);
+        w.field("sum", h.sum);
+        w.field("min", h.min);
+        w.field("max", h.max);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+MetricsSnapshot::summary() const
+{
+    std::string out;
+    for (const auto &[name, v] : counters)
+        out += strf("  %-40s %s\n", name.c_str(),
+                    withCommas(v).c_str());
+    for (const auto &[name, v] : gauges)
+        out += strf("  %-40s %lld\n", name.c_str(),
+                    static_cast<long long>(v));
+    for (const HistogramSnapshot &h : histograms) {
+        out += strf("  %-40s n=%s sum=%s min=%s max=%s\n",
+                    h.name.c_str(), withCommas(h.count).c_str(),
+                    withCommas(h.sum).c_str(),
+                    withCommas(h.min).c_str(),
+                    withCommas(h.max).c_str());
+    }
+    return out;
+}
+
+void
+registerMemStats(MetricsRegistry &reg, const MemStats &stats)
+{
+    constexpr unsigned numCats =
+        static_cast<unsigned>(MemCat::NumCategories);
+    for (unsigned i = 0; i < numCats; ++i) {
+        MemCat cat = static_cast<MemCat>(i);
+        std::string name = memCatName(cat);
+        reg.gaugeFn("mem.live." + name, [&stats, cat] {
+            return static_cast<std::int64_t>(stats.live(cat));
+        });
+        reg.gaugeFn("mem.peak." + name, [&stats, cat] {
+            return static_cast<std::int64_t>(stats.peak(cat));
+        });
+    }
+    reg.gaugeFn("mem.live.total", [&stats] {
+        return static_cast<std::int64_t>(stats.liveTotal());
+    });
+    reg.gaugeFn("mem.peak.total", [&stats] {
+        return static_cast<std::int64_t>(stats.peakTotal());
+    });
+}
+
+} // namespace asyncclock::obs

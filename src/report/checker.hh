@@ -77,6 +77,17 @@ class AccessChecker
     /** Races found so far. */
     virtual const std::vector<RaceReport> &races() const = 0;
 
+    /**
+     * Count of races found so far. Unlike races() — which the sharded
+     * checker can only answer by draining its pipeline — this is safe
+     * to poll mid-run from the producer thread, so heartbeats and
+     * gauges use it.
+     */
+    virtual std::uint64_t racesFound() const
+    {
+        return races().size();
+    }
+
     /** Metadata bytes held (for MemStats polling). */
     virtual std::uint64_t byteSize() const = 0;
 };

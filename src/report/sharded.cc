@@ -2,19 +2,44 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+
+#include "support/format.hh"
 
 namespace asyncclock::report {
 
 ShardedChecker::ShardedChecker(Config cfg)
-    : batchOps_(cfg.batchOps > 0 ? cfg.batchOps : 1)
+    : batchOps_(cfg.batchOps > 0 ? cfg.batchOps : 1), obs_(cfg.obs)
 {
     unsigned n = cfg.shards > 0 ? cfg.shards : 1;
     std::size_t cap = cfg.queueCapacity > 0 ? cfg.queueCapacity : 1;
+    if (obs_.metrics) {
+        batchHist_ = &obs_.metrics->histogram(
+            "sharded.batch_check_us",
+            {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000, 20000});
+        obs_.metrics->counterFn("sharded.enqueue_blocked",
+                                [this] { return enqueueBlocked(); });
+        obs_.metrics->counterFn("sharded.races_found",
+                                [this] { return racesFound(); });
+        obs_.metrics->gaugeFn("sharded.shards", [n] {
+            return static_cast<std::int64_t>(n);
+        });
+    }
     shards_.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
         shards_.push_back(std::make_unique<Shard>(cap));
         Shard &shard = *shards_.back();
         shard.pending.reserve(batchOps_);
+        if (obs_.tracer)
+            shard.track =
+                obs_.tracer->registerTrack(strf("shard-%u", i));
+        if (obs_.metrics) {
+            Shard *s = &shard;
+            obs_.metrics->gaugeFn(
+                strf("sharded.shard%u.queue_depth", i), [s] {
+                    return static_cast<std::int64_t>(s->queue.size());
+                });
+        }
         shard.worker =
             std::thread([this, &shard] { workerLoop(shard); });
     }
@@ -30,10 +55,34 @@ ShardedChecker::workerLoop(Shard &shard)
 {
     Batch batch;
     while (shard.queue.pop(batch)) {
+        // Timestamps come from the tracer's epoch when tracing (the
+        // span needs them); from the plain steady clock when only the
+        // latency histogram is on; from nowhere when obs is off.
+        std::uint64_t t0 = 0;
+        std::chrono::steady_clock::time_point c0;
+        if (obs_.tracer)
+            t0 = obs_.tracer->nowUs();
+        else if (batchHist_)
+            c0 = std::chrono::steady_clock::now();
         for (const Item &item : batch)
             shard.checker.onAccess(item.var, item.access, item.vc);
         shard.bytes.store(shard.checker.byteSize(),
                           std::memory_order_relaxed);
+        shard.races.store(shard.checker.races().size(),
+                          std::memory_order_relaxed);
+        if (obs_.tracer) {
+            std::uint64_t t1 = obs_.tracer->nowUs();
+            obs_.tracer->span(
+                shard.track, "check_batch", t0, t1,
+                strf("{\"ops\":%zu}", batch.size()));
+            if (batchHist_)
+                batchHist_->observe(t1 - t0);
+        } else if (batchHist_) {
+            batchHist_->observe(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - c0)
+                    .count()));
+        }
     }
 }
 
@@ -65,6 +114,7 @@ ShardedChecker::drain()
     if (drained_)
         return;
     drained_ = true;
+    obs::ScopedSpan span(obs_.tracer, obs::kMainTrack, "shard_drain");
     for (auto &shard : shards_) {
         flushShard(*shard);
         shard->queue.close();
@@ -103,6 +153,36 @@ ShardedChecker::races() const
     // answer, only materializes it.
     const_cast<ShardedChecker *>(this)->drain();
     return merged_;
+}
+
+std::uint64_t
+ShardedChecker::racesFound() const
+{
+    if (drained_)
+        return merged_.size();
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->races.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::vector<std::size_t>
+ShardedChecker::queueDepths() const
+{
+    std::vector<std::size_t> depths;
+    depths.reserve(shards_.size());
+    for (const auto &shard : shards_)
+        depths.push_back(shard->queue.size());
+    return depths;
+}
+
+std::uint64_t
+ShardedChecker::enqueueBlocked() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->queue.blockedPushes();
+    return total;
 }
 
 std::uint64_t

@@ -22,10 +22,12 @@
 #define ASYNCCLOCK_REPORT_SHARDED_HH
 
 #include <atomic>
+#include <cstddef>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "report/fasttrack.hh"
 #include "support/bounded_queue.hh"
 
@@ -44,6 +46,15 @@ struct ShardedConfig
     std::size_t batchOps = 256;
     /** Max batches in flight per shard (backpressure bound). */
     std::size_t queueCapacity = 64;
+    /**
+     * Observability hookup (both members optional). With metrics:
+     * per-shard queue-depth gauges, an aggregate enqueue-block
+     * counter, and a batch-check-latency histogram. With a tracer:
+     * one track per worker with a span per checked batch. Registered
+     * callbacks read the checker, so drop the registry (or stop
+     * snapshotting it) before destroying the checker.
+     */
+    obs::ObsContext obs{};
 };
 
 class ShardedChecker : public AccessChecker
@@ -68,11 +79,21 @@ class ShardedChecker : public AccessChecker
     /** Merged races in (curOp, prevOp) order; drains first. */
     const std::vector<RaceReport> &races() const override;
 
+    /** Races found so far without draining: per-shard counts
+     * published after each batch, so heartbeats can poll mid-run. */
+    std::uint64_t racesFound() const override;
+
     /** Checker metadata bytes across shards. Safe to poll while the
      * workers run (per-shard atomic counters). */
     std::uint64_t byteSize() const override;
 
     unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+
+    /** Current per-shard queue depths (for heartbeats). */
+    std::vector<std::size_t> queueDepths() const;
+
+    /** Producer push() calls that stalled on a full shard queue. */
+    std::uint64_t enqueueBlocked() const;
 
   private:
     struct Item
@@ -96,6 +117,10 @@ class ShardedChecker : public AccessChecker
         /** checker.byteSize() published after each batch, so the
          * producer can poll without racing the worker. */
         std::atomic<std::uint64_t> bytes{0};
+        /** checker.races().size() published the same way. */
+        std::atomic<std::uint64_t> races{0};
+        /** Tracer track of this shard's worker thread. */
+        int track = 0;
         /** Producer-side buffer (only the producer touches it). */
         Batch pending;
     };
@@ -106,6 +131,9 @@ class ShardedChecker : public AccessChecker
     std::size_t batchOps_;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::vector<RaceReport> merged_;
+    obs::ObsContext obs_{};
+    /** Batch check latency in us (owned by the registry). */
+    obs::Histogram *batchHist_ = nullptr;
     bool drained_ = false;
 };
 

@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
@@ -32,6 +33,8 @@ class BoundedQueue
     push(T item)
     {
         std::unique_lock<std::mutex> lock(mu_);
+        if (!closed_ && items_.size() >= capacity_)
+            ++blockedPushes_;
         notFull_.wait(lock, [this] {
             return closed_ || items_.size() < capacity_;
         });
@@ -59,6 +62,23 @@ class BoundedQueue
         return true;
     }
 
+    /** Items currently queued (locks; cheap enough for gauges). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+    /** push() calls that found the queue full and had to wait — the
+     * producer-side backpressure stalls that are otherwise silent. */
+    std::uint64_t
+    blockedPushes() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return blockedPushes_;
+    }
+
     /** Stop the queue: pending items remain poppable, new pushes fail. */
     void
     close()
@@ -73,10 +93,11 @@ class BoundedQueue
 
   private:
     const std::size_t capacity_;
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable notFull_;
     std::condition_variable notEmpty_;
     std::deque<T> items_;
+    std::uint64_t blockedPushes_ = 0;
     bool closed_ = false;
 };
 

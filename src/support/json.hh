@@ -113,6 +113,17 @@ class JsonWriter
         return *this;
     }
 
+    /** Splice a pre-rendered JSON value in verbatim. The caller
+     * vouches for its validity (used to nest independently built
+     * documents without reparsing). */
+    JsonWriter &
+    raw(const std::string &json)
+    {
+        comma();
+        out_ += json;
+        return *this;
+    }
+
     /** Shorthand: key + value. */
     template <typename T>
     JsonWriter &

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 
 namespace asyncclock {
 
@@ -23,6 +25,26 @@ void
 warn(const std::string &msg)
 {
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+warnRateLimited(const std::string &key, const std::string &msg,
+                unsigned limit)
+{
+    static std::mutex mu;
+    static std::map<std::string, unsigned> seen;
+    std::lock_guard<std::mutex> lock(mu);
+    unsigned &count = seen[key];
+    if (count < limit) {
+        warn(msg);
+    } else if (count == limit) {
+        std::fprintf(stderr,
+                     "warn: [%s] further warnings suppressed\n",
+                     key.c_str());
+    }
+    // Saturate so a long-running process can't overflow the counter.
+    if (count <= limit)
+        ++count;
 }
 
 } // namespace asyncclock

@@ -23,6 +23,22 @@ namespace asyncclock {
 void warn(const std::string &msg);
 
 /**
+ * Print at most @p limit warnings for @p key, then one final
+ * "further warnings suppressed" note. For failure paths that can fire
+ * once per record of a corrupt input — the first few instances carry
+ * all the signal, the rest just flood stderr. Thread-safe.
+ */
+void warnRateLimited(const std::string &key, const std::string &msg,
+                     unsigned limit = 5);
+
+/** warnRateLimited with limit 1: one warning per key, ever. */
+inline void
+warnOnce(const std::string &key, const std::string &msg)
+{
+    warnRateLimited(key, msg, 1);
+}
+
+/**
  * Internal invariant check. Unlike assert(), stays on in release builds:
  * the detectors are validated against each other and silent corruption
  * would invalidate every experiment.

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/logging.hh"
+
 namespace asyncclock {
 
 /** Categories of analysis metadata tracked by MemStats. */
@@ -58,11 +60,15 @@ class MemStats
             peakTotal_ = liveTotal_;
     }
 
-    /** Record that @p bytes in category @p cat were released. */
+    /** Record that @p bytes in category @p cat were released. A
+     * release exceeding the category's live count is a mismatched
+     * alloc/release pair: panic at the bug instead of wrapping the
+     * uint64 and poisoning every later Fig 9/10 number. */
     void
     release(MemCat cat, std::uint64_t bytes)
     {
         auto i = static_cast<unsigned>(cat);
+        acAssert(live_[i] >= bytes, "MemStats release underflow");
         live_[i] -= bytes;
         liveTotal_ -= bytes;
     }

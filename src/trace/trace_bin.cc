@@ -238,6 +238,11 @@ class BinaryDecoder
             long long at = static_cast<long long>(in_.tellg());
             in_.setstate(state);
             error_ = strf("byte %lld: %s", at, msg.c_str());
+            // Surface the failure immediately but rate-limited: a
+            // harness decoding many corrupt traces (fuzzing, batch
+            // ingestion) must not flood stderr one line per stream.
+            warnRateLimited("trace_bin.decode",
+                            "binary trace decode: " + error_);
         }
         return false;
     }
@@ -290,7 +295,7 @@ class BinaryDecoder
     {
         op = Operation();
         op.kind = kind;
-        std::uint32_t taskRaw;
+        std::uint32_t taskRaw = 0;
         if (!getId32(taskRaw))
             return false;
         std::uint32_t index = taskRaw >> 1;
@@ -322,7 +327,7 @@ class BinaryDecoder
           case OpKind::Read:
           case OpKind::Write:
             {
-                std::uint32_t sitePlus1;
+                std::uint32_t sitePlus1 = 0;
                 if (!getId32(op.target) || !getId32(sitePlus1))
                     return false;
                 if (op.target >= vars_)
