@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -43,11 +44,13 @@
 #include "graph/eventracer.hh"
 #include "obs/obs.hh"
 #include "obs/progress.hh"
+#include "report/checkpoint.hh"
 #include "report/export.hh"
 #include "report/fasttrack.hh"
 #include "report/races.hh"
 #include "report/sharded.hh"
 #include "support/format.hh"
+#include "trace/fault.hh"
 #include "trace/trace_io.hh"
 #include "workload/workload.hh"
 
@@ -78,8 +81,41 @@ usage()
         "  --progress[=N]   heartbeat line on stderr every N ops\n"
         "                   (default 100000)\n"
         "  --trace-out=PATH write Chrome trace-event JSON (Perfetto)\n"
-        "  --metrics-out=PATH write end-of-run metrics JSON\n");
+        "  --metrics-out=PATH write end-of-run metrics JSON\n"
+        "robustness:\n"
+        "  --max-record-errors=N  skip up to N corrupt records before\n"
+        "                   failing (default 0: first error fails)\n"
+        "  --mem-budget=N[K|M|G]  degradation ladder budget for\n"
+        "                   detector metadata (default: uncapped)\n"
+        "  --checkpoint=PATH      checkpoint the run to PATH\n"
+        "  --checkpoint-every=N   ops between checkpoints\n"
+        "                   (default 1000000)\n"
+        "  --resume         resume from --checkpoint PATH\n"
+        "  --report-out=PATH      also write the race report to PATH\n"
+        "  --watchdog-ms=N  sharded stall watchdog (default 30000,\n"
+        "                   0 = off)\n"
+        "  --inject=SPEC    deterministic fault injection;\n"
+        "                   SPEC is comma-separated key=value:\n"
+        "%s",
+        trace::faultSpecHelp());
     return 2;
+}
+
+/** Parse a byte count with an optional K/M/G suffix. */
+std::uint64_t
+parseBytes(const char *s)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s, &end, 10);
+    if (end) {
+        if (*end == 'K' || *end == 'k')
+            v <<= 10;
+        else if (*end == 'M' || *end == 'm')
+            v <<= 20;
+        else if (*end == 'G' || *end == 'g')
+            v <<= 30;
+    }
+    return v;
 }
 
 /** Write @p data to @p path, fatal() on failure. */
@@ -136,10 +172,17 @@ cmdAnalyze(int argc, char **argv)
     report::FilterConfig filters;
     bool json = false;
     bool streaming = false;
+    bool resume = false;
     unsigned shards = 0;
     std::uint64_t progressEvery = 0;
+    std::uint64_t checkpointEvery = 1000000;
+    std::uint64_t watchdogMs = 30000;
     std::string traceOut;
     std::string metricsOut;
+    std::string checkpointPath;
+    std::string reportOut;
+    std::string injectSpec;
+    trace::SourceErrorPolicy policy;
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--detector=", 0) == 0) {
@@ -172,6 +215,24 @@ cmdAnalyze(int argc, char **argv)
             traceOut = arg.substr(12);
         } else if (arg.rfind("--metrics-out=", 0) == 0) {
             metricsOut = arg.substr(14);
+        } else if (arg.rfind("--max-record-errors=", 0) == 0) {
+            policy.maxRecordErrors =
+                std::strtoull(arg.c_str() + 20, nullptr, 10);
+        } else if (arg.rfind("--mem-budget=", 0) == 0) {
+            cfg.memBudgetBytes = parseBytes(arg.c_str() + 13);
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            checkpointPath = arg.substr(13);
+        } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+            checkpointEvery =
+                std::strtoull(arg.c_str() + 19, nullptr, 10);
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg.rfind("--report-out=", 0) == 0) {
+            reportOut = arg.substr(13);
+        } else if (arg.rfind("--watchdog-ms=", 0) == 0) {
+            watchdogMs = std::strtoull(arg.c_str() + 14, nullptr, 10);
+        } else if (arg.rfind("--inject=", 0) == 0) {
+            injectSpec = arg.substr(9);
         } else {
             return usage();
         }
@@ -180,6 +241,54 @@ cmdAnalyze(int argc, char **argv)
         std::fprintf(stderr,
                      "--json requires materialized mode\n");
         return 2;
+    }
+
+    trace::FaultConfig faults;
+    if (!injectSpec.empty()) {
+        Expected<trace::FaultConfig> parsed =
+            trace::parseFaultSpec(injectSpec);
+        if (!parsed) {
+            std::fprintf(stderr, "--inject: %s\n",
+                         parsed.status().toString().c_str());
+            return 2;
+        }
+        faults = parsed.value();
+        if ((faults.anyByteFaults() || faults.anyOpFaults()) &&
+            !streaming) {
+            // Byte/op faults wrap the streaming readers; materialized
+            // loading would reject the damage before the detector
+            // ever saw it.
+            std::fprintf(stderr,
+                         "--inject implies --streaming; enabling\n");
+            streaming = true;
+        }
+    }
+    if (resume && checkpointPath.empty()) {
+        std::fprintf(stderr, "--resume requires --checkpoint=PATH\n");
+        return 2;
+    }
+    if (!checkpointPath.empty() && shards > 0) {
+        // Structured refusal, not an abort: per-shard checker state
+        // interleaves schedule-dependently and cannot be snapshotted
+        // into a deterministic resume point.
+        std::fprintf(
+            stderr, "error: %s\n",
+            Status::error(ErrCode::Unsupported,
+                          "checkpoint/resume requires the sequential "
+                          "checker (drop --shards)")
+                .toString()
+                .c_str());
+        return 1;
+    }
+    if (!checkpointPath.empty() && detectorName != "asyncclock") {
+        std::fprintf(
+            stderr, "error: %s\n",
+            Status::error(ErrCode::Unsupported,
+                          "checkpoint/resume is only supported with "
+                          "the asyncclock detector")
+                .toString()
+                .c_str());
+        return 1;
     }
 
     // Observability: a registry iff --metrics-out, a tracer iff
@@ -194,25 +303,124 @@ cmdAnalyze(int argc, char **argv)
     if (!traceOut.empty())
         octx.tracer = &tracer;
 
-    std::unique_ptr<report::AccessChecker> checker;
+    // Checker topology. Three shapes:
+    //  - sharded: parallel FastTrack shards (no checkpoint support);
+    //  - sequential + --checkpoint: FastTrackChecker behind a
+    //    ResumeFilter (the filter counts accesses for snapshots and
+    //    discards replayed ones on resume);
+    //  - plain sequential: bare FastTrackChecker, zero extra layers on
+    //    the clean path.
+    std::unique_ptr<report::ShardedChecker> shardedOwned;
+    std::unique_ptr<report::FastTrackChecker> ftOwned;
+    std::unique_ptr<report::ResumeFilter> filterOwned;
+    report::AccessChecker *checker = nullptr;
     report::ShardedChecker *sharded = nullptr;
+    report::FastTrackChecker *fasttrack = nullptr;
+    report::ResumeFilter *filter = nullptr;
     if (shards > 0) {
         report::ShardedConfig scfg;
         scfg.shards = shards;
         scfg.obs = octx;
-        auto owned = std::make_unique<report::ShardedChecker>(scfg);
-        sharded = owned.get();
-        checker = std::move(owned);
+        scfg.watchdogMs = watchdogMs;
+        scfg.faults.stallShard = faults.stallShard;
+        scfg.faults.stallMs = faults.shardStallMs;
+        scfg.faults.poisonShard = faults.poisonShard;
+        shardedOwned = std::make_unique<report::ShardedChecker>(scfg);
+        sharded = shardedOwned.get();
+        checker = sharded;
     } else {
-        checker = std::make_unique<report::FastTrackChecker>();
+        ftOwned = std::make_unique<report::FastTrackChecker>();
+        fasttrack = ftOwned.get();
+        checker = fasttrack;
     }
 
-    trace::Trace tr;            // materialized mode only
-    trace::OpenedSource opened; // streaming mode only
+    report::CheckpointMeta identity; // trace size + hash
+    if (!checkpointPath.empty()) {
+        auto id = report::traceIdentity(argv[2]);
+        if (!id) {
+            std::fprintf(stderr, "error: %s\n",
+                         id.status().toString().c_str());
+            return 1;
+        }
+        identity = id.value();
+        std::uint64_t skip = 0;
+        if (resume) {
+            std::ifstream probe(checkpointPath, std::ios::binary);
+            if (!probe) {
+                std::fprintf(stderr,
+                             "no checkpoint at %s; starting fresh\n",
+                             checkpointPath.c_str());
+            } else {
+                probe.close();
+                auto loaded = report::loadCheckpoint(checkpointPath,
+                                                     *fasttrack);
+                if (!loaded) {
+                    std::fprintf(stderr, "error: %s\n",
+                                 loaded.status().toString().c_str());
+                    return 1;
+                }
+                if (loaded.value().traceBytes != identity.traceBytes ||
+                    loaded.value().traceHash != identity.traceHash) {
+                    std::fprintf(
+                        stderr, "error: %s\n",
+                        Status::error(
+                            ErrCode::ParseError,
+                            "checkpoint was taken against a different "
+                            "trace (size/hash mismatch); refusing to "
+                            "resume")
+                            .toString()
+                            .c_str());
+                    return 1;
+                }
+                skip = loaded.value().accessesChecked;
+                std::printf("resuming from %s: replaying %llu op(s), "
+                            "skipping %llu checked access(es)\n",
+                            checkpointPath.c_str(),
+                            (unsigned long long)
+                                loaded.value().opsProcessed,
+                            (unsigned long long)skip);
+            }
+        }
+        filterOwned =
+            std::make_unique<report::ResumeFilter>(*fasttrack, skip);
+        filter = filterOwned.get();
+        checker = filter;
+    }
+
+    trace::Trace tr;                       // materialized mode only
+    trace::OpenedSource opened;            // streaming, no faults
+    trace::FaultyOpenedSource faultyOpened; // streaming, with faults
+    trace::TraceSource *source = nullptr;  // streaming mode only
     std::unique_ptr<report::Detector> detector;
-    bool binary = trace::isBinaryTraceFile(argv[2]);
+    core::AsyncClockDetector *acDetector = nullptr;
+    auto binaryE = trace::tryIsBinaryTraceFile(argv[2]);
+    if (!binaryE) {
+        std::fprintf(stderr, "error: %s\n",
+                     binaryE.status().toString().c_str());
+        return 1;
+    }
+    bool binary = binaryE.value();
     if (streaming) {
-        opened = trace::openTraceSource(argv[2]);
+        if (faults.anyByteFaults() || faults.anyOpFaults()) {
+            auto fo =
+                trace::openFaultyTraceSource(argv[2], faults, policy);
+            if (!fo) {
+                std::fprintf(stderr, "error: %s\n",
+                             fo.status().toString().c_str());
+                return 1;
+            }
+            faultyOpened = std::move(fo.value());
+            source = faultyOpened.source.get();
+        } else {
+            auto os = trace::tryOpenTraceSource(argv[2], policy);
+            if (!os) {
+                std::fprintf(stderr, "error: %s\n",
+                             os.status().toString().c_str());
+                return 1;
+            }
+            opened = std::move(os.value());
+            source = opened.source.get();
+        }
         std::printf("streaming %s (%s format)\n", argv[2],
                     binary ? "binary" : "text");
     } else {
@@ -224,16 +432,17 @@ cmdAnalyze(int argc, char **argv)
     if (detectorName == "asyncclock") {
         auto ac = streaming
                       ? std::make_unique<core::AsyncClockDetector>(
-                            *opened.source, *checker, cfg)
+                            *source, *checker, cfg)
                       : std::make_unique<core::AsyncClockDetector>(
                             tr, *checker, cfg);
         ac->attachObs(octx);
+        acDetector = ac.get();
         detector = std::move(ac);
     } else if (detectorName == "eventracer") {
         detector =
             streaming
                 ? std::make_unique<graph::EventRacerDetector>(
-                      *opened.source, *checker,
+                      *source, *checker,
                       graph::EventRacerConfig{})
                 : std::make_unique<graph::EventRacerDetector>(
                       tr, *checker, graph::EventRacerConfig{});
@@ -250,11 +459,27 @@ cmdAnalyze(int argc, char **argv)
                                 });
     }
     obs::ProgressMeter meter(progressEvery);
+    if (checkpointEvery == 0)
+        checkpointEvery = 1000000;
     auto start = std::chrono::steady_clock::now();
     std::uint64_t n = 0;
     while (detector->processNext()) {
         if ((++n % 1024) == 0)
             detector->sampleMemory(mem);
+        if (filter && (n % checkpointEvery) == 0 &&
+            !filter->replaying()) {
+            // Don't snapshot while still replaying: the restored
+            // checker state covers `skip` accesses, not accessesSeen().
+            report::CheckpointMeta meta = identity;
+            meta.opsProcessed = n;
+            meta.accessesChecked = filter->accessesSeen();
+            if (Status st = report::saveCheckpoint(checkpointPath,
+                                                  meta, *fasttrack);
+                !st) {
+                std::fprintf(stderr, "checkpoint failed: %s\n",
+                             st.toString().c_str());
+            }
+        }
         if (meter.due(n)) {
             detector->sampleMemory(mem);
             obs::ProgressSample s;
@@ -276,8 +501,24 @@ cmdAnalyze(int argc, char **argv)
     if (octx.metrics)
         octx.metrics->gauge("run.elapsed_us")
             .set(static_cast<std::int64_t>(elapsed * 1e6));
-    if (streaming && !opened.source->ok())
-        fatal("trace stream failed: " + opened.source->error());
+    // Structured post-mortems, most specific first. None of these
+    // abort: a damaged trace, a blown error budget, or a failed shard
+    // ends the run with a diagnostic and a nonzero exit.
+    if (streaming && !source->ok()) {
+        std::fprintf(stderr, "trace stream failed: %s\n",
+                     source->status().toString().c_str());
+        return 1;
+    }
+    if (acDetector && !acDetector->runStatus().isOk()) {
+        std::fprintf(stderr, "analysis failed: %s\n",
+                     acDetector->runStatus().toString().c_str());
+        return 1;
+    }
+    if (sharded && sharded->failed()) {
+        std::fprintf(stderr, "analysis failed: %s\n",
+                     sharded->failureMessage().c_str());
+        return 1;
+    }
 
     std::printf("\nanalysis (%s%s): %.3fs, peak metadata %s\n",
                 detectorName.c_str(),
@@ -286,13 +527,41 @@ cmdAnalyze(int argc, char **argv)
     std::printf("%s", mem.summary().c_str());
 
     report::RaceAnalyzer analyzer =
-        streaming ? report::RaceAnalyzer(opened.source->meta())
+        streaming ? report::RaceAnalyzer(source->meta())
                   : report::RaceAnalyzer(tr);
     report::ReportSummary summary = [&] {
         obs::ScopedSpan span(octx.tracer, obs::kMainTrack,
                              "report_export");
         return analyzer.analyze(checker->races(), filters);
     }();
+
+    // Caveat notes: anything that makes this report less than
+    // authoritative is stated in the report itself.
+    if (std::uint64_t skipped = source ? source->recordsSkipped() : 0)
+        summary.notes.push_back(
+            strf("%llu corrupt record(s) skipped during decode",
+                 (unsigned long long)skipped));
+    if (acDetector) {
+        const core::DetectorCounters &dc = acDetector->counters();
+        if (dc.invalidOpsDropped > 0 || dc.causalAnomalies > 0)
+            summary.notes.push_back(strf(
+                "%llu protocol-invalid op(s) dropped, %llu causal "
+                "anomal(ies) tolerated",
+                (unsigned long long)dc.invalidOpsDropped,
+                (unsigned long long)dc.causalAnomalies));
+        if (dc.pressureGcSweeps > 0 || dc.pressureWindowShrinks > 0 ||
+            dc.pressureInvalidations > 0)
+            summary.notes.push_back(strf(
+                "memory-pressure ladder fired: %llu aggressive "
+                "sweep(s), %llu window shrink(s), %llu "
+                "invalidation(s); recall may be reduced",
+                (unsigned long long)dc.pressureGcSweeps,
+                (unsigned long long)dc.pressureWindowShrinks,
+                (unsigned long long)dc.pressureInvalidations));
+    }
+    if (!injectSpec.empty())
+        summary.notes.push_back("fault injection active: " +
+                                injectSpec);
 
     if (!traceOut.empty()) {
         tracer.writeFile(traceOut);
@@ -307,9 +576,16 @@ cmdAnalyze(int argc, char **argv)
         std::printf("%s\n", report::toJson(summary, tr).c_str());
         return 0;
     }
-    std::printf("\n%s\n", summary.summary().c_str());
+    std::string reportText = summary.summary() + "\n";
     for (const auto &group : summary.reported)
-        std::printf("  %s\n", analyzer.describe(group).c_str());
+        reportText += "  " + analyzer.describe(group) + "\n";
+    std::printf("\n%s", reportText.c_str());
+    if (!reportOut.empty()) {
+        // Machine-diffable copy (CI compares a resumed run's report
+        // against an uninterrupted one, byte for byte).
+        writeTextFile(reportOut, reportText);
+        std::printf("wrote report to %s\n", reportOut.c_str());
+    }
     return 0;
 }
 

@@ -44,6 +44,33 @@ struct DetectorConfig
 
     ChainMode chainMode = ChainMode::Fifo;
 
+    /**
+     * Soft cap on detector metadata bytes (0 = uncapped). Checked at
+     * GC cadence; while over budget the detector climbs a degradation
+     * ladder — aggressive sweep, then window halving (never below
+     * minWindowMs), then full invalidation of every ended event.
+     * Later rungs trade recall for memory exactly like a smaller
+     * configured window would; counters record each rung so the
+     * report can state the recall impact. Checker bytes are excluded
+     * from the measure: they are access-history driven and (sharded)
+     * asynchronously published, and the ladder must make the same
+     * decisions when a checkpointed run is replayed.
+     */
+    std::uint64_t memBudgetBytes = 0;
+
+    /** Floor for ladder window shrinking. */
+    std::uint64_t minWindowMs = 1000;
+
+    /**
+     * Protocol-violation budget: operations that contradict the
+     * entity life cycles (begin without send, op from an ended
+     * thread, ...) are dropped and counted, up to this many; one more
+     * fails the run with a structured status instead of corrupting
+     * detector state. Decode-level skips make such sequences
+     * reachable from plain corrupt files, so they must not abort.
+     */
+    std::uint64_t maxInvalidOps = 64;
+
     /** Async-before walk early stopping (section 5.3 cases 1 and 2).
      * On in the paper's tool; off only for ablation studies — without
      * it, predecessor walks on tagged-event chains degenerate to the
@@ -70,6 +97,17 @@ struct DetectorCounters
     /** Events placed in FIFO chains by level (index 1..3); index 0
      * counts greedy-placed events. */
     std::uint64_t fifoLevel[4] = {0, 0, 0, 0};
+
+    // ----- robustness -----------------------------------------------
+    /** Protocol-invalid operations dropped by the admission gate. */
+    std::uint64_t invalidOpsDropped = 0;
+    /** Causality-invariant violations tolerated mid-resolution (a
+     * consequence of dropped/reordered ops upstream). */
+    std::uint64_t causalAnomalies = 0;
+    /** Degradation-ladder rungs fired (see memBudgetBytes). */
+    std::uint64_t pressureGcSweeps = 0;
+    std::uint64_t pressureWindowShrinks = 0;
+    std::uint64_t pressureInvalidations = 0;
 };
 
 } // namespace asyncclock::core

@@ -90,6 +90,9 @@ AsyncClockDetector::AsyncClockDetector(const trace::Trace &tr,
 void
 AsyncClockDetector::syncEntities()
 {
+    gcIntervalEff_ = (cfg_.memBudgetBytes > 0 && cfg_.gcIntervalOps > 512)
+                         ? 512
+                         : cfg_.gcIntervalOps;
     const trace::TraceMeta &m = meta();
     std::size_t nt = m.threads().size();
     if (threadChain_.size() < nt) {
@@ -102,9 +105,15 @@ AsyncClockDetector::syncEntities()
         looperBeginEpoch_.resize(nt);
         looperEndAccum_.resize(nt);
     }
+    if (threadPhase_.size() < nt)
+        threadPhase_.resize(
+            nt, static_cast<std::uint8_t>(ThreadPhase::Unstarted));
     std::size_t ne = m.events().size();
     if (eventChain_.size() < ne)
         eventChain_.resize(ne, kInvalidId);
+    if (eventPhase_.size() < ne)
+        eventPhase_.resize(
+            ne, static_cast<std::uint8_t>(EventPhase::Unsent));
     std::size_t nq = m.queues().size();
     if (pending_.size() < nq) {
         pending_.resize(nq);
@@ -222,6 +231,16 @@ AsyncClockDetector::attachObs(const obs::ObsContext &ctx)
                   [c] { return c->clockTicks; });
     reg.counterFn("detector.clock_joins",
                   [c] { return c->clockJoins; });
+    reg.counterFn("detector.invalid_ops_dropped",
+                  [c] { return c->invalidOpsDropped; });
+    reg.counterFn("detector.causal_anomalies",
+                  [c] { return c->causalAnomalies; });
+    reg.counterFn("detector.pressure_gc_sweeps",
+                  [c] { return c->pressureGcSweeps; });
+    reg.counterFn("detector.pressure_window_shrinks",
+                  [c] { return c->pressureWindowShrinks; });
+    reg.counterFn("detector.pressure_invalidations",
+                  [c] { return c->pressureInvalidations; });
     for (unsigned lvl = 0; lvl < 4; ++lvl) {
         reg.counterFn(strf("detector.fifo_level_%u", lvl),
                       [c, lvl] { return c->fifoLevel[lvl]; });
@@ -256,6 +275,8 @@ AsyncClockDetector::flushPumpSpan()
 bool
 AsyncClockDetector::processNext()
 {
+    if (!runStatus_.isOk()) [[unlikely]]
+        return false;
     if (obs_.tracer) [[unlikely]]
         return processNextTraced();
     Operation op;
@@ -273,6 +294,8 @@ AsyncClockDetector::processNextTraced()
     // Traced pump: split the per-op cost into decode (pulling from
     // the source) and resolve (the causality machinery), aggregated
     // into one span per kPumpSpanOps block.
+    if (!runStatus_.isOk()) [[unlikely]]
+        return false;
     Operation op;
     std::uint64_t t0 = obs_.tracer->nowUs();
     if (pumpOps_ == 0)
@@ -293,9 +316,120 @@ AsyncClockDetector::processNextTraced()
     return true;
 }
 
+bool
+AsyncClockDetector::admitOp(const Operation &op)
+{
+    const char *why = nullptr;
+    if (op.task.isEvent()) {
+        auto ph = static_cast<EventPhase>(eventPhase_[op.task.index()]);
+        if (op.kind == OpKind::EventBegin) {
+            if (ph != EventPhase::Pending)
+                why = "event begin without a pending send";
+        } else if (ph != EventPhase::Running) {
+            why = op.kind == OpKind::EventEnd
+                      ? "event end without a begin"
+                      : "op from an event that is not running";
+        }
+    } else {
+        auto ph = static_cast<ThreadPhase>(threadPhase_[op.task.index()]);
+        if (op.kind == OpKind::ThreadBegin) {
+            if (ph != ThreadPhase::Unstarted)
+                why = "duplicate thread begin";
+        } else if (ph != ThreadPhase::Running) {
+            why = ph == ThreadPhase::Unstarted
+                      ? "op from a thread before its begin"
+                      : "op from a thread after its end";
+        }
+    }
+    if (!why && op.kind == OpKind::Send &&
+        static_cast<EventPhase>(eventPhase_[op.event]) !=
+            EventPhase::Unsent) {
+        why = "duplicate send of an event";
+    }
+    if (!why && op.kind == OpKind::RemoveEvent &&
+        static_cast<EventPhase>(eventPhase_[op.event]) !=
+            EventPhase::Pending) {
+        why = "remove of an event that is not pending";
+    }
+    if (why) {
+        ++counters_.invalidOpsDropped;
+        warnRateLimited(
+            "detector.invalid_op",
+            strf("dropping protocol-invalid op at index %llu: %s",
+                 static_cast<unsigned long long>(cursor_), why));
+        if (counters_.invalidOpsDropped > cfg_.maxInvalidOps) {
+            runStatus_ = Status::error(
+                ErrCode::BudgetExceeded,
+                strf("invalid-op budget exhausted after %llu dropped "
+                     "operations; last: %s",
+                     static_cast<unsigned long long>(
+                         counters_.invalidOpsDropped),
+                     why),
+                cursor_);
+        }
+        return false;
+    }
+    switch (op.kind) {
+      case OpKind::ThreadBegin:
+        threadPhase_[op.task.index()] =
+            static_cast<std::uint8_t>(ThreadPhase::Running);
+        break;
+      case OpKind::ThreadEnd:
+        threadPhase_[op.task.index()] =
+            static_cast<std::uint8_t>(ThreadPhase::Ended);
+        break;
+      case OpKind::Send:
+        eventPhase_[op.event] =
+            static_cast<std::uint8_t>(EventPhase::Pending);
+        break;
+      case OpKind::RemoveEvent:
+        eventPhase_[op.event] =
+            static_cast<std::uint8_t>(EventPhase::Done);
+        break;
+      case OpKind::EventBegin:
+        eventPhase_[op.task.index()] =
+            static_cast<std::uint8_t>(EventPhase::Running);
+        break;
+      case OpKind::EventEnd:
+        eventPhase_[op.task.index()] =
+            static_cast<std::uint8_t>(EventPhase::Done);
+        break;
+      default:
+        break;
+    }
+    return true;
+}
+
+void
+AsyncClockDetector::noteAnomaly(const char *what)
+{
+    ++counters_.causalAnomalies;
+    warnRateLimited("detector.causal_anomaly",
+                    strf("tolerating causality anomaly: %s", what));
+    // Anomalies are downstream echoes of dropped/reordered ops;
+    // charge them to the same budget so a thoroughly scrambled trace
+    // fails fast instead of producing a confident garbage report.
+    if (counters_.causalAnomalies + counters_.invalidOpsDropped >
+            cfg_.maxInvalidOps &&
+        runStatus_.isOk()) {
+        runStatus_ = Status::error(
+            ErrCode::BudgetExceeded,
+            strf("anomaly budget exhausted (%llu anomalies, %llu "
+                 "dropped ops); last: %s",
+                 static_cast<unsigned long long>(
+                     counters_.causalAnomalies),
+                 static_cast<unsigned long long>(
+                     counters_.invalidOpsDropped),
+                 what),
+            cursor_);
+    }
+}
+
 void
 AsyncClockDetector::processOp(const Operation &op, OpId id)
 {
+    if (!admitOp(op)) [[unlikely]]
+        return;
     switch (op.kind) {
       case OpKind::ThreadBegin:
         onThreadBegin(op);
@@ -372,11 +506,17 @@ AsyncClockDetector::processOp(const Operation &op, OpId id)
 
     if (cfg_.windowMs > 0)
         ageWindow(op.vtime);
-    if (++opsSinceGc_ >= cfg_.gcIntervalOps) {
+    if (++opsSinceGc_ >= gcIntervalEff_) {
         opsSinceGc_ = 0;
-        obs::ScopedSpan span(obs_.tracer, obs::kMainTrack,
-                             "gc_sweep");
-        gcSweep();
+        {
+            obs::ScopedSpan span(obs_.tracer, obs::kMainTrack,
+                                 "gc_sweep");
+            gcSweep();
+        }
+        // Memory-pressure check rides the GC cadence: metadataBytes()
+        // walks all live metadata, far too costly per op.
+        if (cfg_.memBudgetBytes > 0)
+            relieveMemoryPressure(op.vtime);
     }
     counters_.eventsLive = registry_.live;
     counters_.eventsLivePeak = registry_.livePeak;
@@ -587,8 +727,13 @@ AsyncClockDetector::priorityResolve(EventMeta *m, Resolution &r)
                 joinACSet(r.acs, x->endACs);
                 joinAtomicSet(r.atomic, x->endAtomic);
             } else {
-                acAssert(x->ended,
-                         "priority predecessor has not ended");
+                if (!x->ended) {
+                    // Only reachable on protocol-damaged traces (a
+                    // dropped EventEnd upstream); inherit nothing.
+                    noteAnomaly("priority predecessor has not ended");
+                    covered = false;
+                    return;
+                }
                 // Skip the join when this end is already known
                 // transitively (dominating record joined first, or
                 // the window-clock floor): saves most of the walk's
@@ -723,7 +868,10 @@ AsyncClockDetector::binderResolve(EventMeta *m, Resolution &r)
     // the latest non-removed send per chain.
     for (auto &[chain, start] : r.starts) {
         auto inheritBegin = [&](EventMeta *x, const EventRef &ref) {
-            acAssert(x->begun, "binder FIFO dispatch violated");
+            if (!x->begun) {
+                noteAnomaly("binder FIFO dispatch violated");
+                return;
+            }
             if (r.vc.knows(x->beginEpoch))
                 return;  // already inherited transitively
             r.vc.joinWith(x->beginVC);
@@ -780,7 +928,10 @@ AsyncClockDetector::atFrontFold(EventMeta *m, Resolution &r)
         // Premise (checked at registration: send(E) hb send(F)):
         // send(F) hb begin(E).
         if (r.vc.knows(f->sendEpoch)) {
-            acAssert(f->ended, "at-front predecessor has not ended");
+            if (!f->ended) {
+                noteAnomaly("at-front predecessor has not ended");
+                continue;
+            }
             inheritEnd(r, ref);
             r.preds.push_back(ref);
             changed = true;
@@ -1184,37 +1335,50 @@ AsyncClockDetector::ageWindow(std::uint64_t now)
 {
     while (!endedQueue_.empty() &&
            endedQueue_.front().first + cfg_.windowMs < now) {
-        WeakPtr<EventMeta> weak = std::move(endedQueue_.front().second);
-        endedQueue_.pop_front();
-        // Pin the event: the TC joins below can displace the last
-        // counted reference to it (e.g. its own slot in the TC) and
-        // must not free it while its end state is being read.
-        EventRef pin = weak.lock();
-        EventMeta *x = pin.get();
-        if (!x)
-            continue;  // already reclaimed as heirless
-        WindowClock &tc = windowClock_[x->queue];
-        if (tc.marker == kInvalidId)
-            tc.marker = newChain();
-        tc.vc.joinWith(x->endVC);
-        ++counters_.clockJoins;
-        joinACSet(tc.acs, x->endACs);
-        joinAtomicSet(tc.atomic, x->endAtomic);
-        tc.vc.raise(tc.marker, ++tc.version);
-        ChainId c = x->beginEpoch.chain;
-        ChainState &ch = chains_[c];
-        if (!ch.retired && ch.lastEnded && ch.lastEvent.get() == x &&
-            !ch.isBinder) {
-            trace::QueueId q = x->queue;
-            retireChain(c);
-            freeByQueue_[q].push_back(c);
-        } else if (ch.isBinder && ch.lastEnded &&
-                   ch.lastEvent.get() == x) {
-            retireChain(c);  // stays in binderChains_ for reuse
-        }
-        ++counters_.invalidatedByWindow;
-        weak.invalidate();
+        ageOneEnded();
     }
+}
+
+void
+AsyncClockDetector::drainEndedWindow()
+{
+    while (!endedQueue_.empty())
+        ageOneEnded();
+}
+
+void
+AsyncClockDetector::ageOneEnded()
+{
+    WeakPtr<EventMeta> weak = std::move(endedQueue_.front().second);
+    endedQueue_.pop_front();
+    // Pin the event: the TC joins below can displace the last
+    // counted reference to it (e.g. its own slot in the TC) and
+    // must not free it while its end state is being read.
+    EventRef pin = weak.lock();
+    EventMeta *x = pin.get();
+    if (!x)
+        return;  // already reclaimed as heirless
+    WindowClock &tc = windowClock_[x->queue];
+    if (tc.marker == kInvalidId)
+        tc.marker = newChain();
+    tc.vc.joinWith(x->endVC);
+    ++counters_.clockJoins;
+    joinACSet(tc.acs, x->endACs);
+    joinAtomicSet(tc.atomic, x->endAtomic);
+    tc.vc.raise(tc.marker, ++tc.version);
+    ChainId c = x->beginEpoch.chain;
+    ChainState &ch = chains_[c];
+    if (!ch.retired && ch.lastEnded && ch.lastEvent.get() == x &&
+        !ch.isBinder) {
+        trace::QueueId q = x->queue;
+        retireChain(c);
+        freeByQueue_[q].push_back(c);
+    } else if (ch.isBinder && ch.lastEnded &&
+               ch.lastEvent.get() == x) {
+        retireChain(c);  // stays in binderChains_ for reuse
+    }
+    ++counters_.invalidatedByWindow;
+    weak.invalidate();
 }
 
 void
@@ -1322,6 +1486,79 @@ AsyncClockDetector::gcSweep()
         }
     }
     deferred.clear();  // destruction cascades run here, walk is over
+}
+
+void
+AsyncClockDetector::aggressiveSweep()
+{
+    // The scheduled sweep trades compaction for speed (tombstones are
+    // only removed when they dominate, capacity is never returned).
+    // Under pressure the trade flips: purge every dead/aged record
+    // and shrink the vectors to fit.
+    for (ChainState &ch : chains_) {
+        ch.sendLists.forEach([](std::uint32_t, SendList &list) {
+            auto &recs = list.recs;
+            recs.erase(std::remove_if(recs.begin(), recs.end(),
+                                      [](const SendRec &rec) {
+                                          return rec.dead ||
+                                                 (rec.ev.hasRef() &&
+                                                  !rec.ev.get());
+                                      }),
+                       recs.end());
+            recs.shrink_to_fit();
+            list.deadCount = 0;
+            for (unsigned i = 0; i < trace::kNumPriorityClasses; ++i) {
+                list.lastIdx[i] = 0;
+                list.liveCount[i] = 0;
+            }
+            for (const SendRec &rec : recs)
+                ++list.liveCount[trace::priorityClass(rec.attrs)];
+        });
+    }
+    gcSweep();
+}
+
+void
+AsyncClockDetector::relieveMemoryPressure(std::uint64_t now)
+{
+    // Checker bytes are deliberately excluded (see the config doc):
+    // the ladder must fire identically when a checkpointed run is
+    // replayed against a restored checker.
+    auto detectorBytes = [this] {
+        return metadataBytes() - checker_.byteSize();
+    };
+    if (detectorBytes() <= cfg_.memBudgetBytes)
+        return;
+
+    // Rung 1: aggressive sweep — reclaim everything reclaimable
+    // without any recall impact.
+    aggressiveSweep();
+    ++counters_.pressureGcSweeps;
+    if (detectorBytes() <= cfg_.memBudgetBytes)
+        return;
+
+    // Rung 2: halve the time window (down to the floor) and age the
+    // excess out immediately. Equivalent to having configured the
+    // smaller window: recall degrades only for races separated by
+    // more than the new window.
+    while (cfg_.windowMs > cfg_.minWindowMs) {
+        cfg_.windowMs = std::max(cfg_.windowMs / 2, cfg_.minWindowMs);
+        ageWindow(now);
+        gcSweep();
+        ++counters_.pressureWindowShrinks;
+        if (detectorBytes() <= cfg_.memBudgetBytes)
+            return;
+    }
+
+    // Rung 3: invalidate every ended event into the window clocks —
+    // the window collapses to "currently live events only" for this
+    // moment. New metadata keeps accruing afterwards, so the ladder
+    // may fire again at the next GC check.
+    if (cfg_.windowMs > 0 && !endedQueue_.empty()) {
+        drainEndedWindow();
+        gcSweep();
+        ++counters_.pressureInvalidations;
+    }
 }
 
 std::uint64_t

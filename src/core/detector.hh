@@ -44,6 +44,7 @@
 #include "obs/obs.hh"
 #include "report/checker.hh"
 #include "report/detector.hh"
+#include "support/status.hh"
 #include "trace/source.hh"
 #include "trace/trace.hh"
 
@@ -82,6 +83,14 @@ class AsyncClockDetector : public report::Detector
      * Call before the first processNext().
      */
     void attachObs(const obs::ObsContext &ctx);
+
+    /**
+     * Structured health of the run. Ok while healthy; BudgetExceeded
+     * once maxInvalidOps protocol-invalid operations were dropped
+     * (processNext() then returns false). A non-ok status means the
+     * race report is best-effort, not authoritative.
+     */
+    const Status &runStatus() const { return runStatus_; }
 
     const DetectorCounters &counters() const { return counters_; }
     /** Number of chains ever created (clock dimension). */
@@ -190,6 +199,27 @@ class AsyncClockDetector : public report::Detector
      * declared mid-stream). */
     void syncEntities();
 
+    // ----- robustness -----------------------------------------------
+    /** Entity life cycles enforced by the admission gate. Decode-level
+     * skip-and-count can hand the detector protocol-invalid sequences
+     * (an EventBegin whose Send was skipped); the gate drops them at
+     * the door — with a budget — so the resolution machinery only ever
+     * sees ops consistent with its invariants. */
+    enum class ThreadPhase : std::uint8_t { Unstarted, Running, Ended };
+    enum class EventPhase : std::uint8_t { Unsent, Pending, Running, Done };
+
+    /** True if @p op is admissible; commits its phase transition.
+     * False = dropped (counted; may fail the run via the budget). */
+    bool admitOp(const trace::Operation &op);
+    /** Count a tolerated causality-invariant violation; charges the
+     * same budget as dropped ops. */
+    void noteAnomaly(const char *what);
+    /** Degradation ladder (see DetectorConfig::memBudgetBytes). */
+    void relieveMemoryPressure(std::uint64_t now);
+    /** Rung 1: compact every async-before list (tombstones out,
+     * capacity returned) and run a full sweep. */
+    void aggressiveSweep();
+
     // ----- op handlers ----------------------------------------------
     void processOp(const trace::Operation &op, trace::OpId id);
     void onThreadBegin(const trace::Operation &op);
@@ -257,6 +287,10 @@ class AsyncClockDetector : public report::Detector
     void multiPathReduce(EventMeta *m,
                          std::vector<EventRef> *deferred = nullptr);
     void ageWindow(std::uint64_t now);
+    /** Fold the oldest ended event into its queue's window clock. */
+    void ageOneEnded();
+    /** Rung 3: age out every ended event regardless of window age. */
+    void drainEndedWindow();
     void retireChain(ChainId c);
     void gcSweep();
     /** Begin-time dominance drop of the record adjacent below event
@@ -309,6 +343,13 @@ class AsyncClockDetector : public report::Detector
     MetaRegistry registry_;
     DetectorCounters counters_;
     std::uint64_t opsSinceGc_ = 0;
+    /** Effective sweep cadence: gcIntervalOps, tightened to ≤512 when
+     * a memory budget is set (computed once — hot-path constant). */
+    std::uint64_t gcIntervalEff_ = 0;
+
+    std::vector<std::uint8_t> threadPhase_;   ///< per thread
+    std::vector<std::uint8_t> eventPhase_;    ///< per event
+    Status runStatus_ = Status::ok();
 
     // ----- observability (inactive until attachObs) -----------------
     /** processNext() with per-block span timing; kept out of line so

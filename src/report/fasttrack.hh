@@ -18,9 +18,11 @@
 #ifndef ASYNCCLOCK_REPORT_FASTTRACK_HH
 #define ASYNCCLOCK_REPORT_FASTTRACK_HH
 
+#include <iosfwd>
 #include <vector>
 
 #include "report/checker.hh"
+#include "support/status.hh"
 
 namespace asyncclock::report {
 
@@ -36,6 +38,20 @@ class FastTrackChecker : public AccessChecker
     }
 
     std::uint64_t byteSize() const override;
+
+    /**
+     * Serialize the complete checker state — every VarState (epochs,
+     * read VCs, provenance) and the races found so far — so a
+     * checkpointed run restores to exactly this machine. The epoch
+     * state machine is deterministic in its access sequence, so a
+     * restored checker fed the remaining accesses finishes in the
+     * same state as an uninterrupted run (checkpoint.hh builds on
+     * this).
+     */
+    Status saveState(std::ostream &out) const;
+
+    /** Restore state saved by saveState(); replaces current state. */
+    Status loadState(std::istream &in);
 
   private:
     /** FastTrack variable state: last-write epoch plus either a

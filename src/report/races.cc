@@ -117,14 +117,18 @@ RaceAnalyzer::describe(const RaceGroup &group) const
 std::string
 ReportSummary::summary() const
 {
-    return strf("groups=%llu filtered=%llu harmful=%llu "
-                "harmless(I/II/other)=%llu/%llu/%llu",
-                (unsigned long long)allGroups,
-                (unsigned long long)filteredGroups,
-                (unsigned long long)harmful,
-                (unsigned long long)typeI,
-                (unsigned long long)typeII,
-                (unsigned long long)otherHarmless);
+    std::string text =
+        strf("groups=%llu filtered=%llu harmful=%llu "
+             "harmless(I/II/other)=%llu/%llu/%llu",
+             (unsigned long long)allGroups,
+             (unsigned long long)filteredGroups,
+             (unsigned long long)harmful,
+             (unsigned long long)typeI,
+             (unsigned long long)typeII,
+             (unsigned long long)otherHarmless);
+    for (const std::string &note : notes)
+        text += "\n  note: " + note;
+    return text;
 }
 
 } // namespace asyncclock::report

@@ -79,6 +79,15 @@ struct ReportSummary
     /** The reported groups (post-filter). */
     std::vector<RaceGroup> reported;
 
+    /**
+     * Caveats about this run's completeness — corrupt records
+     * skipped, protocol-invalid ops dropped, degradation-ladder rungs
+     * fired. Empty for a clean run; rendered after the count line so
+     * a degraded report can never be mistaken for an authoritative
+     * one.
+     */
+    std::vector<std::string> notes;
+
     std::string summary() const;
 };
 

@@ -5,11 +5,14 @@
 #include <chrono>
 
 #include "support/format.hh"
+#include "support/logging.hh"
 
 namespace asyncclock::report {
 
 ShardedChecker::ShardedChecker(Config cfg)
-    : batchOps_(cfg.batchOps > 0 ? cfg.batchOps : 1), obs_(cfg.obs)
+    : batchOps_(cfg.batchOps > 0 ? cfg.batchOps : 1),
+      pushTimeoutMs_(cfg.pushTimeoutMs > 0 ? cfg.pushTimeoutMs : 50),
+      watchdogMs_(cfg.watchdogMs), faults_(cfg.faults), obs_(cfg.obs)
 {
     unsigned n = cfg.shards > 0 ? cfg.shards : 1;
     std::size_t cap = cfg.queueCapacity > 0 ? cfg.queueCapacity : 1;
@@ -29,6 +32,7 @@ ShardedChecker::ShardedChecker(Config cfg)
     for (unsigned i = 0; i < n; ++i) {
         shards_.push_back(std::make_unique<Shard>(cap));
         Shard &shard = *shards_.back();
+        shard.index = i;
         shard.pending.reserve(batchOps_);
         if (obs_.tracer)
             shard.track =
@@ -40,8 +44,10 @@ ShardedChecker::ShardedChecker(Config cfg)
                     return static_cast<std::int64_t>(s->queue.size());
                 });
         }
-        shard.worker =
-            std::thread([this, &shard] { workerLoop(shard); });
+        shard.worker = std::thread([this, &shard] {
+            workerLoop(shard);
+            shard.done.store(true, std::memory_order_release);
+        });
     }
 }
 
@@ -55,6 +61,36 @@ ShardedChecker::workerLoop(Shard &shard)
 {
     Batch batch;
     while (shard.queue.pop(batch)) {
+        // A failed run drops whatever is still queued: the report is
+        // already void, and drain()'s joins must not wait out a
+        // backlog (or an injected stall) batch by batch.
+        if (failed_.load(std::memory_order_acquire))
+            return;
+        if (faults_.poisonShard == shard.index) {
+            // A real worker death would leave its queue open and the
+            // producer wedged on a full queue; closing here models the
+            // recovered behavior (pushes fail fast) while failRun()
+            // carries the diagnosis.
+            shard.queue.close();
+            failRun(strf("shard %u: worker died mid-run "
+                         "(injected poison fault)",
+                         shard.index));
+            return;
+        }
+        if (faults_.stallShard == shard.index && faults_.stallMs > 0) {
+            // Sleep in slices so a failed run interrupts the stall;
+            // otherwise drain() would serve out the full sentence.
+            std::uint64_t left = faults_.stallMs;
+            while (left > 0 &&
+                   !failed_.load(std::memory_order_acquire)) {
+                std::uint64_t slice = left < 50 ? left : 50;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(slice));
+                left -= slice;
+            }
+            if (failed_.load(std::memory_order_acquire))
+                return;
+        }
         // Timestamps come from the tracer's epoch when tracing (the
         // span needs them); from the plain steady clock when only the
         // latency histogram is on; from nowhere when obs is off.
@@ -94,7 +130,70 @@ ShardedChecker::flushShard(Shard &shard)
     Batch batch;
     batch.reserve(batchOps_);
     batch.swap(shard.pending);
-    shard.queue.push(std::move(batch));
+    if (watchdogMs_ == 0) {
+        shard.queue.push(std::move(batch));
+        return;
+    }
+    // Timed pushes in backoff slices: ordinary backpressure retries
+    // quietly, but a worker that stops consuming altogether trips the
+    // watchdog and the run fails with diagnostics instead of hanging.
+    std::uint64_t waitedMs = 0;
+    for (;;) {
+        switch (shard.queue.tryPushFor(
+            batch, std::chrono::milliseconds(pushTimeoutMs_))) {
+        case support::PushResult::Pushed:
+            return;
+        case support::PushResult::Closed:
+            // Worker exited (poison fault or failed run elsewhere);
+            // the batch is dropped, failRun records why.
+            if (!failed_.load(std::memory_order_acquire))
+                failRun(strf("shard %u: queue closed under the "
+                             "producer (worker exited early)",
+                             shard.index));
+            return;
+        case support::PushResult::Timeout:
+            break;
+        }
+        if (failed_.load(std::memory_order_acquire))
+            return;
+        waitedMs += pushTimeoutMs_;
+        if (waitedMs >= watchdogMs_) {
+            std::string depths;
+            for (const auto &s : shards_)
+                depths += strf(" %zu", s->queue.size());
+            failRun(strf("watchdog: shard %u accepted no batch for "
+                         "%llu ms (races so far: %llu; queue depths:%s)",
+                         shard.index,
+                         static_cast<unsigned long long>(waitedMs),
+                         static_cast<unsigned long long>(racesFound()),
+                         depths.c_str()));
+            return;
+        }
+    }
+}
+
+void
+ShardedChecker::failRun(const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(failMu_);
+        if (failed_.load(std::memory_order_relaxed))
+            return;
+        failureMsg_ = msg;
+    }
+    failed_.store(true, std::memory_order_release);
+    warn(strf("sharded checker failed: %s", msg.c_str()));
+    // Close every queue: blocked producers wake with Closed, workers
+    // drain what's left and exit, drain()'s joins complete.
+    for (auto &shard : shards_)
+        shard->queue.close();
+}
+
+std::string
+ShardedChecker::failureMessage() const
+{
+    std::lock_guard<std::mutex> lock(failMu_);
+    return failureMsg_;
 }
 
 void
@@ -102,6 +201,8 @@ ShardedChecker::onAccess(trace::VarId var, const Access &access,
                          const clock::VectorClock &vc)
 {
     assert(!drained_ && "onAccess after drain");
+    if (failed_.load(std::memory_order_acquire))
+        return;
     Shard &shard = *shards_[var % shards_.size()];
     shard.pending.push_back({var, access, vc});
     if (shard.pending.size() >= batchOps_)
@@ -118,6 +219,49 @@ ShardedChecker::drain()
     for (auto &shard : shards_) {
         flushShard(*shard);
         shard->queue.close();
+    }
+    if (watchdogMs_ > 0) {
+        // The joins below are unbounded, so a wedged worker would turn
+        // "run finished" into a hang. Poll for progress first: as long
+        // as queues are emptying or workers are exiting, keep waiting;
+        // once nothing moves for watchdogMs_, fail the run. failRun()
+        // also makes the (sliced) injected stall release its worker,
+        // so the joins afterwards complete.
+        std::uint64_t waitedMs = 0;
+        std::size_t lastRemaining = ~std::size_t(0);
+        for (;;) {
+            std::size_t remaining = 0;
+            for (const auto &shard : shards_) {
+                remaining += shard->queue.size();
+                if (!shard->done.load(std::memory_order_acquire))
+                    ++remaining;
+            }
+            if (remaining == 0)
+                break;
+            if (remaining < lastRemaining) {
+                lastRemaining = remaining;
+                waitedMs = 0;
+            }
+            if (waitedMs >= watchdogMs_) {
+                if (!failed_.load(std::memory_order_acquire)) {
+                    std::string stuck;
+                    for (const auto &shard : shards_) {
+                        if (!shard->done.load(
+                                std::memory_order_acquire))
+                            stuck += strf(" %u", shard->index);
+                    }
+                    failRun(strf("watchdog: no drain progress for "
+                                 "%llu ms (stuck shard(s):%s)",
+                                 static_cast<unsigned long long>(
+                                     waitedMs),
+                                 stuck.c_str()));
+                }
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+            waitedMs += 10;
+        }
     }
     for (auto &shard : shards_) {
         if (shard->worker.joinable())

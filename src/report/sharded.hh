@@ -23,7 +23,10 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,6 +35,23 @@
 #include "support/bounded_queue.hh"
 
 namespace asyncclock::report {
+
+/**
+ * Shard-level fault injection (see trace/fault.hh for the rationale):
+ * slow down or kill a worker on purpose to exercise the producer-side
+ * watchdog. Defaults inject nothing.
+ */
+struct ShardFaults
+{
+    static constexpr unsigned kNone = ~0u;
+
+    /** This shard's worker sleeps stallMs before each batch. */
+    unsigned stallShard = kNone;
+    std::uint64_t stallMs = 0;
+    /** This shard's worker dies on its first batch (queue closed, so
+     * the producer sees Closed pushes, not a silent hang). */
+    unsigned poisonShard = kNone;
+};
 
 /**
  * AccessChecker fanning accesses out to per-shard FastTrack workers.
@@ -46,6 +66,21 @@ struct ShardedConfig
     std::size_t batchOps = 256;
     /** Max batches in flight per shard (backpressure bound). */
     std::size_t queueCapacity = 64;
+    /**
+     * One backoff slice of a blocked enqueue. The producer retries
+     * tryPushFor() in slices of this length so it periodically
+     * re-checks for a failed run instead of blocking indefinitely.
+     */
+    std::uint64_t pushTimeoutMs = 50;
+    /**
+     * Watchdog: once a single enqueue has been blocked this long, the
+     * worker is presumed wedged; the run fails with diagnostics
+     * (shard, queue depths, progress counters) rather than hanging.
+     * 0 disables the watchdog and restores unbounded blocking.
+     */
+    std::uint64_t watchdogMs = 30000;
+    /** Injected worker faults (tests and --inject). */
+    ShardFaults faults{};
     /**
      * Observability hookup (both members optional). With metrics:
      * per-shard queue-depth gauges, an aggregate enqueue-block
@@ -95,6 +130,17 @@ class ShardedChecker : public AccessChecker
     /** Producer push() calls that stalled on a full shard queue. */
     std::uint64_t enqueueBlocked() const;
 
+    /**
+     * Did the run fail structurally (worker died, watchdog fired)?
+     * Once set, onAccess() drops silently and races() returns only
+     * what was merged before the failure — callers must check this
+     * before trusting the report.
+     */
+    bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+    /** Diagnostics for the failure (empty if !failed()). */
+    std::string failureMessage() const;
+
   private:
     struct Item
     {
@@ -114,11 +160,14 @@ class ShardedChecker : public AccessChecker
         support::BoundedQueue<Batch> queue;
         std::thread worker;
         FastTrackChecker checker;
+        unsigned index = 0;
         /** checker.byteSize() published after each batch, so the
          * producer can poll without racing the worker. */
         std::atomic<std::uint64_t> bytes{0};
         /** checker.races().size() published the same way. */
         std::atomic<std::uint64_t> races{0};
+        /** Worker exited (drain()'s watchdog polls this). */
+        std::atomic<bool> done{false};
         /** Tracer track of this shard's worker thread. */
         int track = 0;
         /** Producer-side buffer (only the producer touches it). */
@@ -127,14 +176,23 @@ class ShardedChecker : public AccessChecker
 
     void workerLoop(Shard &shard);
     void flushShard(Shard &shard);
+    /** Record a structural failure and close every queue so both
+     * sides unwind; first caller wins. */
+    void failRun(const std::string &msg);
 
     std::size_t batchOps_;
+    std::uint64_t pushTimeoutMs_;
+    std::uint64_t watchdogMs_;
+    ShardFaults faults_;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::vector<RaceReport> merged_;
     obs::ObsContext obs_{};
     /** Batch check latency in us (owned by the registry). */
     obs::Histogram *batchHist_ = nullptr;
     bool drained_ = false;
+    std::atomic<bool> failed_{false};
+    mutable std::mutex failMu_;
+    std::string failureMsg_;
 };
 
 } // namespace asyncclock::report

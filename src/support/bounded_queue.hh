@@ -7,6 +7,7 @@
 #ifndef ASYNCCLOCK_SUPPORT_BOUNDED_QUEUE_HH
 #define ASYNCCLOCK_SUPPORT_BOUNDED_QUEUE_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -15,6 +16,14 @@
 #include <utility>
 
 namespace asyncclock::support {
+
+/** Outcome of a timed push; Timeout leaves the item with the caller. */
+enum class PushResult
+{
+    Pushed,
+    Timeout,
+    Closed,
+};
 
 /**
  * A mutex/condvar bounded queue. push() blocks while the queue is at
@@ -44,6 +53,32 @@ class BoundedQueue
         lock.unlock();
         notEmpty_.notify_one();
         return true;
+    }
+
+    /**
+     * Enqueue with a deadline: wait at most @p timeout for space.
+     * @p item is moved from only when the result is Pushed, so a
+     * Timeout caller can retry (or give up) without losing the item.
+     * Unlike push(), this can never hang on a stalled consumer — the
+     * sharded checker's watchdog is built on it.
+     */
+    PushResult
+    tryPushFor(T &item, std::chrono::milliseconds timeout)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!closed_ && items_.size() >= capacity_)
+            ++blockedPushes_;
+        if (!notFull_.wait_for(lock, timeout, [this] {
+                return closed_ || items_.size() < capacity_;
+            })) {
+            return PushResult::Timeout;
+        }
+        if (closed_)
+            return PushResult::Closed;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return PushResult::Pushed;
     }
 
     /** Dequeue into @p item; false when closed and drained. */

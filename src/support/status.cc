@@ -1,0 +1,37 @@
+#include "support/status.hh"
+
+#include "support/format.hh"
+
+namespace asyncclock {
+
+const char *
+errCodeName(ErrCode code)
+{
+    switch (code) {
+      case ErrCode::Ok: return "ok";
+      case ErrCode::IoError: return "io-error";
+      case ErrCode::ParseError: return "parse-error";
+      case ErrCode::Truncated: return "truncated";
+      case ErrCode::Corrupt: return "corrupt";
+      case ErrCode::BudgetExceeded: return "budget-exceeded";
+      case ErrCode::Stalled: return "stalled";
+      case ErrCode::Unsupported: return "unsupported";
+      case ErrCode::Internal: return "internal";
+    }
+    return "?";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    if (hasOffset()) {
+        return strf("%s at offset %llu: %s", errCodeName(code_),
+                    static_cast<unsigned long long>(offset_),
+                    message_.c_str());
+    }
+    return strf("%s: %s", errCodeName(code_), message_.c_str());
+}
+
+} // namespace asyncclock

@@ -33,9 +33,25 @@
 #include <string>
 #include <vector>
 
+#include "support/status.hh"
 #include "trace/trace.hh"
 
 namespace asyncclock::trace {
+
+/**
+ * Per-run error budget of a streaming source. A corrupt *operation*
+ * record (bad ids, malformed payload) can be skipped and counted —
+ * entity declarations cannot, because their ids are positional and a
+ * skip would silently shift every later id (phantom races). Once more
+ * than maxRecordErrors records have been skipped the source fails
+ * with ErrCode::BudgetExceeded and a summary. The default budget of 0
+ * keeps the pre-existing strict behaviour: first corrupt record fails
+ * the stream.
+ */
+struct SourceErrorPolicy
+{
+    std::uint64_t maxRecordErrors = 0;
+};
 
 /** Push interface for entity declarations. Ids are allocated densely
  * per table, in declaration order. */
@@ -262,6 +278,18 @@ class TraceSource
     /** False after a malformed stream; error() describes why. */
     virtual bool ok() const { return true; }
     virtual const std::string &error() const;
+
+    /** Structured form of ok()/error(): the error category plus the
+     * input offset of the failing record when known. */
+    virtual Status
+    status() const
+    {
+        return ok() ? Status::ok()
+                    : Status::error(ErrCode::ParseError, error());
+    }
+
+    /** Corrupt records skipped under the error budget so far. */
+    virtual std::uint64_t recordsSkipped() const { return 0; }
 
     /** Bytes held by the trace *container* this source reads from —
      * O(ops) for MaterializedSource, O(1) for the streaming sources.

@@ -82,15 +82,38 @@ putString(std::ostream &out, const std::string &s)
 
 /** Incremental decoder shared by the materializing reader and the
  * streaming source. Tracks declared-entity counts for bounds checks
- * and the running vtime for delta decoding. */
+ * and the running vtime for delta decoding.
+ *
+ * Failure discipline: *structural* damage (truncated varint/string,
+ * unknown tag, missing end marker) is unrecoverable — the record
+ * boundary is lost, so the stream hard-fails with a Status carrying
+ * the byte offset. *Value* damage (an id out of range, a bad enum) is
+ * discovered only after the record's bytes were fully consumed, so
+ * the record can be skipped and counted against the error budget.
+ * Entity declarations are the exception: their ids are positional, so
+ * skipping one would silently shift every later id — they hard-fail
+ * (bind-looper carries no id of its own and stays skippable). */
 class BinaryDecoder
 {
   public:
-    explicit BinaryDecoder(std::istream &in) : in_(in) {}
+    explicit BinaryDecoder(std::istream &in,
+                           SourceErrorPolicy policy = {})
+        : in_(in), policy_(policy)
+    {
+    }
 
     bool ok() const { return ok_; }
     const std::string &error() const { return error_; }
     bool atEnd() const { return sawEnd_; }
+    std::uint64_t skipped() const { return skipped_; }
+
+    Status
+    status() const
+    {
+        if (ok_)
+            return Status::ok();
+        return Status::error(errCode_, error_, errOffset_);
+    }
 
     /** Validate magic + version; call once before records. */
     bool
@@ -98,39 +121,73 @@ class BinaryDecoder
     {
         char magic[4];
         if (!in_.read(magic, 4))
-            return fail("missing magic");
+            return fail(ErrCode::Truncated, "missing magic");
         if (std::memcmp(magic, kBinaryMagic, 4) != 0)
-            return fail("bad magic");
+            return fail(ErrCode::ParseError, "bad magic");
         int version = in_.get();
         if (version == EOF)
-            return fail("missing version");
-        if (version != kBinaryVersion)
-            return fail(strf("unsupported version %d", version));
+            return fail(ErrCode::Truncated, "missing version");
+        if (version != kBinaryVersion) {
+            return fail(ErrCode::Unsupported,
+                        strf("unsupported version %d", version));
+        }
         return true;
     }
 
     /**
      * Decode the next record. Entity declarations are applied to
      * @p entities; an operation sets @p isOp and fills @p op. Returns
-     * false at the end marker or on error (check ok()).
+     * false at the end marker or on error (check ok()). Corrupt
+     * records within the error budget are skipped internally and
+     * never surface here.
      */
     bool
     nextRecord(EntitySink &entities, bool &isOp, Operation &op)
     {
+        for (;;) {
+            Rec rec = nextRecordOnce(entities, isOp, op);
+            if (rec == Rec::Soft && skipRecord())
+                continue;
+            return rec == Rec::Good;
+        }
+    }
+
+  private:
+    /** Outcome of one record: decoded, skippable-corrupt, or
+     * end/hard-error (Stop covers both; check ok()/atEnd()). */
+    enum class Rec { Good, Soft, Stop };
+
+    Rec
+    nextRecordOnce(EntitySink &entities, bool &isOp, Operation &op)
+    {
         isOp = false;
         if (!ok_ || sawEnd_)
-            return false;
+            return Rec::Stop;
         int tag = in_.get();
-        if (tag == EOF)
-            return fail("truncated: missing end marker");
+        if (tag == EOF) {
+            fail(ErrCode::Truncated, "truncated: missing end marker");
+            return Rec::Stop;
+        }
         std::uint8_t t = static_cast<std::uint8_t>(tag);
         if (t == kTagEnd) {
             sawEnd_ = true;
-            return false;
+            return Rec::Stop;
         }
-        if (t <= kMaxOpTag)
-            return decodeOp(static_cast<OpKind>(t), op) &&
-                   (isOp = true);
+        if (t <= kMaxOpTag) {
+            Rec rec = decodeOp(static_cast<OpKind>(t), op);
+            isOp = rec == Rec::Good;
+            return rec;
+        }
+        return decodeEntity(t, entities) ? Rec::Good
+               : ok_                     ? Rec::Soft
+                                         : Rec::Stop;
+    }
+
+    /** False on failure: soft if ok() still holds (only the
+     * non-positional bind-looper record), hard otherwise. */
+    bool
+    decodeEntity(std::uint8_t t, EntitySink &entities)
+    {
         switch (t) {
           case kTagThread:
             {
@@ -141,7 +198,7 @@ class BinaryDecoder
                     return false;
                 }
                 if (kind > 2)
-                    return fail("bad thread kind");
+                    return fail(ErrCode::Corrupt, "bad thread kind");
                 QueueId q = queuePlus1 == 0
                                 ? kInvalidId
                                 : static_cast<QueueId>(queuePlus1 - 1);
@@ -157,7 +214,7 @@ class BinaryDecoder
                 if (!getVarint(kind) || !getString(name))
                     return false;
                 if (kind > 1)
-                    return fail("bad queue kind");
+                    return fail(ErrCode::Corrupt, "bad queue kind");
                 entities.declQueue(static_cast<QueueKind>(kind),
                                    std::move(name));
                 ++queues_;
@@ -169,7 +226,7 @@ class BinaryDecoder
                 if (!getVarint(q) || !getVarint(looper))
                     return false;
                 if (q >= queues_ || looper >= threads_)
-                    return fail("bind-looper id out of range");
+                    return softFail("bind-looper id out of range");
                 entities.bindLooper(static_cast<QueueId>(q),
                                     static_cast<ThreadId>(looper));
                 return true;
@@ -185,7 +242,7 @@ class BinaryDecoder
                 if (!getVarint(label) || !getString(name))
                     return false;
                 if (label > 5)
-                    return fail("bad seed label");
+                    return fail(ErrCode::Corrupt, "bad seed label");
                 entities.declVar(std::move(name),
                                  static_cast<SeedLabel>(label));
                 ++vars_;
@@ -209,7 +266,7 @@ class BinaryDecoder
                     return false;
                 }
                 if (frame > 2)
-                    return fail("bad site frame");
+                    return fail(ErrCode::Corrupt, "bad site frame");
                 std::uint32_t g =
                     groupPlus1 == 0
                         ? kInvalidId
@@ -220,24 +277,34 @@ class BinaryDecoder
                 return true;
             }
           default:
-            return fail(strf("unknown record tag 0x%02X", t));
+            return fail(ErrCode::ParseError,
+                        strf("unknown record tag 0x%02X", t));
         }
     }
 
-  private:
+    std::uint64_t
+    inputOffset()
+    {
+        // tellg() refuses once eof/fail bits are set (the usual
+        // state on a truncated stream); clear, read, restore so
+        // the error still carries the real offset.
+        std::ios_base::iostate state = in_.rdstate();
+        in_.clear();
+        long long at = static_cast<long long>(in_.tellg());
+        in_.setstate(state);
+        return at < 0 ? kNoOffset : static_cast<std::uint64_t>(at);
+    }
+
     bool
-    fail(const std::string &msg)
+    fail(ErrCode code, const std::string &msg)
     {
         if (ok_) {
             ok_ = false;
-            // tellg() refuses once eof/fail bits are set (the usual
-            // state on a truncated stream); clear, read, restore so
-            // the error still carries the real offset.
-            std::ios_base::iostate state = in_.rdstate();
-            in_.clear();
-            long long at = static_cast<long long>(in_.tellg());
-            in_.setstate(state);
-            error_ = strf("byte %lld: %s", at, msg.c_str());
+            errCode_ = code;
+            errOffset_ = inputOffset();
+            error_ = strf("byte %lld: %s",
+                          static_cast<long long>(errOffset_),
+                          msg.c_str());
             // Surface the failure immediately but rate-limited: a
             // harness decoding many corrupt traces (fuzzing, batch
             // ingestion) must not flood stderr one line per stream.
@@ -247,6 +314,40 @@ class BinaryDecoder
         return false;
     }
 
+    /** A value-corrupt record whose bytes were fully consumed: the
+     * stream stays usable, nextRecord() may skip it under the
+     * budget. */
+    bool
+    softFail(const std::string &msg)
+    {
+        softMsg_ = strf("byte %lld: %s",
+                        static_cast<long long>(inputOffset()),
+                        msg.c_str());
+        return false;
+    }
+
+    /** Charge the last softFail against the budget; false (stream
+     * hard-failed) once the budget is exhausted. */
+    bool
+    skipRecord()
+    {
+        if (skipped_ >= policy_.maxRecordErrors) {
+            if (skipped_ > 0) {
+                return fail(
+                    ErrCode::BudgetExceeded,
+                    strf("error budget exhausted after %llu skipped "
+                         "records; last: %s",
+                         static_cast<unsigned long long>(skipped_),
+                         softMsg_.c_str()));
+            }
+            return fail(ErrCode::Corrupt, softMsg_);
+        }
+        ++skipped_;
+        warnRateLimited("trace_bin.skip",
+                        "skipping corrupt trace record: " + softMsg_);
+        return true;
+    }
+
     bool
     getVarint(std::uint64_t &v)
     {
@@ -254,24 +355,12 @@ class BinaryDecoder
         for (unsigned shift = 0; shift < 64; shift += 7) {
             int byte = in_.get();
             if (byte == EOF)
-                return fail("truncated varint");
+                return fail(ErrCode::Truncated, "truncated varint");
             v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
             if (!(byte & 0x80))
                 return true;
         }
-        return fail("varint overflow");
-    }
-
-    bool
-    getId32(std::uint32_t &id)
-    {
-        std::uint64_t v;
-        if (!getVarint(v))
-            return false;
-        if (v > 0xFFFFFFFFull)
-            return fail("id out of 32-bit range");
-        id = static_cast<std::uint32_t>(v);
-        return true;
+        return fail(ErrCode::ParseError, "varint overflow");
     }
 
     bool
@@ -281,29 +370,78 @@ class BinaryDecoder
         if (!getVarint(len))
             return false;
         if (len > (1u << 20))
-            return fail("unreasonable string length");
+            return fail(ErrCode::ParseError,
+                        "unreasonable string length");
         s.resize(len);
         if (len &&
             !in_.read(s.data(), static_cast<std::streamsize>(len))) {
-            return fail("truncated string");
+            return fail(ErrCode::Truncated, "truncated string");
         }
         return true;
     }
 
-    bool
+    /**
+     * Decode one operation record. Reads the *entire* payload before
+     * validating any value, so a value failure leaves the stream
+     * positioned at the next record and the op is skippable (Soft);
+     * only byte-level truncation hard-fails (Stop).
+     */
+    Rec
     decodeOp(OpKind kind, Operation &op)
     {
         op = Operation();
         op.kind = kind;
-        std::uint32_t taskRaw = 0;
-        if (!getId32(taskRaw))
-            return false;
-        std::uint32_t index = taskRaw >> 1;
+        std::uint64_t taskRaw = 0, a = 0, b = 0, c = 0, d = 0;
+        unsigned payload = 0;
+        switch (kind) {
+          case OpKind::ThreadBegin:
+          case OpKind::ThreadEnd:
+          case OpKind::EventEnd:
+            payload = 0;
+            break;
+          case OpKind::EventBegin:
+          case OpKind::Fork:
+          case OpKind::Join:
+          case OpKind::Signal:
+          case OpKind::Wait:
+          case OpKind::RemoveEvent:
+            payload = 1;
+            break;
+          case OpKind::Read:
+          case OpKind::Write:
+            payload = 2;
+            break;
+          case OpKind::Send:
+            payload = 4;
+            break;
+        }
+        std::uint64_t delta = 0;
+        if (!getVarint(taskRaw) ||
+            (payload > 0 && !getVarint(a)) ||
+            (payload > 1 && !getVarint(b)) ||
+            (payload > 2 && !getVarint(c)) ||
+            (payload > 3 && !getVarint(d)) || !getVarint(delta)) {
+            return Rec::Stop;
+        }
+        // The record's bytes are consumed; everything below is value
+        // validation. The vtime cursor advances regardless of the
+        // verdict so later deltas still decode.
+        lastVtime_ = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(lastVtime_) + unzigzag(delta));
+        op.vtime = lastVtime_;
+
+        auto soft = [this](const char *msg) {
+            softFail(msg);
+            return Rec::Soft;
+        };
+        if (taskRaw > 0xFFFFFFFFull)
+            return soft("op task out of 32-bit range");
+        std::uint32_t index =
+            static_cast<std::uint32_t>(taskRaw >> 1);
         bool isEvent = taskRaw & 1;
-        op.task =
-            isEvent ? Task::event(index) : Task::thread(index);
+        op.task = isEvent ? Task::event(index) : Task::thread(index);
         if (isEvent ? index >= events_ : index >= threads_)
-            return fail("op task out of range");
+            return soft("op task out of range");
         switch (kind) {
           case OpKind::ThreadBegin:
           case OpKind::ThreadEnd:
@@ -312,75 +450,63 @@ class BinaryDecoder
           case OpKind::EventBegin:
           case OpKind::Fork:
           case OpKind::Join:
-            if (!getId32(op.target))
-                return false;
-            if (op.target >= threads_)
-                return fail("op thread out of range");
+            if (a >= threads_)
+                return soft("op thread out of range");
+            op.target = static_cast<std::uint32_t>(a);
             break;
           case OpKind::Signal:
           case OpKind::Wait:
-            if (!getId32(op.target))
-                return false;
-            if (op.target >= handles_)
-                return fail("op handle out of range");
+            if (a >= handles_)
+                return soft("op handle out of range");
+            op.target = static_cast<std::uint32_t>(a);
             break;
           case OpKind::Read:
           case OpKind::Write:
-            {
-                std::uint32_t sitePlus1 = 0;
-                if (!getId32(op.target) || !getId32(sitePlus1))
-                    return false;
-                if (op.target >= vars_)
-                    return fail("op var out of range");
-                op.site = sitePlus1 == 0 ? kInvalidId : sitePlus1 - 1;
-                if (op.site != kInvalidId && op.site >= sites_)
-                    return fail("op site out of range");
+            if (a >= vars_)
+                return soft("op var out of range");
+            op.target = static_cast<std::uint32_t>(a);
+            if (b == 0) {
+                op.site = kInvalidId;
+            } else {
+                if (b - 1 >= sites_)
+                    return soft("op site out of range");
+                op.site = static_cast<std::uint32_t>(b - 1);
             }
             break;
           case OpKind::Send:
-            {
-                std::uint64_t attrByte, time;
-                if (!getId32(op.target) || !getId32(op.event) ||
-                    !getVarint(attrByte) || !getVarint(time)) {
-                    return false;
-                }
-                if (op.target >= queues_)
-                    return fail("op queue out of range");
-                if (op.event >= events_)
-                    return fail("op event out of range");
-                if (attrByte > 5)
-                    return fail("bad send attrs");
-                op.attrs.kind =
-                    static_cast<SendKind>(attrByte >> 1);
-                op.attrs.async = attrByte & 1;
-                op.attrs.time = time;
-            }
+            if (a >= queues_)
+                return soft("op queue out of range");
+            if (b >= events_)
+                return soft("op event out of range");
+            if (c > 5)
+                return soft("bad send attrs");
+            op.target = static_cast<std::uint32_t>(a);
+            op.event = static_cast<std::uint32_t>(b);
+            op.attrs.kind = static_cast<SendKind>(c >> 1);
+            op.attrs.async = c & 1;
+            op.attrs.time = d;
             break;
           case OpKind::RemoveEvent:
-            if (!getId32(op.event))
-                return false;
-            if (op.event >= events_)
-                return fail("op event out of range");
+            if (a >= events_)
+                return soft("op event out of range");
+            op.event = static_cast<std::uint32_t>(a);
             break;
         }
-        std::uint64_t delta;
-        if (!getVarint(delta))
-            return false;
-        std::int64_t signedDelta = unzigzag(delta);
-        lastVtime_ =
-            static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(lastVtime_) + signedDelta);
-        op.vtime = lastVtime_;
-        return true;
+        return Rec::Good;
     }
 
     std::istream &in_;
+    SourceErrorPolicy policy_;
     std::uint64_t threads_ = 0, queues_ = 0, events_ = 0;
     std::uint64_t vars_ = 0, handles_ = 0, sites_ = 0;
     std::uint64_t lastVtime_ = 0;
+    std::uint64_t skipped_ = 0;
     bool ok_ = true;
     bool sawEnd_ = false;
+    ErrCode errCode_ = ErrCode::Ok;
+    std::uint64_t errOffset_ = kNoOffset;
     std::string error_;
+    std::string softMsg_;
 };
 
 } // namespace
@@ -570,40 +696,68 @@ readBinaryTraceFromString(const std::string &data, Trace &tr,
     return readBinaryTrace(ss, tr, error);
 }
 
+Status
+trySaveBinaryTraceFile(const Trace &tr, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        return Status::error(ErrCode::IoError,
+                             "cannot open " + path + " for writing");
+    }
+    writeBinaryTrace(tr, out);
+    if (!out) {
+        return Status::error(ErrCode::IoError,
+                             "write to " + path + " failed");
+    }
+    return Status::ok();
+}
+
 void
 saveBinaryTraceFile(const Trace &tr, const std::string &path)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        fatal("cannot open " + path + " for writing");
-    writeBinaryTrace(tr, out);
-    if (!out)
-        fatal("write to " + path + " failed");
+    Status st = trySaveBinaryTraceFile(tr, path);
+    if (!st)
+        fatal(st.toString());
+}
+
+Expected<Trace>
+tryLoadBinaryTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Status::error(ErrCode::IoError, "cannot open " + path);
+    Trace tr;
+    std::string error;
+    if (!readBinaryTrace(in, tr, error)) {
+        return Status::error(ErrCode::ParseError,
+                             "parsing " + path + ": " + error);
+    }
+    return tr;
 }
 
 Trace
 loadBinaryTraceFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        fatal("cannot open " + path);
-    Trace tr;
-    std::string error;
-    if (!readBinaryTrace(in, tr, error))
-        fatal("parsing " + path + ": " + error);
-    return tr;
+    Expected<Trace> tr = tryLoadBinaryTraceFile(path);
+    if (!tr)
+        fatal(tr.status().toString());
+    return tr.take();
 }
 
 // ----- StreamingBinarySource ------------------------------------------
 
 struct StreamingBinarySource::Impl
 {
-    explicit Impl(std::istream &in) : dec(in) {}
+    Impl(std::istream &in, SourceErrorPolicy policy)
+        : dec(in, policy)
+    {
+    }
     BinaryDecoder dec;
 };
 
-StreamingBinarySource::StreamingBinarySource(std::istream &in)
-    : impl_(new Impl(in))
+StreamingBinarySource::StreamingBinarySource(std::istream &in,
+                                             SourceErrorPolicy policy)
+    : impl_(new Impl(in, policy))
 {
     impl_->dec.readHeader();
 }
@@ -636,6 +790,18 @@ StreamingBinarySource::error() const
     return impl_->dec.error();
 }
 
+Status
+StreamingBinarySource::status() const
+{
+    return impl_->dec.status();
+}
+
+std::uint64_t
+StreamingBinarySource::recordsSkipped() const
+{
+    return impl_->dec.skipped();
+}
+
 std::uint64_t
 StreamingBinarySource::containerBytes() const
 {
@@ -645,36 +811,63 @@ StreamingBinarySource::containerBytes() const
 
 // ----- format-agnostic helpers ----------------------------------------
 
-bool
-isBinaryTraceFile(const std::string &path)
+Expected<bool>
+tryIsBinaryTraceFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("cannot open " + path);
+        return Status::error(ErrCode::IoError, "cannot open " + path);
     char magic[4] = {};
     in.read(magic, 4);
     return in && std::memcmp(magic, kBinaryMagic, 4) == 0;
 }
 
-OpenedSource
-openTraceSource(const std::string &path)
+bool
+isBinaryTraceFile(const std::string &path)
 {
-    OpenedSource out;
-    bool binary = isBinaryTraceFile(path);
+    Expected<bool> binary = tryIsBinaryTraceFile(path);
+    if (!binary)
+        fatal(binary.status().toString());
+    return binary.value();
+}
+
+Expected<OpenedSource>
+tryOpenTraceSource(const std::string &path, SourceErrorPolicy policy)
+{
+    Expected<bool> binary = tryIsBinaryTraceFile(path);
+    if (!binary)
+        return binary.status();
     auto stream = std::make_unique<std::ifstream>(
-        path, binary ? std::ios::binary : std::ios::in);
+        path, binary.value() ? std::ios::binary : std::ios::in);
     if (!*stream)
-        fatal("cannot open " + path);
+        return Status::error(ErrCode::IoError, "cannot open " + path);
     std::unique_ptr<TraceSource> source;
-    if (binary)
-        source = std::make_unique<StreamingBinarySource>(*stream);
-    else
-        source = std::make_unique<StreamingTextSource>(*stream);
-    if (!source->ok())
-        fatal("parsing " + path + ": " + source->error());
+    if (binary.value()) {
+        source =
+            std::make_unique<StreamingBinarySource>(*stream, policy);
+    } else {
+        source =
+            std::make_unique<StreamingTextSource>(*stream, policy);
+    }
+    if (!source->ok()) {
+        Status st = source->status();
+        return Status::error(st.code(),
+                             "parsing " + path + ": " + st.message(),
+                             st.offset());
+    }
+    OpenedSource out;
     out.stream = std::move(stream);
     out.source = std::move(source);
     return out;
+}
+
+OpenedSource
+openTraceSource(const std::string &path)
+{
+    Expected<OpenedSource> opened = tryOpenTraceSource(path);
+    if (!opened)
+        fatal(opened.status().toString());
+    return opened.take();
 }
 
 } // namespace asyncclock::trace

@@ -283,6 +283,18 @@ checkOpEventRange(const Operation &op, std::uint64_t numEvents)
     return "";
 }
 
+/** Is this a line whose skip would shift positional entity ids?
+ * Those must hard-fail; op and unknown-tag lines are skippable. */
+bool
+isEntityLine(const std::string &line)
+{
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    return tag == "thread" || tag == "queue" || tag == "events" ||
+           tag == "var" || tag == "handle" || tag == "site";
+}
+
 } // namespace
 
 void
@@ -418,45 +430,102 @@ readTraceFromString(const std::string &text, Trace &tr,
     return readTrace(ss, tr, error);
 }
 
+Status
+trySaveTraceFile(const Trace &tr, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        return Status::error(ErrCode::IoError,
+                             "cannot open " + path + " for writing");
+    }
+    writeTrace(tr, out);
+    if (!out) {
+        return Status::error(ErrCode::IoError,
+                             "write to " + path + " failed");
+    }
+    return Status::ok();
+}
+
 void
 saveTraceFile(const Trace &tr, const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open " + path + " for writing");
-    writeTrace(tr, out);
-    if (!out)
-        fatal("write to " + path + " failed");
+    Status st = trySaveTraceFile(tr, path);
+    if (!st)
+        fatal(st.toString());
+}
+
+Expected<Trace>
+tryLoadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::error(ErrCode::IoError, "cannot open " + path);
+    Trace tr;
+    std::string error;
+    if (!readTrace(in, tr, error)) {
+        return Status::error(ErrCode::ParseError,
+                             "parsing " + path + ": " + error);
+    }
+    return tr;
 }
 
 Trace
 loadTraceFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot open " + path);
-    Trace tr;
-    std::string error;
-    if (!readTrace(in, tr, error))
-        fatal("parsing " + path + ": " + error);
-    return tr;
+    Expected<Trace> tr = tryLoadTraceFile(path);
+    if (!tr)
+        fatal(tr.status().toString());
+    return tr.take();
 }
 
 // ----- StreamingTextSource --------------------------------------------
 
-StreamingTextSource::StreamingTextSource(std::istream &in) : in_(in)
+StreamingTextSource::StreamingTextSource(std::istream &in,
+                                         SourceErrorPolicy policy)
+    : in_(in), policy_(policy)
 {
     lineNo_ = 1;
-    if (!std::getline(in_, line_) || line_ != kTextHeader)
-        fail(strf("line 1: bad header ('%s')", line_.c_str()));
+    if (!std::getline(in_, line_) || line_ != kTextHeader) {
+        fail(ErrCode::ParseError,
+             strf("line 1: bad header ('%s')", line_.c_str()));
+    }
 }
 
 bool
-StreamingTextSource::fail(const std::string &msg)
+StreamingTextSource::fail(ErrCode code, const std::string &msg)
 {
     ok_ = false;
+    errCode_ = code;
     error_ = msg;
     return false;
+}
+
+Status
+StreamingTextSource::status() const
+{
+    if (ok_)
+        return Status::ok();
+    return Status::error(errCode_, error_, lineNo_);
+}
+
+bool
+StreamingTextSource::skipRecord(const std::string &why)
+{
+    if (skipped_ >= policy_.maxRecordErrors) {
+        return fail(
+            skipped_ > 0 ? ErrCode::BudgetExceeded
+                         : ErrCode::ParseError,
+            skipped_ > 0
+                ? strf("error budget exhausted after %llu skipped "
+                       "records; last: %s",
+                       static_cast<unsigned long long>(skipped_),
+                       why.c_str())
+                : why);
+    }
+    ++skipped_;
+    warnRateLimited("trace_text.skip",
+                    "skipping corrupt trace line: " + why);
+    return true;
 }
 
 bool
@@ -469,15 +538,26 @@ StreamingTextSource::next(Operation &op)
         ++lineNo_;
         bool isOp = false;
         std::string err;
-        if (!parser.parseLine(line_, lineNo_, isOp, op, err))
-            return fail(err);
+        if (!parser.parseLine(line_, lineNo_, isOp, op, err)) {
+            // Entity lines are positional: a skip would shift every
+            // later id, so only op/unknown lines are skippable.
+            if (isEntityLine(line_))
+                return fail(ErrCode::ParseError, err);
+            if (!skipRecord(err))
+                return false;
+            continue;
+        }
         if (isOp) {
             std::string bad =
                 checkOpEventRange(op, meta_.events().size());
             if (!bad.empty()) {
-                return fail(strf("line %zu: op names undeclared "
-                                 "event ('%s')",
-                                 lineNo_, bad.c_str()));
+                if (!skipRecord(
+                        strf("line %zu: op names undeclared event "
+                             "('%s')",
+                             lineNo_, bad.c_str()))) {
+                    return false;
+                }
+                continue;
             }
             if (op.kind == OpKind::Send)
                 meta_.noteSend(op.event, op.target, op.attrs);

@@ -59,28 +59,43 @@ void saveTraceFile(const Trace &tr, const std::string &path);
 /** Read a trace from @p path; fatal() on failure. */
 Trace loadTraceFile(const std::string &path);
 
+/** Recoverable variant of saveTraceFile. */
+Status trySaveTraceFile(const Trace &tr, const std::string &path);
+
+/** Recoverable variant of loadTraceFile. */
+Expected<Trace> tryLoadTraceFile(const std::string &path);
+
 /** Streaming TraceSource over the text format. The stream must
  * outlive the source. */
 class StreamingTextSource : public TraceSource
 {
   public:
     /** Validates the header line eagerly; check ok(). */
-    explicit StreamingTextSource(std::istream &in);
+    explicit StreamingTextSource(std::istream &in,
+                                 SourceErrorPolicy policy = {});
 
     const TraceMeta &meta() const override { return meta_; }
     bool next(Operation &op) override;
     bool ok() const override { return ok_; }
     const std::string &error() const override { return error_; }
+    Status status() const override;
+    std::uint64_t recordsSkipped() const override { return skipped_; }
     std::uint64_t containerBytes() const override;
 
   private:
-    bool fail(const std::string &msg);
+    bool fail(ErrCode code, const std::string &msg);
+    /** Count a corrupt op line against the budget; false (having
+     * failed the stream) once the budget is exhausted. */
+    bool skipRecord(const std::string &why);
 
     std::istream &in_;
+    SourceErrorPolicy policy_;
     TraceMeta meta_;
     std::string line_;
     std::size_t lineNo_ = 0;
+    std::uint64_t skipped_ = 0;
     bool ok_ = true;
+    ErrCode errCode_ = ErrCode::Ok;
     std::string error_;
 };
 
@@ -151,19 +166,29 @@ void saveBinaryTraceFile(const Trace &tr, const std::string &path);
 /** Read a binary trace from @p path; fatal() on failure. */
 Trace loadBinaryTraceFile(const std::string &path);
 
+/** Recoverable variant of saveBinaryTraceFile. */
+Status trySaveBinaryTraceFile(const Trace &tr,
+                              const std::string &path);
+
+/** Recoverable variant of loadBinaryTraceFile. */
+Expected<Trace> tryLoadBinaryTraceFile(const std::string &path);
+
 /** Streaming TraceSource over the binary format. The stream must
  * outlive the source. */
 class StreamingBinarySource : public TraceSource
 {
   public:
     /** Validates magic + version eagerly; check ok(). */
-    explicit StreamingBinarySource(std::istream &in);
+    explicit StreamingBinarySource(std::istream &in,
+                                   SourceErrorPolicy policy = {});
     ~StreamingBinarySource() override;
 
     const TraceMeta &meta() const override { return meta_; }
     bool next(Operation &op) override;
     bool ok() const override;
     const std::string &error() const override;
+    Status status() const override;
+    std::uint64_t recordsSkipped() const override;
     std::uint64_t containerBytes() const override;
 
   private:
@@ -178,6 +203,9 @@ class StreamingBinarySource : public TraceSource
  * cannot be opened. */
 bool isBinaryTraceFile(const std::string &path);
 
+/** Recoverable variant of isBinaryTraceFile. */
+Expected<bool> tryIsBinaryTraceFile(const std::string &path);
+
 /**
  * Open a streaming source over @p path, auto-detecting the format.
  * The returned holder owns the file stream and the source; fatal() on
@@ -189,6 +217,11 @@ struct OpenedSource
     std::unique_ptr<TraceSource> source;
 };
 OpenedSource openTraceSource(const std::string &path);
+
+/** Recoverable variant of openTraceSource; @p policy sets the opened
+ * source's corrupt-record budget. */
+Expected<OpenedSource> tryOpenTraceSource(const std::string &path,
+                                          SourceErrorPolicy policy = {});
 
 } // namespace asyncclock::trace
 

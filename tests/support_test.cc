@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <set>
+#include <thread>
 #include <vector>
 
+#include "support/bounded_queue.hh"
 #include "support/flat_map.hh"
 #include "support/format.hh"
 #include "support/inv_ptr.hh"
@@ -241,6 +244,77 @@ TEST(InvPtr, SameAsComparesIdentity)
     auto r = InvPtr<Probe>::make(1);
     EXPECT_TRUE(p.sameAs(q));
     EXPECT_FALSE(p.sameAs(r));
+}
+
+using support::BoundedQueue;
+using support::PushResult;
+using namespace std::chrono_literals;
+
+TEST(BoundedQueue, TryPushForTimesOutOnFullQueueAndKeepsItem)
+{
+    BoundedQueue<std::string> q(1);
+    std::string first = "first";
+    ASSERT_TRUE(q.push(std::move(first)));
+    std::string second = "second";
+    EXPECT_EQ(q.tryPushFor(second, 20ms), PushResult::Timeout);
+    // Timeout must leave the item with the caller for a retry.
+    EXPECT_EQ(second, "second");
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.blockedPushes(), 1u);
+}
+
+TEST(BoundedQueue, TryPushForSeesClose)
+{
+    BoundedQueue<int> q(1);
+    q.close();
+    int item = 7;
+    EXPECT_EQ(q.tryPushFor(item, 10ms), PushResult::Closed);
+    EXPECT_FALSE(q.push(8));
+}
+
+TEST(BoundedQueue, TryPushForSucceedsWhenConsumerDrains)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::thread consumer([&q] {
+        std::this_thread::sleep_for(30ms);
+        int got = 0;
+        ASSERT_TRUE(q.pop(got));
+        EXPECT_EQ(got, 1);
+    });
+    int item = 2;
+    EXPECT_EQ(q.tryPushFor(item, 5000ms), PushResult::Pushed);
+    consumer.join();
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedTimedPusher)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    PushResult result = PushResult::Pushed;
+    std::thread pusher([&q, &result] {
+        int item = 2;
+        result = q.tryPushFor(item, 60000ms);
+    });
+    std::this_thread::sleep_for(30ms);
+    q.close();
+    pusher.join();
+    EXPECT_EQ(result, PushResult::Closed);
+}
+
+TEST(BoundedQueue, PopDrainsRemainingItemsAfterClose)
+{
+    BoundedQueue<int> q(4);
+    ASSERT_TRUE(q.push(1));
+    ASSERT_TRUE(q.push(2));
+    q.close();
+    int item = 0;
+    EXPECT_TRUE(q.pop(item));
+    EXPECT_EQ(item, 1);
+    EXPECT_TRUE(q.pop(item));
+    EXPECT_EQ(item, 2);
+    EXPECT_FALSE(q.pop(item));
 }
 
 } // namespace
