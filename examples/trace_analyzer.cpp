@@ -52,6 +52,7 @@
 #include "support/format.hh"
 #include "trace/fault.hh"
 #include "trace/trace_io.hh"
+#include "verify/verifier.hh"
 #include "workload/workload.hh"
 
 using namespace asyncclock;
@@ -78,6 +79,11 @@ usage()
         "  --shards=N       check races on N parallel shards\n"
         "  --json           print the report as JSON (materialized\n"
         "                   mode only)\n"
+        "  --verify[=N]     replay-verify candidate races (at most N\n"
+        "                   classes; default all): flip each class\n"
+        "                   representative's order and diff the state\n"
+        "  --verify-max-ops=N  skip verification above N trace ops\n"
+        "                   (the closure is quadratic; default 50000)\n"
         "  --progress[=N]   heartbeat line on stderr every N ops\n"
         "                   (default 100000)\n"
         "  --trace-out=PATH write Chrome trace-event JSON (Perfetto)\n"
@@ -173,6 +179,9 @@ cmdAnalyze(int argc, char **argv)
     bool json = false;
     bool streaming = false;
     bool resume = false;
+    bool verify = false;
+    std::uint32_t verifyMaxClasses = 0;
+    std::uint32_t verifyMaxOps = 50000;
     unsigned shards = 0;
     std::uint64_t progressEvery = 0;
     std::uint64_t checkpointEvery = 1000000;
@@ -206,6 +215,15 @@ cmdAnalyze(int argc, char **argv)
                 std::strtoul(arg.c_str() + 9, nullptr, 10));
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--verify") {
+            verify = true;
+        } else if (arg.rfind("--verify=", 0) == 0) {
+            verify = true;
+            verifyMaxClasses = static_cast<std::uint32_t>(
+                std::strtoul(arg.c_str() + 9, nullptr, 10));
+        } else if (arg.rfind("--verify-max-ops=", 0) == 0) {
+            verifyMaxOps = static_cast<std::uint32_t>(
+                std::strtoul(arg.c_str() + 17, nullptr, 10));
         } else if (arg == "--progress") {
             progressEvery = 100000;
         } else if (arg.rfind("--progress=", 0) == 0) {
@@ -563,6 +581,46 @@ cmdAnalyze(int argc, char **argv)
         summary.notes.push_back("fault injection active: " +
                                 injectSpec);
 
+    // ----- replay verification (--verify) ---------------------------
+    report::TriageReport triage;
+    verify::VerifySummary vsum;
+    if (verify) {
+        // Verification needs a materialized trace. In streaming mode
+        // (including fault injection, which damages the in-memory
+        // stream, never the file) reload the file cleanly; flipping
+        // orders inside a half-decoded op vector would verify a
+        // program that never ran.
+        trace::Trace verifyTr;
+        const trace::Trace *vtr = &tr;
+        if (streaming) {
+            verifyTr = binary ? trace::loadBinaryTraceFile(argv[2])
+                              : trace::loadTraceFile(argv[2]);
+            vtr = &verifyTr;
+        }
+        // Candidates are the checker's races under the same
+        // user-induced filter as the report; commutativity-filtered
+        // pairs stay in, so replay cross-checks the whitelist.
+        std::vector<report::RaceReport> candidates;
+        for (const report::RaceReport &race : checker->races()) {
+            if (filters.userInducedOnly &&
+                (!analyzer.userInduced(race.prevSite) ||
+                 !analyzer.userInduced(race.curSite))) {
+                continue;
+            }
+            candidates.push_back(race);
+        }
+        triage = report::buildTriage(candidates);
+        verify::VerifyConfig vcfg;
+        vcfg.maxClasses = verifyMaxClasses;
+        vcfg.maxOps = verifyMaxOps;
+        vcfg.obs = octx;
+        vsum = verify::verifyTriage(triage, *vtr, vcfg);
+        std::printf("\nverification: %llu replay(s) in %.3fs\n",
+                    (unsigned long long)vsum.replays, vsum.wallSec);
+        for (const std::string &note : vsum.notes)
+            std::fprintf(stderr, "verify note: %s\n", note.c_str());
+    }
+
     if (!traceOut.empty()) {
         tracer.writeFile(traceOut);
         std::printf("wrote trace events to %s\n", traceOut.c_str());
@@ -573,12 +631,24 @@ cmdAnalyze(int argc, char **argv)
     }
 
     if (json) {
-        std::printf("%s\n", report::toJson(summary, tr).c_str());
+        std::printf("%s\n",
+                    verify
+                        ? report::toJson(summary, triage, tr).c_str()
+                        : report::toJson(summary, tr).c_str());
         return 0;
     }
     std::string reportText = summary.summary() + "\n";
     for (const auto &group : summary.reported)
         reportText += "  " + analyzer.describe(group) + "\n";
+    if (verify) {
+        // Verdict lines carry no timings, so two runs over the same
+        // trace produce byte-identical reports (CI diffs them).
+        trace::TraceMeta vmeta =
+            streaming ? source->meta() : trace::TraceMeta::fromTrace(tr);
+        reportText += triage.summary() + "\n";
+        for (const report::TriageClass &cls : triage.classes)
+            reportText += "  " + report::describeClass(vmeta, cls) + "\n";
+    }
     std::printf("\n%s", reportText.c_str());
     if (!reportOut.empty()) {
         // Machine-diffable copy (CI compares a resumed run's report

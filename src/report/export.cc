@@ -4,11 +4,14 @@
 
 namespace asyncclock::report {
 
-std::string
-toJson(const ReportSummary &summary, const trace::Trace &tr)
+namespace {
+
+/** Body shared by both report overloads: fields of the open summary
+ * object (caller owns beginObject/endObject). */
+void
+writeSummary(JsonWriter &w, const ReportSummary &summary,
+             const trace::Trace &tr)
 {
-    JsonWriter w;
-    w.beginObject();
     w.field("allGroups", summary.allGroups);
     w.field("filteredGroups", summary.filteredGroups);
     w.field("harmful", summary.harmful);
@@ -32,6 +35,57 @@ toJson(const ReportSummary &summary, const trace::Trace &tr)
         w.endObject();
     }
     w.endArray();
+}
+
+} // namespace
+
+std::string
+toJson(const ReportSummary &summary, const trace::Trace &tr)
+{
+    JsonWriter w;
+    w.beginObject();
+    writeSummary(w, summary, tr);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+toJson(const ReportSummary &summary, const TriageReport &triage,
+       const trace::Trace &tr)
+{
+    JsonWriter w;
+    w.beginObject();
+    writeSummary(w, summary, tr);
+    w.key("verification").beginObject();
+    w.field("classes",
+            static_cast<std::uint64_t>(triage.classes.size()));
+    w.field("confirmed", triage.confirmed);
+    w.field("benign", triage.benign);
+    w.field("infeasible", triage.infeasible);
+    w.field("unverified", triage.unverified);
+    auto siteName = [&](trace::SiteId id) -> std::string {
+        return id < tr.sites().size() ? tr.site(id).name
+                                      : "<unknown-site>";
+    };
+    w.key("verdicts").beginArray();
+    for (const TriageClass &cls : triage.classes) {
+        w.beginObject();
+        w.field("verdict", replayVerdictName(cls.verdict));
+        w.field("variable", cls.var < tr.vars().size()
+                                ? tr.var(cls.var).name
+                                : "<unknown-var>");
+        w.field("firstSite", siteName(cls.firstSite));
+        w.field("secondSite", siteName(cls.secondSite));
+        w.field("races", static_cast<std::uint64_t>(cls.raceCount));
+        w.field("firstOp", static_cast<std::uint64_t>(
+                               cls.representative.prevOp));
+        w.field("secondOp", static_cast<std::uint64_t>(
+                                cls.representative.curOp));
+        w.field("detail", cls.detail);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
     w.endObject();
     return w.str();
 }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "report/races.hh"
+#include "report/triage.hh"
 #include "trace/trace.hh"
 
 namespace asyncclock::report {
@@ -21,6 +22,11 @@ namespace asyncclock::report {
 /** Render a full analysis report as a JSON document. */
 std::string toJson(const ReportSummary &summary,
                    const trace::Trace &tr);
+
+/** As above, plus a "verification" section carrying the triage
+ * classes and their replay verdicts. */
+std::string toJson(const ReportSummary &summary,
+                   const TriageReport &triage, const trace::Trace &tr);
 
 /** Render trace statistics as a JSON object. */
 std::string toJson(const trace::TraceStats &stats);

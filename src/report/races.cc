@@ -77,6 +77,11 @@ RaceAnalyzer::analyze(const std::vector<RaceReport> &races,
             g.siteA = a;
             g.siteB = b;
             g.sample = race;
+        } else if (race < g.sample) {
+            // Smallest (prevOp, curOp) pair represents the group, so
+            // the choice does not depend on checker emission order
+            // (the sharded checker merges shards nondeterministically).
+            g.sample = race;
         }
         ++g.raceCount;
     }
@@ -98,6 +103,15 @@ RaceAnalyzer::analyze(const std::vector<RaceReport> &races,
         }
         out.reported.push_back(group);
     }
+    // Total deterministic export order: by variable, then by the
+    // representative pair's op ids (site-pair map order would leak
+    // site numbering, which differs between generator revisions).
+    std::stable_sort(out.reported.begin(), out.reported.end(),
+                     [](const RaceGroup &x, const RaceGroup &y) {
+                         if (x.sample.var != y.sample.var)
+                             return x.sample.var < y.sample.var;
+                         return x.sample < y.sample;
+                     });
     return out;
 }
 

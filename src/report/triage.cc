@@ -1,0 +1,132 @@
+#include "report/triage.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "support/format.hh"
+
+namespace asyncclock::report {
+
+using trace::SiteId;
+using trace::VarId;
+
+const char *
+replayVerdictName(ReplayVerdict verdict)
+{
+    switch (verdict) {
+      case ReplayVerdict::Unverified: return "UNVERIFIED";
+      case ReplayVerdict::Confirmed: return "CONFIRMED";
+      case ReplayVerdict::Benign: return "BENIGN";
+      case ReplayVerdict::Infeasible: return "INFEASIBLE";
+    }
+    return "?";
+}
+
+void
+TriageReport::recount()
+{
+    confirmed = benign = infeasible = unverified = 0;
+    for (const TriageClass &cls : classes) {
+        switch (cls.verdict) {
+          case ReplayVerdict::Confirmed: ++confirmed; break;
+          case ReplayVerdict::Benign: ++benign; break;
+          case ReplayVerdict::Infeasible: ++infeasible; break;
+          case ReplayVerdict::Unverified: ++unverified; break;
+        }
+    }
+}
+
+std::string
+TriageReport::summary() const
+{
+    return strf("verify: %llu class(es): %llu confirmed, "
+                "%llu unverified, %llu benign, %llu infeasible",
+                (unsigned long long)classes.size(),
+                (unsigned long long)confirmed,
+                (unsigned long long)unverified,
+                (unsigned long long)benign,
+                (unsigned long long)infeasible);
+}
+
+TriageReport
+buildTriage(const std::vector<RaceReport> &candidates)
+{
+    // Keyed map => class order independent of candidate order; the
+    // representative is the minimum candidate by (prevOp, curOp), so
+    // it is independent of input order too.
+    std::map<std::tuple<VarId, SiteId, SiteId>, TriageClass> classes;
+    for (const RaceReport &race : candidates) {
+        TriageClass &cls =
+            classes[{race.var, race.prevSite, race.curSite}];
+        if (cls.raceCount == 0) {
+            cls.var = race.var;
+            cls.firstSite = race.prevSite;
+            cls.secondSite = race.curSite;
+            cls.representative = race;
+        } else if (race < cls.representative) {
+            cls.representative = race;
+        }
+        ++cls.raceCount;
+    }
+
+    TriageReport out;
+    out.classes.reserve(classes.size());
+    for (auto &[key, cls] : classes)
+        out.classes.push_back(std::move(cls));
+    out.recount();
+    return out;
+}
+
+void
+rankTriage(TriageReport &report)
+{
+    auto rank = [](ReplayVerdict v) {
+        switch (v) {
+          case ReplayVerdict::Confirmed: return 0;
+          case ReplayVerdict::Unverified: return 1;
+          case ReplayVerdict::Benign: return 2;
+          case ReplayVerdict::Infeasible: return 3;
+        }
+        return 4;
+    };
+    std::stable_sort(
+        report.classes.begin(), report.classes.end(),
+        [&](const TriageClass &a, const TriageClass &b) {
+            if (rank(a.verdict) != rank(b.verdict))
+                return rank(a.verdict) < rank(b.verdict);
+            return std::tie(a.var, a.firstSite, a.secondSite) <
+                   std::tie(b.var, b.firstSite, b.secondSite);
+        });
+    report.recount();
+}
+
+namespace {
+
+const char *
+siteName(const trace::TraceMeta &meta, SiteId id)
+{
+    return id < meta.sites().size() ? meta.site(id).name.c_str()
+                                    : "<unknown-site>";
+}
+
+} // namespace
+
+std::string
+describeClass(const trace::TraceMeta &meta, const TriageClass &cls)
+{
+    const RaceReport &r = cls.representative;
+    return strf("%s: %u race(s) on '%s': %s at %s, then %s at %s%s%s",
+                replayVerdictName(cls.verdict), cls.raceCount,
+                cls.var < meta.vars().size()
+                    ? meta.var(cls.var).name.c_str()
+                    : "<unknown-var>",
+                r.prevWrite ? "write" : "read",
+                siteName(meta, cls.firstSite),
+                r.curWrite ? "write" : "read",
+                siteName(meta, cls.secondSite),
+                cls.detail.empty() ? "" : " — ",
+                cls.detail.c_str());
+}
+
+} // namespace asyncclock::report

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Race triage: candidate races deduplicated into verification classes.
+ *
+ * A detector emits raw race pairs; many of them are the same bug seen
+ * through different event instances. Triage collapses candidates into
+ * equivalence classes keyed by (variable, ordered pair of source
+ * sites) — ordered, because "write at A then read at B" and "read at
+ * B then write at A" flip in different directions — picks one
+ * deterministic representative per class, and carries the replay
+ * verdict the verifier (src/verify/) assigns to that representative.
+ * Classes are ranked for human consumption: a confirmed divergence
+ * outranks anything unverified, which outranks a provably benign or
+ * infeasible report.
+ *
+ * This header deliberately knows nothing about *how* verification
+ * happens; src/verify/ fills the verdicts in. That keeps the report
+ * library free of a dependency on the runtime/gold machinery.
+ */
+
+#ifndef ASYNCCLOCK_REPORT_TRIAGE_HH
+#define ASYNCCLOCK_REPORT_TRIAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/checker.hh"
+#include "trace/source.hh"
+
+namespace asyncclock::report {
+
+/**
+ * Outcome of replay-verifying one candidate race (DESIGN.md
+ * section 11).
+ *
+ *  - Unverified: not (yet) replayed — over budget, representative
+ *    invalid against the replay substrate, or verification off.
+ *  - Confirmed: flipping the pair's order produced divergent
+ *    observable state or a fault (crash analog) not present under the
+ *    recorded order.
+ *  - Benign: the flip is feasible and both orders end in identical
+ *    observable state.
+ *  - Infeasible: the two accesses are happens-before ordered; no real
+ *    schedule can flip them (a detector false positive).
+ */
+enum class ReplayVerdict : std::uint8_t {
+    Unverified,
+    Confirmed,
+    Benign,
+    Infeasible,
+};
+
+const char *replayVerdictName(ReplayVerdict verdict);
+
+/** One equivalence class of candidate races. */
+struct TriageClass
+{
+    trace::VarId var = trace::kInvalidId;
+    /** Site of the access that came first in the analyzed trace. */
+    trace::SiteId firstSite = trace::kInvalidId;
+    /** Site of the access that came second. */
+    trace::SiteId secondSite = trace::kInvalidId;
+    /** Candidate pairs collapsed into this class. */
+    std::uint32_t raceCount = 0;
+    /** Smallest (prevOp, curOp) candidate — the pair the verifier
+     * replays; its verdict stands for the whole class. */
+    RaceReport representative{};
+    ReplayVerdict verdict = ReplayVerdict::Unverified;
+    /** One-line, deterministic explanation of the verdict. */
+    std::string detail;
+};
+
+/** Per-verdict tally plus the (ranked) classes. */
+struct TriageReport
+{
+    std::vector<TriageClass> classes;
+
+    std::uint64_t confirmed = 0;
+    std::uint64_t benign = 0;
+    std::uint64_t infeasible = 0;
+    std::uint64_t unverified = 0;
+
+    /** Recompute the tallies from the classes. */
+    void recount();
+
+    /** "verify: N class(es): X confirmed, ..." one-liner. */
+    std::string summary() const;
+};
+
+/**
+ * Collapse candidate races into classes. Deterministic in the *set*
+ * of candidates: the class key order and the representative choice do
+ * not depend on the input ordering.
+ */
+TriageReport buildTriage(const std::vector<RaceReport> &candidates);
+
+/**
+ * Rank classes most-actionable first: Confirmed, then Unverified,
+ * then Benign, then Infeasible; ties broken by (var, firstSite,
+ * secondSite) so the order is total and stable across runs.
+ */
+void rankTriage(TriageReport &report);
+
+/** Human-readable one-liner for a class (deterministic). */
+std::string describeClass(const trace::TraceMeta &meta,
+                          const TriageClass &cls);
+
+} // namespace asyncclock::report
+
+#endif // ASYNCCLOCK_REPORT_TRIAGE_HH

@@ -130,6 +130,7 @@ struct Runtime::Impl
     std::uint64_t seq = 0;
     std::uint64_t now = 0;
     bool ran = false;
+    DeliveryGate *gate = nullptr;
 
     explicit Impl(RuntimeConfig c) : cfg(c) {}
 
@@ -185,6 +186,11 @@ struct Runtime::Impl
                 !it->second.front) {
                 continue;
             }
+            // A gated entry is neither deliverable nor a wakeup
+            // source; it is re-offered when the gate state changes
+            // (after every event end).
+            if (gate && !gate->mayDeliver(q.id, it->second.event))
+                continue;
             if (it->second.when <= time)
                 return it;
             nextWake = std::min(nextWake, it->second.when);
@@ -234,6 +240,16 @@ struct Runtime::Impl
             if (freeFiber == kInvalidId)
                 return;
             auto it = q.entries.begin();
+            if (gate) {
+                // First ungated entry (the gate reorders FIFO — that
+                // is the point of a replay flip).
+                while (it != q.entries.end() &&
+                       !gate->mayDeliver(q.id, it->second.event)) {
+                    ++it;
+                }
+                if (it == q.entries.end())
+                    return;
+            }
             Fiber &f = fibers[freeFiber];
             f.curEvent = it->second.event;
             f.evBody = it->second.body;
@@ -378,6 +394,13 @@ Runtime::looperThreadOf(trace::QueueId queue) const
 }
 
 void
+Runtime::setDeliveryGate(DeliveryGate *gate)
+{
+    acAssert(!impl_->ran, "runtime already ran");
+    impl_->gate = gate;
+}
+
+void
 Runtime::Impl::finishWorker(std::uint32_t fi)
 {
     Fiber &f = fibers[fi];
@@ -392,7 +415,8 @@ void
 Runtime::Impl::finishEvent(std::uint32_t fi)
 {
     Fiber &f = fibers[fi];
-    sink->eventEnd(f.curEvent, f.time);
+    const EventId ended = f.curEvent;
+    sink->eventEnd(ended, f.time);
     f.curEvent = kInvalidId;
     f.evBody.reset();
     f.evPc = 0;
@@ -404,6 +428,19 @@ Runtime::Impl::finishEvent(std::uint32_t fi)
         f.st = Fiber::St::Idle;
         ++f.gen;
         armBinder(q);
+    }
+    if (gate) {
+        // The gate may release deferred entries on any event end, so
+        // every queue gets re-offered its work.
+        gate->onEventEnd(ended);
+        for (QueueState &other : queues) {
+            if (other.id == kInvalidId)
+                continue;
+            if (other.binder)
+                armBinder(other);
+            else
+                armLooper(other);
+        }
     }
 }
 

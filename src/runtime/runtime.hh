@@ -40,6 +40,28 @@ struct RuntimeConfig
     std::uint64_t stepCostMs = 1;
 };
 
+/**
+ * Hook consulted before each event delivery — the replay subsystem's
+ * entry point into the scheduler (src/verify/). Returning false from
+ * mayDeliver defers the event: the queue skips it and delivers the
+ * next eligible entry instead (this is how a replay *flips* delivery
+ * order). Deferred entries are re-offered every time any event
+ * finishes. A gate must eventually release everything it defers, or
+ * the held events end the run undelivered (RunInfo::undelivered).
+ */
+class DeliveryGate
+{
+  public:
+    virtual ~DeliveryGate() = default;
+
+    /** May @p event, queued on @p queue, be delivered now? */
+    virtual bool mayDeliver(trace::QueueId queue,
+                            trace::EventId event) = 0;
+
+    /** An event finished executing (gates typically release here). */
+    virtual void onEventEnd(trace::EventId event) { (void)event; }
+};
+
 /** Summary of one simulation run. */
 struct RunInfo
 {
@@ -85,6 +107,11 @@ class Runtime
     /** Spawn a root worker thread running @p script at @p startMs. */
     void spawnWorker(const std::string &name, Script script,
                      std::uint64_t startMs = 0);
+
+    /** Install a delivery gate (replay steering). Must be called
+     * before run(); @p gate must outlive the run. Pass nullptr to
+     * clear. */
+    void setDeliveryGate(DeliveryGate *gate);
 
     /** Looper thread driving @p queue (for assertions in tests). */
     trace::ThreadId looperThreadOf(trace::QueueId queue) const;

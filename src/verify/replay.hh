@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The ReplayController: flip a candidate race's order, re-execute,
+ * diff the state (DESIGN.md section 11).
+ *
+ * Two replay substrates share the state-diff oracle (state.hh):
+ *
+ *  1. *Trace-level* (`ReplayController`): re-linearize the recorded
+ *     trace so the second access of the pair executes before the
+ *     first, while preserving every other happens-before edge of the
+ *     gold closure. Works on any materialized trace — this is what
+ *     `trace_analyzer --verify` uses. Simulated task bodies are
+ *     straight-line (control flow never depends on data), so a
+ *     reordered interpretation of the recorded ops is exactly the
+ *     trace a re-execution under the flipped schedule would emit.
+ *
+ *  2. *Runtime-level* (`reexecuteFlipped`): rebuild the app model via
+ *     a factory and re-run it on the simulator with a DeliveryGate
+ *     that holds the first access's event back until the second's
+ *     has finished — a true re-execution honoring looper atomicity.
+ *     Needs the app model in-process; used by tests and embedders.
+ *
+ * Flips that would violate happens-before are refused up front: an
+ * ordered pair cannot occur in any real schedule, so the candidate is
+ * INFEASIBLE (a detector false positive).
+ */
+
+#ifndef ASYNCCLOCK_VERIFY_REPLAY_HH
+#define ASYNCCLOCK_VERIFY_REPLAY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gold/closure.hh"
+#include "report/triage.hh"
+#include "runtime/runtime.hh"
+#include "support/status.hh"
+#include "trace/trace.hh"
+#include "verify/state.hh"
+
+namespace asyncclock::verify {
+
+/** Outcome of one flip experiment. */
+struct FlipOutcome
+{
+    report::ReplayVerdict verdict = report::ReplayVerdict::Unverified;
+    /** Deterministic one-line explanation. */
+    std::string detail;
+};
+
+/**
+ * Trace-level replay over one recorded trace. Construction
+ * interprets the recorded order once; each verifyPair() call builds
+ * and interprets one flipped schedule (O(ops) per call).
+ */
+class ReplayController
+{
+  public:
+    /** @p hb must be the closure of @p tr; both must outlive this. */
+    ReplayController(const trace::Trace &tr, const gold::Closure &hb);
+
+    /**
+     * Flip the order of the two access ops and classify the result.
+     * The pair is normalized by trace order internally, so argument
+     * order does not matter.
+     */
+    FlipOutcome verifyPair(trace::OpId a, trace::OpId b) const;
+
+    /**
+     * The flipped linearization: every op of the trace, in recorded
+     * order except that @p first and all its happens-before
+     * successors are delayed until just after @p second (@p first
+     * must precede @p second in trace order and must not be ordered
+     * with it). Exposed for tests.
+     */
+    std::vector<trace::OpId> flippedSchedule(trace::OpId first,
+                                             trace::OpId second) const;
+
+    /** State of the recorded order (the comparison baseline). */
+    const StateSnapshot &recordedState() const { return recorded_; }
+
+  private:
+    const trace::Trace &tr_;
+    const gold::Closure &hb_;
+    TraceInterpreter interp_;
+    StateSnapshot recorded_;
+};
+
+/** Rebuilds an app model on a fresh Runtime (entities, workers,
+ * scripts) — must produce the same model every call. */
+using AppFactory = std::function<void(runtime::Runtime &)>;
+
+/**
+ * Runtime-level replay: re-execute the app with the delivery of the
+ * event containing @p first held back until the event containing
+ * @p second has finished, and return the alternative trace.
+ *
+ * Requirements (else ErrCode::Unsupported): both ops must run inside
+ * (distinct) events — thread-resident accesses cannot be steered by
+ * a delivery gate. Returns ErrCode::Internal if the re-execution did
+ * not actually flip the pair (a non-deterministic factory, or a flip
+ * the queue discipline forbids).
+ */
+Expected<trace::Trace> reexecuteFlipped(const AppFactory &factory,
+                                        const trace::Trace &recorded,
+                                        trace::OpId first,
+                                        trace::OpId second);
+
+} // namespace asyncclock::verify
+
+#endif // ASYNCCLOCK_VERIFY_REPLAY_HH

@@ -1,0 +1,152 @@
+#include "verify/state.hh"
+
+#include <algorithm>
+
+#include "support/format.hh"
+
+namespace asyncclock::verify {
+
+using trace::kInvalidId;
+using trace::Operation;
+using trace::OpId;
+using trace::OpKind;
+
+namespace {
+
+/** splitmix64 finalizer: cheap, well-mixed, dependency-free. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::string
+StateSnapshot::diff(const StateSnapshot &other,
+                    const trace::Trace &tr) const
+{
+    for (std::size_t v = 0;
+         v < varValues.size() && v < other.varValues.size(); ++v) {
+        if (varValues[v] != other.varValues[v] ||
+            varWritten[v] != other.varWritten[v]) {
+            return strf("final value of '%s' differs",
+                        tr.var(static_cast<trace::VarId>(v))
+                            .name.c_str());
+        }
+    }
+    if (faults != other.faults) {
+        // Report the first fault present in exactly one schedule.
+        std::vector<Fault> delta;
+        std::set_symmetric_difference(faults.begin(), faults.end(),
+                                      other.faults.begin(),
+                                      other.faults.end(),
+                                      std::back_inserter(delta));
+        if (!delta.empty()) {
+            const Fault &f = delta.front();
+            bool inSelf = std::binary_search(faults.begin(),
+                                             faults.end(), f);
+            return strf("uninitialized read of '%s' (op %u) under the "
+                        "%s order",
+                        tr.var(f.var).name.c_str(), f.op,
+                        inSelf ? "recorded" : "flipped");
+        }
+    }
+    if (delivered != other.delivered)
+        return "delivered-event sets differ";
+    if (undelivered != other.undelivered)
+        return "undelivered-queue contents differ";
+    if (varValues.size() != other.varValues.size())
+        return "variable tables differ";
+    return "";
+}
+
+StateSnapshot
+TraceInterpreter::run(const std::vector<OpId> &schedule) const
+{
+    StateSnapshot out;
+    out.varValues.assign(tr_.vars().size(), 0);
+    out.varWritten.assign(tr_.vars().size(), 0);
+
+    // Per-task dataflow accumulators: what the task has observed.
+    std::vector<std::uint64_t> threadAcc(tr_.threads().size(), 0);
+    std::vector<std::uint64_t> eventAcc(tr_.events().size(), 0);
+    std::vector<std::uint8_t> removed(tr_.events().size(), 0);
+
+    auto accOf = [&](trace::Task task) -> std::uint64_t & {
+        return task.isEvent() ? eventAcc[task.index()]
+                              : threadAcc[task.index()];
+    };
+
+    for (OpId id : schedule) {
+        const Operation &op = tr_.op(id);
+        switch (op.kind) {
+          case OpKind::Read:
+            {
+                std::uint64_t &acc = accOf(op.task);
+                if (!out.varWritten[op.target]) {
+                    out.faults.push_back(
+                        {FaultKind::UninitRead, id, op.target});
+                }
+                acc = mix(acc ^ out.varValues[op.target]);
+            }
+            break;
+          case OpKind::Write:
+            {
+                const std::uint64_t siteKey =
+                    op.site == kInvalidId ? 0 : op.site + 1;
+                const std::uint32_t group =
+                    op.site == kInvalidId
+                        ? kInvalidId
+                        : tr_.site(op.site).commGroup;
+                if (group != kInvalidId) {
+                    // The whitelist's claim, taken literally: the
+                    // update commutes, so order cannot matter.
+                    out.varValues[op.target] += mix(siteKey);
+                } else {
+                    out.varValues[op.target] =
+                        mix(siteKey ^ (accOf(op.task) << 1));
+                }
+                out.varWritten[op.target] = 1;
+            }
+            break;
+          case OpKind::EventBegin:
+            out.delivered.push_back(op.task.index());
+            break;
+          case OpKind::RemoveEvent:
+            removed[op.event] = 1;
+            break;
+          default:
+            break;  // sync/lifecycle ops carry no interpreted state
+        }
+    }
+
+    std::sort(out.delivered.begin(), out.delivered.end());
+    std::sort(out.faults.begin(), out.faults.end());
+    std::vector<std::uint8_t> begun(tr_.events().size(), 0);
+    for (trace::EventId e : out.delivered)
+        begun[e] = 1;
+    for (OpId id : schedule) {
+        const Operation &op = tr_.op(id);
+        if (op.kind == OpKind::Send && !begun[op.event] &&
+            !removed[op.event]) {
+            out.undelivered.push_back(op.event);
+        }
+    }
+    std::sort(out.undelivered.begin(), out.undelivered.end());
+    return out;
+}
+
+StateSnapshot
+TraceInterpreter::runRecorded() const
+{
+    std::vector<OpId> order(tr_.numOps());
+    for (OpId i = 0; i < tr_.numOps(); ++i)
+        order[i] = i;
+    return run(order);
+}
+
+} // namespace asyncclock::verify

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The state-diff oracle: an abstract interpreter for trace schedules.
+ *
+ * Replay-based verification needs to answer "does executing the same
+ * program under a different (happens-before-consistent) schedule end
+ * in a different observable state?" Our traces carry no data values,
+ * so the interpreter supplies a deterministic value semantics that is
+ * exactly as discriminating as the trace allows:
+ *
+ *  - every write stores a value derived from its source site and from
+ *    the values its task has observed so far (dataflow: a read that
+ *    feeds a later write propagates schedule differences forward);
+ *  - writes from sites in a commutativity group apply a *commutative*
+ *    update (wrapping add of a site-derived constant) — that is the
+ *    precise claim the commutativity whitelist makes, so flipping two
+ *    whitelisted writes provably cannot diverge;
+ *  - a read of a never-written variable is recorded as a fault (the
+ *    NullPointerException analog of the paper's order-violation
+ *    bugs — e.g. BarcodeScanner's use of an uninitialized
+ *    CameraManager).
+ *
+ * A snapshot is the order-insensitive observable state after a run:
+ * final variable values, the fault log, the delivered-event set and
+ * the undelivered queue remainder. Two schedules of the same op set
+ * are compared snapshot-for-snapshot; any difference means the
+ * schedule is observable — the race is CONFIRMED harmful.
+ */
+
+#ifndef ASYNCCLOCK_VERIFY_STATE_HH
+#define ASYNCCLOCK_VERIFY_STATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace asyncclock::verify {
+
+/** Fault kinds the interpreter can observe (crash analogs). */
+enum class FaultKind : std::uint8_t {
+    UninitRead,  ///< read of a variable no write has reached yet
+};
+
+/** One fault, keyed by the faulting op so fault *sets* can be
+ * compared across schedules (the op set is schedule-invariant). */
+struct Fault
+{
+    FaultKind kind = FaultKind::UninitRead;
+    trace::OpId op = trace::kInvalidId;
+    trace::VarId var = trace::kInvalidId;
+
+    bool operator==(const Fault &other) const = default;
+    bool
+    operator<(const Fault &other) const
+    {
+        return op != other.op ? op < other.op : var < other.var;
+    }
+};
+
+/** Observable end-of-run state (all members kept sorted so equality
+ * is order-insensitive). */
+struct StateSnapshot
+{
+    /** Final value per variable (0 when never written). */
+    std::vector<std::uint64_t> varValues;
+    /** Has any write reached the variable? */
+    std::vector<std::uint8_t> varWritten;
+    std::vector<Fault> faults;
+    /** Events that began executing (sorted set). */
+    std::vector<trace::EventId> delivered;
+    /** Events sent but never delivered nor removed (sorted set). */
+    std::vector<trace::EventId> undelivered;
+
+    bool operator==(const StateSnapshot &other) const = default;
+
+    /**
+     * Deterministic one-line description of the first difference to
+     * @p other (empty when equal). Variable names resolved through
+     * @p tr.
+     */
+    std::string diff(const StateSnapshot &other,
+                     const trace::Trace &tr) const;
+};
+
+/**
+ * Executes a schedule — a permutation (or subset, for truncated
+ * replays) of a trace's op ids — under the value semantics above.
+ * Stateless between runs; run() is const and deterministic.
+ */
+class TraceInterpreter
+{
+  public:
+    explicit TraceInterpreter(const trace::Trace &tr) : tr_(tr) {}
+
+    /** Interpret @p schedule (op ids into the trace, in execution
+     * order) and return the final state. */
+    StateSnapshot run(const std::vector<trace::OpId> &schedule) const;
+
+    /** Convenience: interpret the trace in its recorded order. */
+    StateSnapshot runRecorded() const;
+
+  private:
+    const trace::Trace &tr_;
+};
+
+} // namespace asyncclock::verify
+
+#endif // ASYNCCLOCK_VERIFY_STATE_HH

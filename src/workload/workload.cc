@@ -200,13 +200,29 @@ addBinderPost(Ctx &ctx, Script &w, bool rpc)
  * Plant one labeled racy pair: two dedicated workers post events that
  * access @p var from @p siteA / @p siteB with no ordering between
  * them, @p gapMs apart in virtual time.
+ *
+ * When @p initSite is valid, worker a first writes @p var from it and
+ * signals worker b before either racy access can run, so the variable
+ * is initialized happens-before both accesses. That models the
+ * harmless idioms faithfully: a Type I/II read can observe a stale
+ * value under a flipped schedule, but never an uninitialized one, so
+ * replay verification classifies the pair benign — while harmful
+ * seeds (no init) crash when the read is reordered first. The init
+ * access is ordered with both racy accesses, so it adds no race
+ * groups.
  */
 void
 seedPair(Ctx &ctx, const std::string &name, VarId var, SiteId siteA,
          SiteId siteB, bool writeA, bool writeB, std::uint64_t t1,
-         std::uint64_t gapMs, QueueId queue)
+         std::uint64_t gapMs, QueueId queue,
+         SiteId initSite = trace::kInvalidId)
 {
     Script a, b;
+    if (initSite != trace::kInvalidId) {
+        HandleId ready = ctx.rt.handle(name + ".init");
+        a.write(var, initSite).signal(ready);
+        b.await(ready);
+    }
     a.sleep(t1);
     Script bodyA;
     if (writeA)
@@ -341,9 +357,11 @@ buildApp(Ctx &ctx, SeededTruth &truth)
                                 Frame::User);
         SiteId sb = ctx.rt.site(strf("App.onDraw:%u", i),
                                 Frame::User);
+        SiteId init = ctx.rt.site(strf("App.<init>.model:%u", i),
+                                  Frame::User);
         seedPair(ctx, strf("seed.typeI%u", i), v, sa, sb, true, false,
                  spread(i, p.seededTypeI) + 7, seedGap(ctx),
-                 ctx.loopers[0]);
+                 ctx.loopers[0], init);
         ++truth.typeI;
     }
     for (unsigned i = 0; i < p.seededTypeII; ++i) {
@@ -353,9 +371,11 @@ buildApp(Ctx &ctx, SeededTruth &truth)
                                 Frame::User);
         SiteId sb = ctx.rt.site(strf("App.checkFlag:%u", i),
                                 Frame::User);
+        SiteId init = ctx.rt.site(strf("App.<init>.flag:%u", i),
+                                  Frame::User);
         seedPair(ctx, strf("seed.typeII%u", i), v, sa, sb, true,
                  false, spread(i, p.seededTypeII) + 13, seedGap(ctx),
-                 ctx.anyLooper());
+                 ctx.anyLooper(), init);
         ++truth.typeII;
     }
     for (unsigned i = 0; i < p.seededCommutative; ++i) {

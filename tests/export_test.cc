@@ -13,6 +13,7 @@
 #include "report/fasttrack.hh"
 #include "support/json.hh"
 #include "support/rng.hh"
+#include "verify/verifier.hh"
 #include "workload/workload.hh"
 
 namespace asyncclock {
@@ -81,6 +82,70 @@ TEST(Export, TraceStatsJson)
                         std::to_string(stats.looperEvents)),
               std::string::npos);
     EXPECT_NE(json.find("\"spanMs\":"), std::string::npos);
+}
+
+TEST(Export, ReportOrderIsInputOrderIndependent)
+{
+    // The sharded checker merges races in nondeterministic order; the
+    // exported report must not depend on it. Shuffle the race list
+    // and require byte-identical summary text and JSON.
+    workload::AppProfile p;
+    p.seed = 31337;
+    p.looperEvents = 80;
+    auto app = workload::generateApp(p);
+    report::FastTrackChecker checker;
+    core::DetectorConfig cfg;
+    cfg.windowMs = 0;
+    core::AsyncClockDetector det(app.trace, checker, cfg);
+    det.runAll();
+    std::vector<report::RaceReport> races = checker.races();
+    ASSERT_GT(races.size(), 1u);
+
+    report::RaceAnalyzer analyzer(app.trace);
+    auto render = [&](const std::vector<report::RaceReport> &in) {
+        auto summary = analyzer.analyze(in);
+        std::string text = summary.summary() + "\n";
+        for (const auto &group : summary.reported)
+            text += analyzer.describe(group) + "\n";
+        return text + report::toJson(summary, app.trace);
+    };
+
+    std::string baseline = render(races);
+    Rng rng(7);
+    for (int round = 0; round < 5; ++round) {
+        // Fisher-Yates with the repo's deterministic Rng.
+        for (std::size_t i = races.size() - 1; i > 0; --i) {
+            std::size_t j = rng.below(i + 1);
+            std::swap(races[i], races[j]);
+        }
+        EXPECT_EQ(render(races), baseline) << "round " << round;
+    }
+}
+
+TEST(Export, TriageJsonCarriesVerdicts)
+{
+    workload::AppProfile p;
+    p.seed = 424;
+    p.looperEvents = 70;
+    auto app = workload::generateApp(p);
+    report::FastTrackChecker checker;
+    core::DetectorConfig cfg;
+    cfg.windowMs = 0;
+    core::AsyncClockDetector det(app.trace, checker, cfg);
+    det.runAll();
+    auto summary =
+        report::RaceAnalyzer(app.trace).analyze(checker.races());
+
+    report::TriageReport tri = report::buildTriage(checker.races());
+    verify::verifyTriage(tri, app.trace, {});
+    std::string json = report::toJson(summary, tri, app.trace);
+    EXPECT_NE(json.find("\"verification\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"confirmed\":" +
+                        std::to_string(tri.confirmed)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"CONFIRMED\""), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
 }
 
 // ----------------------------------------------------------------

@@ -1,0 +1,34 @@
+# Smoke-test driver for the example binaries.
+#
+# CTest's PASS_REGULAR_EXPRESSION ignores the process exit code, so a
+# crashing binary whose partial output happens to match would pass. A
+# script driver enforces both: exit code 0 AND output matching
+# SMOKE_PATTERN.
+#
+# Usage (from add_test):
+#   cmake -DSMOKE_BINARY=<path> -DSMOKE_PATTERN=<regex>
+#         [-DSMOKE_ARGS=<arg;list>] -P run_smoke.cmake
+
+if(NOT DEFINED SMOKE_BINARY OR NOT DEFINED SMOKE_PATTERN)
+    message(FATAL_ERROR
+            "run_smoke.cmake requires -DSMOKE_BINARY and -DSMOKE_PATTERN")
+endif()
+
+execute_process(
+    COMMAND "${SMOKE_BINARY}" ${SMOKE_ARGS}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc
+)
+
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${SMOKE_BINARY} exited with '${rc}'\n"
+            "stdout:\n${out}\nstderr:\n${err}")
+endif()
+
+if(NOT out MATCHES "${SMOKE_PATTERN}")
+    message(FATAL_ERROR
+            "${SMOKE_BINARY} output does not match '${SMOKE_PATTERN}'\n"
+            "stdout:\n${out}\nstderr:\n${err}")
+endif()

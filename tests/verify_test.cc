@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Tests for the replay-based race verification subsystem: the
+ * state-diff oracle, the flipped-schedule construction, verdict
+ * classification on hand-built harmful / benign / infeasible apps,
+ * triage determinism, runtime-level gate replay, and agreement of
+ * INFEASIBLE verdicts with the gold-standard closure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/detector.hh"
+#include "gold/closure.hh"
+#include "obs/metrics.hh"
+#include "report/checker.hh"
+#include "report/triage.hh"
+#include "runtime/runtime.hh"
+#include "trace/trace.hh"
+#include "verify/replay.hh"
+#include "verify/state.hh"
+#include "verify/verifier.hh"
+#include "workload/workload.hh"
+
+namespace asyncclock::verify {
+namespace {
+
+using report::RaceReport;
+using report::ReplayVerdict;
+using runtime::Runtime;
+using runtime::Script;
+using trace::OpId;
+using trace::OpKind;
+using trace::Trace;
+
+/** Access ops (reads+writes) touching @p var, in trace order. */
+std::vector<OpId>
+accessesOf(const Trace &tr, trace::VarId var)
+{
+    std::vector<OpId> out;
+    for (OpId i = 0; i < tr.numOps(); ++i) {
+        const auto &op = tr.op(i);
+        if ((op.kind == OpKind::Read || op.kind == OpKind::Write) &&
+            op.target == var) {
+            out.push_back(i);
+        }
+    }
+    return out;
+}
+
+/** RaceReport for the access pair (@p a, @p b) of @p tr, fields
+ * filled from the trace (what a checker would emit). */
+RaceReport
+pairReport(const Trace &tr, OpId a, OpId b)
+{
+    const auto &pa = tr.op(a);
+    const auto &pb = tr.op(b);
+    RaceReport r;
+    r.var = pa.target;
+    r.prevOp = a;
+    r.curOp = b;
+    r.prevSite = pa.site;
+    r.curSite = pb.site;
+    r.prevTask = pa.task;
+    r.curTask = pb.task;
+    r.prevWrite = pa.kind == OpKind::Write;
+    r.curWrite = pb.kind == OpKind::Write;
+    return r;
+}
+
+/** The uninitialized write-then-read bug (BarcodeScanner's pattern):
+ * two unordered events on one looper, the earlier writes, the later
+ * reads. */
+void
+buildHarmfulApp(Runtime &rt)
+{
+    auto q = rt.addLooper("main");
+    auto x = rt.var("camera");
+    auto sw = rt.site("onResume", trace::Frame::User);
+    auto sr = rt.site("surfaceCreated", trace::Frame::User);
+    rt.spawnWorker("w1", Script().post(q, Script().write(x, sw)));
+    rt.spawnWorker("w2",
+                   Script().sleep(50).post(q, Script().read(x, sr)));
+}
+
+TEST(StateOracle, RecordedRunIsDeterministic)
+{
+    Runtime rt;
+    buildHarmfulApp(rt);
+    Trace tr = rt.run();
+    TraceInterpreter interp(tr);
+    EXPECT_TRUE(interp.runRecorded() == interp.runRecorded());
+    EXPECT_TRUE(interp.runRecorded().faults.empty());
+}
+
+TEST(StateOracle, FaultSetDistinguishesSchedules)
+{
+    Runtime rt;
+    buildHarmfulApp(rt);
+    Trace tr = rt.run();
+    auto acc = accessesOf(tr, 0);
+    ASSERT_EQ(acc.size(), 2u);
+
+    // Hand-flip just the two accesses: read before write.
+    std::vector<OpId> order(tr.numOps());
+    for (OpId i = 0; i < tr.numOps(); ++i)
+        order[i] = i;
+    std::swap(order[acc[0]], order[acc[1]]);
+
+    TraceInterpreter interp(tr);
+    StateSnapshot recorded = interp.runRecorded();
+    StateSnapshot flipped = interp.run(order);
+    ASSERT_EQ(flipped.faults.size(), 1u);
+    EXPECT_EQ(flipped.faults[0].kind, FaultKind::UninitRead);
+    std::string d = recorded.diff(flipped, tr);
+    EXPECT_NE(d.find("uninitialized read"), std::string::npos);
+    EXPECT_NE(d.find("flipped order"), std::string::npos);
+}
+
+TEST(Replay, HarmfulFlipIsConfirmed)
+{
+    Runtime rt;
+    buildHarmfulApp(rt);
+    Trace tr = rt.run();
+    ASSERT_EQ(tr.validate(), "");
+    gold::Closure hb(tr);
+    auto acc = accessesOf(tr, 0);
+    ASSERT_EQ(acc.size(), 2u);
+    ASSERT_FALSE(hb.happensBefore(acc[0], acc[1]));
+
+    ReplayController rc(tr, hb);
+    FlipOutcome out = rc.verifyPair(acc[0], acc[1]);
+    EXPECT_EQ(out.verdict, ReplayVerdict::Confirmed);
+    EXPECT_NE(out.detail.find("uninitialized read"),
+              std::string::npos);
+}
+
+TEST(Replay, InitializedStaleReadIsBenign)
+{
+    // Type I idiom: the variable is initialized happens-before both
+    // racy accesses; flipping write/read only makes the read stale,
+    // which no final-state observation can see.
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto x = rt.var("model");
+    auto si = rt.site("init", trace::Frame::User);
+    auto sw = rt.site("update", trace::Frame::User);
+    auto sr = rt.site("draw", trace::Frame::User);
+    auto ready = rt.handle("ready");
+    rt.spawnWorker("init", Script().write(x, si).signal(ready));
+    rt.spawnWorker("a", Script()
+                            .await(ready)
+                            .sleep(10)
+                            .post(q, Script().write(x, sw)));
+    rt.spawnWorker("b", Script()
+                            .await(ready)
+                            .sleep(60)
+                            .post(q, Script().read(x, sr)));
+    Trace tr = rt.run();
+    ASSERT_EQ(tr.validate(), "");
+    gold::Closure hb(tr);
+
+    // The update/draw pair races; find those two accesses.
+    auto acc = accessesOf(tr, x);
+    ASSERT_EQ(acc.size(), 3u);  // init write, update, draw
+    ASSERT_FALSE(hb.happensBefore(acc[1], acc[2]));
+    ASSERT_FALSE(hb.happensBefore(acc[2], acc[1]));
+
+    ReplayController rc(tr, hb);
+    FlipOutcome out = rc.verifyPair(acc[1], acc[2]);
+    EXPECT_EQ(out.verdict, ReplayVerdict::Benign) << out.detail;
+}
+
+TEST(Replay, CommutativeWritesAreBenign)
+{
+    // Two unordered writes whose sites share a commutativity group:
+    // the oracle applies order-insensitive updates, so the flip can
+    // never diverge — the whitelist's claim checked mechanically.
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto x = rt.var("list.size");
+    auto sa = rt.site("List.add:1", trace::Frame::Library, 7);
+    auto sb = rt.site("List.add:2", trace::Frame::Library, 7);
+    rt.spawnWorker("w1", Script().post(q, Script().write(x, sa)));
+    rt.spawnWorker("w2",
+                   Script().sleep(30).post(q, Script().write(x, sb)));
+    Trace tr = rt.run();
+    gold::Closure hb(tr);
+    auto acc = accessesOf(tr, x);
+    ASSERT_EQ(acc.size(), 2u);
+    ReplayController rc(tr, hb);
+    FlipOutcome out = rc.verifyPair(acc[0], acc[1]);
+    EXPECT_EQ(out.verdict, ReplayVerdict::Benign) << out.detail;
+}
+
+TEST(Replay, OrderedPairIsInfeasible)
+{
+    // A fabricated candidate whose accesses are FIFO-ordered: no real
+    // schedule can flip them, so replay must refuse.
+    Runtime rt;
+    auto q = rt.addLooper("main");
+    auto x = rt.var("x");
+    auto s = rt.site("s", trace::Frame::User);
+    rt.spawnWorker("w", Script()
+                            .post(q, Script().write(x, s))
+                            .post(q, Script().read(x, s)));
+    Trace tr = rt.run();
+    gold::Closure hb(tr);
+    auto acc = accessesOf(tr, x);
+    ASSERT_EQ(acc.size(), 2u);
+    ASSERT_TRUE(hb.happensBefore(acc[0], acc[1]));
+
+    ReplayController rc(tr, hb);
+    FlipOutcome out = rc.verifyPair(acc[0], acc[1]);
+    EXPECT_EQ(out.verdict, ReplayVerdict::Infeasible);
+    EXPECT_NE(out.detail.find("happens-before ordered"),
+              std::string::npos);
+}
+
+TEST(Replay, FlippedScheduleIsAValidLinearization)
+{
+    Runtime rt;
+    buildHarmfulApp(rt);
+    Trace tr = rt.run();
+    gold::Closure hb(tr);
+    auto acc = accessesOf(tr, 0);
+    ASSERT_EQ(acc.size(), 2u);
+
+    ReplayController rc(tr, hb);
+    std::vector<OpId> order = rc.flippedSchedule(acc[0], acc[1]);
+
+    // A permutation of every op...
+    ASSERT_EQ(order.size(), tr.numOps());
+    std::vector<OpId> pos(tr.numOps(), 0);
+    std::vector<bool> seen(tr.numOps(), false);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        ASSERT_FALSE(seen[order[i]]);
+        seen[order[i]] = true;
+        pos[order[i]] = static_cast<OpId>(i);
+    }
+    // ...that flips the pair...
+    EXPECT_LT(pos[acc[1]], pos[acc[0]]);
+    // ...and preserves every happens-before edge of the closure.
+    for (OpId a = 0; a < tr.numOps(); ++a) {
+        for (OpId b = 0; b < tr.numOps(); ++b) {
+            if (hb.happensBefore(a, b))
+                ASSERT_LT(pos[a], pos[b])
+                    << "hb edge " << a << "->" << b << " violated";
+        }
+    }
+}
+
+TEST(Replay, RuntimeGateReexecutionFlipsAndDiverges)
+{
+    Runtime recordRt;
+    buildHarmfulApp(recordRt);
+    Trace recorded = recordRt.run();
+    auto acc = accessesOf(recorded, 0);
+    ASSERT_EQ(acc.size(), 2u);
+
+    auto flippedE = reexecuteFlipped(
+        [](Runtime &rt) { buildHarmfulApp(rt); }, recorded, acc[0],
+        acc[1]);
+    ASSERT_TRUE(flippedE) << flippedE.status().toString();
+    const Trace &flipped = flippedE.value();
+
+    // The true re-execution reads before writing: the interpreter
+    // must observe the crash analog that the recorded run lacks.
+    TraceInterpreter ri(recorded);
+    TraceInterpreter fi(flipped);
+    EXPECT_TRUE(ri.runRecorded().faults.empty());
+    ASSERT_EQ(fi.runRecorded().faults.size(), 1u);
+    EXPECT_EQ(fi.runRecorded().faults[0].kind, FaultKind::UninitRead);
+}
+
+TEST(Replay, RuntimeGateRefusesThreadResidentAccesses)
+{
+    // Worker-thread accesses can't be steered by delivery gating.
+    Runtime rt;
+    auto x = rt.var("x");
+    auto s = rt.site("s", trace::Frame::User);
+    rt.spawnWorker("w1", Script().write(x, s));
+    rt.spawnWorker("w2", Script().sleep(5).read(x, s));
+    Trace tr = rt.run();
+    auto acc = accessesOf(tr, x);
+    ASSERT_EQ(acc.size(), 2u);
+    auto e = reexecuteFlipped([](Runtime &) {}, tr, acc[0], acc[1]);
+    ASSERT_FALSE(e);
+    EXPECT_EQ(e.status().code(), ErrCode::Unsupported);
+}
+
+TEST(Triage, ClassesAndRepresentativesAreInputOrderIndependent)
+{
+    Runtime rt;
+    buildHarmfulApp(rt);
+    Trace tr = rt.run();
+    auto acc = accessesOf(tr, 0);
+    ASSERT_EQ(acc.size(), 2u);
+
+    // Three candidates in one class (same var/site pair, different
+    // op pairs) plus one in another class.
+    RaceReport r1 = pairReport(tr, acc[0], acc[1]);
+    RaceReport r2 = r1;
+    r2.prevOp += 100;  // synthetic later instance of the same pair
+    r2.curOp += 100;
+    RaceReport r3 = r1;
+    r3.curOp += 50;
+    RaceReport other = r1;
+    other.var += 1;
+
+    std::vector<RaceReport> fwd = {r1, r2, r3, other};
+    std::vector<RaceReport> rev = {other, r3, r2, r1};
+    report::TriageReport a = report::buildTriage(fwd);
+    report::TriageReport b = report::buildTriage(rev);
+    ASSERT_EQ(a.classes.size(), 2u);
+    ASSERT_EQ(b.classes.size(), 2u);
+    for (std::size_t i = 0; i < a.classes.size(); ++i) {
+        EXPECT_EQ(a.classes[i].var, b.classes[i].var);
+        EXPECT_EQ(a.classes[i].raceCount, b.classes[i].raceCount);
+        EXPECT_TRUE(a.classes[i].representative ==
+                    b.classes[i].representative);
+        // The representative is the minimum candidate of the class.
+        EXPECT_TRUE(a.classes[i].representative == r1 ||
+                    a.classes[i].representative == other);
+    }
+}
+
+TEST(Triage, RankingPutsConfirmedFirst)
+{
+    report::TriageReport tri;
+    for (int i = 0; i < 4; ++i) {
+        report::TriageClass cls;
+        cls.var = static_cast<trace::VarId>(i);
+        cls.firstSite = 0;
+        cls.secondSite = 1;
+        cls.verdict = static_cast<ReplayVerdict>(i);
+        tri.classes.push_back(cls);
+    }
+    report::rankTriage(tri);
+    EXPECT_EQ(tri.classes[0].verdict, ReplayVerdict::Confirmed);
+    EXPECT_EQ(tri.classes[1].verdict, ReplayVerdict::Unverified);
+    EXPECT_EQ(tri.classes[2].verdict, ReplayVerdict::Benign);
+    EXPECT_EQ(tri.classes[3].verdict, ReplayVerdict::Infeasible);
+    EXPECT_EQ(tri.confirmed, 1u);
+    EXPECT_EQ(tri.unverified, 1u);
+    EXPECT_EQ(tri.benign, 1u);
+    EXPECT_EQ(tri.infeasible, 1u);
+}
+
+/** Run the real detector over @p tr and return its race list. */
+std::vector<RaceReport>
+detectRaces(const Trace &tr)
+{
+    report::ExactChecker checker;
+    core::DetectorConfig cfg;
+    cfg.windowMs = 0;
+    core::AsyncClockDetector det(tr, checker, cfg);
+    det.runAll();
+    return checker.races();
+}
+
+TEST(Verifier, SeededAppVerdictsMatchGroundTruth)
+{
+    workload::AppProfile p;
+    p.seed = 90125;
+    p.looperEvents = 80;
+    auto app = workload::generateApp(p);
+
+    report::TriageReport tri = report::buildTriage(
+        detectRaces(app.trace));
+    VerifyConfig cfg;
+    VerifySummary sum = verifyTriage(tri, app.trace, cfg);
+
+    EXPECT_EQ(sum.replays, tri.classes.size());
+    EXPECT_EQ(sum.unverified, 0u);
+    // Detector candidates on a windowless run are real races, so no
+    // verdict may contradict the closure.
+    EXPECT_EQ(sum.infeasible, 0u);
+    // Every seeded harmful pair confirms; every seeded benign idiom
+    // (initialized Type I/II, commutative) proves benign.
+    std::uint64_t confirmedSeeds = 0;
+    std::uint64_t benignSeeds = 0;
+    for (const auto &cls : tri.classes) {
+        switch (app.trace.var(cls.var).seedLabel) {
+          case trace::SeedLabel::Harmful:
+            EXPECT_EQ(cls.verdict, ReplayVerdict::Confirmed)
+                << cls.detail;
+            ++confirmedSeeds;
+            break;
+          case trace::SeedLabel::HarmlessTypeI:
+          case trace::SeedLabel::HarmlessTypeII:
+          case trace::SeedLabel::HarmlessCommutative:
+            EXPECT_EQ(cls.verdict, ReplayVerdict::Benign)
+                << cls.detail;
+            ++benignSeeds;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_GE(confirmedSeeds, p.seededHarmful);
+    EXPECT_GE(benignSeeds, 1u);
+}
+
+TEST(Verifier, InfeasibleAgreesWithGoldClosure)
+{
+    // Sweep generated and chaos traces; for every triage class the
+    // verifier may call INFEASIBLE exactly when the gold closure
+    // orders the representative pair. Foreign ordered candidates are
+    // added to make the INFEASIBLE branch reachable.
+    for (std::uint64_t seed : {11ull, 23ull}) {
+        workload::AppProfile p;
+        p.seed = seed;
+        p.looperEvents = 60;
+        auto app = workload::generateApp(p);
+        Trace &tr = app.trace;
+        gold::Closure hb(tr);
+
+        std::vector<RaceReport> candidates = detectRaces(tr);
+        // Fabricate ordered "candidates": consecutive access pairs on
+        // the same variable that the closure orders.
+        unsigned fabricated = 0;
+        for (trace::VarId v = 0;
+             v < tr.vars().size() && fabricated < 5; ++v) {
+            auto acc = accessesOf(tr, v);
+            for (std::size_t i = 0; i + 1 < acc.size(); ++i) {
+                if (hb.happensBefore(acc[i], acc[i + 1])) {
+                    candidates.push_back(
+                        pairReport(tr, acc[i], acc[i + 1]));
+                    ++fabricated;
+                    break;
+                }
+            }
+        }
+        ASSERT_GT(fabricated, 0u);
+
+        report::TriageReport tri = report::buildTriage(candidates);
+        VerifySummary sum = verifyTriage(tri, tr, {});
+        EXPECT_GE(sum.infeasible, fabricated);
+        for (const auto &cls : tri.classes) {
+            const RaceReport &r = cls.representative;
+            bool ordered = hb.happensBefore(r.prevOp, r.curOp) ||
+                           hb.happensBefore(r.curOp, r.prevOp);
+            EXPECT_EQ(cls.verdict == ReplayVerdict::Infeasible,
+                      ordered)
+                << replayVerdictName(cls.verdict) << ": "
+                << cls.detail;
+        }
+    }
+}
+
+TEST(Verifier, ForeignCandidatesStayUnverified)
+{
+    Runtime rt;
+    buildHarmfulApp(rt);
+    Trace tr = rt.run();
+
+    RaceReport bogus;
+    bogus.var = 0;
+    bogus.prevOp = 1;  // not a Read/Write matching the claimed fields
+    bogus.curOp = 2;
+    report::TriageReport tri = report::buildTriage({bogus});
+    VerifySummary sum = verifyTriage(tri, tr, {});
+    EXPECT_EQ(sum.replays, 0u);
+    EXPECT_EQ(sum.unverified, 1u);
+    EXPECT_EQ(tri.classes[0].verdict, ReplayVerdict::Unverified);
+}
+
+TEST(Verifier, MaxOpsCapSkipsVerification)
+{
+    Runtime rt;
+    buildHarmfulApp(rt);
+    Trace tr = rt.run();
+    auto acc = accessesOf(tr, 0);
+    report::TriageReport tri =
+        report::buildTriage({pairReport(tr, acc[0], acc[1])});
+
+    VerifyConfig cfg;
+    cfg.maxOps = 1;
+    VerifySummary sum = verifyTriage(tri, tr, cfg);
+    EXPECT_EQ(sum.replays, 0u);
+    EXPECT_EQ(sum.unverified, 1u);
+    ASSERT_EQ(sum.notes.size(), 1u);
+    EXPECT_NE(sum.notes[0].find("cap"), std::string::npos);
+}
+
+TEST(Verifier, MetricsCountVerdicts)
+{
+    Runtime rt;
+    buildHarmfulApp(rt);
+    Trace tr = rt.run();
+    auto acc = accessesOf(tr, 0);
+    report::TriageReport tri =
+        report::buildTriage({pairReport(tr, acc[0], acc[1])});
+
+    obs::MetricsRegistry reg;
+    VerifyConfig cfg;
+    cfg.obs.metrics = &reg;
+    VerifySummary sum = verifyTriage(tri, tr, cfg);
+    EXPECT_EQ(sum.confirmed, 1u);
+    EXPECT_EQ(reg.counter("verify.replays").value(), 1u);
+    EXPECT_EQ(reg.counter("verify.verdict.confirmed").value(), 1u);
+    EXPECT_EQ(reg.counter("verify.verdict.benign").value(), 0u);
+    EXPECT_EQ(
+        reg.histogram("verify.replay_us", {}).count(), 1u);
+}
+
+TEST(Verifier, VerdictReportIsByteIdenticalAcrossRuns)
+{
+    workload::AppProfile p;
+    p.seed = 5150;
+    p.looperEvents = 70;
+    auto app = workload::generateApp(p);
+    trace::TraceMeta meta = trace::TraceMeta::fromTrace(app.trace);
+
+    auto render = [&]() {
+        report::TriageReport tri = report::buildTriage(
+            detectRaces(app.trace));
+        verifyTriage(tri, app.trace, {});
+        std::string text = tri.summary() + "\n";
+        for (const auto &cls : tri.classes)
+            text += report::describeClass(meta, cls) + "\n";
+        return text;
+    };
+    EXPECT_EQ(render(), render());
+}
+
+} // namespace
+} // namespace asyncclock::verify
