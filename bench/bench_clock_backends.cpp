@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Clock-backend comparison on fig-9 scaling workloads: the same
+ * detector pass run under the sparse, COW, and tree backends, plus a
+ * pure join micro-loop per backend.
+ *
+ * For each backend the harness reports analysis throughput (trace
+ * ops/sec), peak clock metadata bytes (the MemCat::AsyncClock pool),
+ * and the clock substrate's own counters (joins, fast paths, entries
+ * visited — the measure of how much work pruning/sharing avoided).
+ * Race counts must agree across backends; a mismatch is a correctness
+ * bug and fails the run.
+ *
+ * Usage: bench_clock_backends [--app=AnyMemo] [--events=3000]
+ *                             [--json-out=PATH]
+ *
+ * --json-out writes a machine-readable summary (CI archives it as
+ * BENCH_clocks.json).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "clock/policy.hh"
+#include "clock/vector_clock.hh"
+#include "support/format.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "workload/workload.hh"
+
+using namespace asyncclock;
+using namespace asyncclock::bench;
+
+namespace {
+
+struct BackendResult
+{
+    std::string name;
+    double opsPerSec = 0;
+    std::uint64_t peakClockBytes = 0;
+    std::uint64_t races = 0;
+    std::uint64_t joins = 0;
+    std::uint64_t joinFastPaths = 0;
+    std::uint64_t joinEntriesVisited = 0;
+    double microJoinsPerSec = 0;
+};
+
+/** One measured detector pass under @p backend. */
+BackendResult
+runBackend(const trace::Trace &tr, clock::Backend backend)
+{
+    clock::resetClockStats();
+    core::DetectorConfig cfg;
+    cfg.windowMs = 0;
+    cfg.clockBackend = backend;
+
+    report::FastTrackChecker checker;
+    core::AsyncClockDetector det(tr, checker, cfg);
+    MemStats mem;
+    auto start = std::chrono::steady_clock::now();
+    det.runAll(&mem, 4096);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+    const clock::ClockStats &cs = clock::clockStats();
+    BackendResult out;
+    out.name = clock::backendName(backend);
+    out.opsPerSec = double(det.opsProcessed()) /
+                    (secs > 0 ? secs : 1e-9);
+    out.peakClockBytes = mem.peak(MemCat::AsyncClock);
+    out.races = checker.racesFound();
+    out.joins = cs.joins.load();
+    out.joinFastPaths = cs.joinFastPaths.load();
+    out.joinEntriesVisited = cs.joinEntriesVisited.load();
+    return out;
+}
+
+/**
+ * Pure join throughput under the detector's ownership discipline:
+ * K chains tick and export; a rolling target joins the exports. This
+ * is the loop the paper's section 3.3 cost argument is about.
+ */
+double
+microJoins(clock::Backend backend, unsigned chains, unsigned iters)
+{
+    std::vector<clock::VectorClock> owners(
+        chains, clock::VectorClock(backend));
+    std::vector<clock::VectorClock> exports(
+        chains, clock::VectorClock(backend));
+    std::vector<clock::Tick> ticks(chains, 0);
+    Rng rng(99);
+    // Pre-warm: give every owner a spread of entries.
+    for (unsigned step = 0; step < chains * 8; ++step) {
+        unsigned c = static_cast<unsigned>(rng.below(chains));
+        unsigned d = static_cast<unsigned>(rng.below(chains));
+        owners[c].joinWith(exports[d]);
+        owners[c].tick(c, ++ticks[c]);
+        exports[c] = owners[c];
+    }
+    auto start = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < iters; ++i) {
+        unsigned c = i % chains;
+        unsigned d = (i * 7 + 3) % chains;
+        owners[c].joinWith(exports[d]);
+        if ((i & 63u) == 0) {
+            owners[c].tick(c, ++ticks[c]);
+            exports[c] = owners[c];
+        }
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    return double(iters) / (secs > 0 ? secs : 1e-9);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app = argString(argc, argv, "app", "AnyMemo");
+    unsigned events =
+        static_cast<unsigned>(argDouble(argc, argv, "events", 3000));
+    std::string jsonOut = argString(argc, argv, "json-out", "");
+
+    trace::Trace tr = [&] {
+        if (app == "BarcodeScanner")
+            return workload::barcodePattern(events / 2);
+        workload::AppProfile p = workload::profileByName(app, 1.0);
+        p.looperEvents = events;
+        p.binderEvents = std::max(5u, events / 20);
+        p.spanMs = events * 150ull;
+        return workload::generateApp(p).trace;
+    }();
+
+    const clock::Backend backends[] = {clock::Backend::Sparse,
+                                       clock::Backend::Cow,
+                                       clock::Backend::Tree};
+
+    std::printf("Clock backend comparison (%s, %u looper events)\n\n",
+                app.c_str(), events);
+    std::printf("%8s | %12s %12s %10s %12s %12s %14s\n", "backend",
+                "ops/sec", "clock bytes", "joins", "fast paths",
+                "entries", "micro joins/s");
+
+    std::vector<BackendResult> results;
+    for (clock::Backend b : backends) {
+        BackendResult r = runBackend(tr, b);
+        r.microJoinsPerSec = microJoins(b, 64, 200000);
+        std::printf("%8s | %12.0f %12s %10llu %12llu %12llu %14.0f\n",
+                    r.name.c_str(), r.opsPerSec,
+                    humanBytes(r.peakClockBytes).c_str(),
+                    (unsigned long long)r.joins,
+                    (unsigned long long)r.joinFastPaths,
+                    (unsigned long long)r.joinEntriesVisited,
+                    r.microJoinsPerSec);
+        results.push_back(r);
+    }
+
+    for (const BackendResult &r : results) {
+        if (r.races != results[0].races) {
+            std::fprintf(stderr,
+                         "FAIL: %s found %llu races, %s found %llu\n",
+                         r.name.c_str(), (unsigned long long)r.races,
+                         results[0].name.c_str(),
+                         (unsigned long long)results[0].races);
+            return 1;
+        }
+    }
+    std::printf("\nrace counts agree across backends (%llu)\n",
+                (unsigned long long)results[0].races);
+
+    if (!jsonOut.empty()) {
+        FILE *f = std::fopen(jsonOut.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", jsonOut.c_str());
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n  \"app\": \"%s\",\n  \"events\": %u,\n"
+                     "  \"backends\": {\n",
+                     app.c_str(), events);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const BackendResult &r = results[i];
+            std::fprintf(
+                f,
+                "    \"%s\": {\"ops_per_sec\": %.0f, "
+                "\"peak_clock_bytes\": %llu, \"joins\": %llu, "
+                "\"join_fast_paths\": %llu, "
+                "\"join_entries_visited\": %llu, "
+                "\"micro_joins_per_sec\": %.0f, \"races\": %llu}%s\n",
+                r.name.c_str(), r.opsPerSec,
+                (unsigned long long)r.peakClockBytes,
+                (unsigned long long)r.joins,
+                (unsigned long long)r.joinFastPaths,
+                (unsigned long long)r.joinEntriesVisited,
+                r.microJoinsPerSec, (unsigned long long)r.races,
+                i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(f, "  }\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", jsonOut.c_str());
+    }
+    return 0;
+}

@@ -11,6 +11,7 @@
  *   trace_analyzer analyze <in.trace> [--detector=asyncclock|eventracer]
  *                  [--window-ms=N] [--chains=fifo|greedy]
  *                  [--no-reclaim] [--all-races]
+ *                  [--clock=sparse|cow|tree]
  *                  [--streaming] [--shards=N]
  *                  [--progress[=N]] [--trace-out=PATH]
  *                  [--metrics-out=PATH]
@@ -71,6 +72,9 @@ usage()
         "  --detector=asyncclock|eventracer   (default asyncclock)\n"
         "  --window-ms=N    time window, 0 = off (default 120000)\n"
         "  --chains=fifo|greedy               (default fifo)\n"
+        "  --clock=sparse|cow|tree  vector-clock backend (default\n"
+        "                   sparse, or $ASYNCCLOCK_CLOCK); all\n"
+        "                   backends produce identical reports\n"
         "  --no-reclaim     disable heirless-event reclamation\n"
         "  --all-races      disable the user-induced and\n"
         "                   commutativity filters\n"
@@ -202,6 +206,17 @@ cmdAnalyze(int argc, char **argv)
             cfg.chainMode = core::ChainMode::Greedy;
         } else if (arg == "--chains=fifo") {
             cfg.chainMode = core::ChainMode::Fifo;
+        } else if (arg.rfind("--clock=", 0) == 0) {
+            clock::Backend b;
+            if (!clock::parseBackend(arg.c_str() + 8, b)) {
+                std::fprintf(stderr,
+                             "--clock: unknown backend '%s' (want "
+                             "sparse|cow|tree)\n",
+                             arg.c_str() + 8);
+                return 2;
+            }
+            clock::setDefaultBackend(b);
+            cfg.clockBackend = b;
         } else if (arg == "--no-reclaim") {
             cfg.reclaimHeirless = false;
             cfg.multiPathReduction = false;
@@ -316,8 +331,13 @@ cmdAnalyze(int argc, char **argv)
     obs::MetricsRegistry registry;
     obs::Tracer tracer;
     obs::ObsContext octx;
-    if (!metricsOut.empty())
+    if (!metricsOut.empty()) {
         octx.metrics = &registry;
+        // Fresh per-run clock-substrate numbers (join sizes, copies,
+        // intern hits) under "clock.*".
+        clock::resetClockStats();
+        clock::registerClockStats(registry);
+    }
     if (!traceOut.empty())
         octx.tracer = &tracer;
 
@@ -538,10 +558,12 @@ cmdAnalyze(int argc, char **argv)
         return 1;
     }
 
-    std::printf("\nanalysis (%s%s): %.3fs, peak metadata %s\n",
+    std::printf("\nanalysis (%s%s, clock=%s): %.3fs, "
+                "peak metadata %s\n",
                 detectorName.c_str(),
                 shards > 0 ? strf(", %u shards", shards).c_str() : "",
-                elapsed, humanBytes(mem.peakTotal()).c_str());
+                clock::backendName(clock::defaultBackend()), elapsed,
+                humanBytes(mem.peakTotal()).c_str());
     std::printf("%s", mem.summary().c_str());
 
     report::RaceAnalyzer analyzer =

@@ -1,0 +1,123 @@
+#include "clock/cow_clock.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace asyncclock::clock {
+
+namespace {
+
+/**
+ * Bounded thread-local intern table: an open-addressed array of node
+ * pointers keyed by content hash. Each slot holds one reference on
+ * its node (released on replacement or thread exit), so interned
+ * nodes stay valid even after every external holder dropped theirs.
+ * Thread-local keeps the hot path lock-free; sharing across threads
+ * is unnecessary because interning is a memory optimization, not a
+ * semantic one.
+ */
+struct InternTable
+{
+    static constexpr std::size_t kSlots = 1024;
+    detail::CowNode *slots[kSlots] = {};
+
+    ~InternTable()
+    {
+        for (auto *n : slots) {
+            if (n &&
+                n->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                delete n;
+        }
+    }
+};
+
+InternTable &
+internTable()
+{
+    thread_local InternTable table;
+    return table;
+}
+
+std::uint64_t
+contentHash(const FlatMap<Tick> &map)
+{
+    // Canonical (sorted) FNV-1a over entries, so hash equality is
+    // independent of insertion order and table layout.
+    std::vector<std::pair<ChainId, Tick>> entries;
+    entries.reserve(map.size());
+    map.forEach([&](ChainId c, const Tick &t) {
+        entries.emplace_back(c, t);
+    });
+    std::sort(entries.begin(), entries.end());
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint32_t v) {
+        for (int i = 0; i < 4; ++i) {
+            h ^= (v >> (i * 8)) & 0xFF;
+            h *= 1099511628211ULL;
+        }
+    };
+    for (const auto &[c, t] : entries) {
+        mix(c);
+        mix(t);
+    }
+    return h ? h : 1;  // 0 means "not computed"
+}
+
+bool
+sameContent(const FlatMap<Tick> &a, const FlatMap<Tick> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return a.forEachWhile([&](ChainId c, const Tick &t) {
+        const Tick *o = b.find(c);
+        return o && *o == t;
+    });
+}
+
+} // namespace
+
+void
+CowClock::intern()
+{
+    if (!node_)
+        return;
+    if (node_->hash == 0)
+        node_->hash = contentHash(node_->map);
+    InternTable &table = internTable();
+    std::size_t slot = node_->hash % InternTable::kSlots;
+    detail::CowNode *cur = table.slots[slot];
+    ClockStats &st = clockStats();
+    if (cur && cur != node_ && cur->hash == node_->hash &&
+        sameContent(cur->map, node_->map)) {
+        // Share the interned node, drop ours.
+        cur->refs.fetch_add(1, std::memory_order_relaxed);
+        release();
+        node_ = cur;
+        st.internHits.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (cur == node_) {
+        st.internHits.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    // Publish ours, evicting whatever held the slot.
+    node_->refs.fetch_add(1, std::memory_order_relaxed);
+    if (cur &&
+        cur->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        delete cur;
+    table.slots[slot] = node_;
+    st.internMisses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+clearInternTable()
+{
+    InternTable &table = internTable();
+    for (auto *&n : table.slots) {
+        if (n && n->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            delete n;
+        n = nullptr;
+    }
+}
+
+} // namespace asyncclock::clock

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Copy-on-write interned vector clock.
+ *
+ * The detector copies clocks constantly — Fork snapshots, sendVC /
+ * endVC / beginVC exports, sharded-checker batch items — and most
+ * copies are never mutated afterwards. This backend stores the entry
+ * map in a refcounted immutable node: a copy bumps a refcount
+ * (pointer-sized, O(1)); the first mutation of a shared node clones
+ * it (the classic COW break). An optional intern step (used when
+ * checkpoints are loaded, where many per-variable readVCs repeat the
+ * same few contents) folds content-equal nodes into one shared node
+ * via a bounded thread-local table keyed by a content hash.
+ *
+ * Refcounts are atomic because clock copies cross threads in the
+ * sharded checker's batch queue; the entry map itself is only ever
+ * written while uniquely owned (refs == 1), so no further
+ * synchronization is needed.
+ *
+ * Observationally identical to the sparse backend: a null node is the
+ * empty clock, and every mutating op lands in a uniquely-owned
+ * FlatMap exactly like VectorClock's.
+ */
+
+#ifndef ASYNCCLOCK_CLOCK_COW_CLOCK_HH
+#define ASYNCCLOCK_CLOCK_COW_CLOCK_HH
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "clock/policy.hh"
+#include "support/flat_map.hh"
+
+namespace asyncclock::clock {
+
+namespace detail {
+
+/** Refcounted immutable clock payload. hash is a lazily computed
+ * content fingerprint (0 = not computed) used by interning. */
+struct CowNode
+{
+    FlatMap<Tick> map;
+    std::uint64_t hash = 0;
+    std::atomic<std::uint32_t> refs{1};
+};
+
+} // namespace detail
+
+class CowClock
+{
+  public:
+    CowClock() = default;
+
+    CowClock(const CowClock &other) : node_(other.node_)
+    {
+        if (node_) {
+            node_->refs.fetch_add(1, std::memory_order_relaxed);
+            clockStats().sharedCopies.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+
+    CowClock(CowClock &&other) noexcept : node_(other.node_)
+    {
+        other.node_ = nullptr;
+    }
+
+    CowClock &
+    operator=(const CowClock &other)
+    {
+        if (this == &other)
+            return *this;
+        detail::CowNode *n = other.node_;
+        if (n) {
+            n->refs.fetch_add(1, std::memory_order_relaxed);
+            clockStats().sharedCopies.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+        release();
+        node_ = n;
+        return *this;
+    }
+
+    CowClock &
+    operator=(CowClock &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            node_ = other.node_;
+            other.node_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~CowClock() { release(); }
+
+    Tick
+    get(ChainId chain) const
+    {
+        if (!node_)
+            return 0;
+        const Tick *t = node_->map.find(chain);
+        return t ? *t : 0;
+    }
+
+    void
+    raise(ChainId chain, Tick tick)
+    {
+        if (tick == 0 || get(chain) >= tick)
+            return;
+        mut().map[chain] = tick;
+    }
+
+    bool
+    knows(const Epoch &e) const
+    {
+        return e.tick == 0 || get(e.chain) >= e.tick;
+    }
+
+    void
+    joinWith(const CowClock &other)
+    {
+        ClockStats &st = clockStats();
+        st.joins.fetch_add(1, std::memory_order_relaxed);
+        if (!other.node_ || other.node_ == node_) {
+            st.joinFastPaths.fetch_add(1, std::memory_order_relaxed);
+            st.noteJoinSize(0);
+            return;
+        }
+        st.noteJoinSize(other.node_->map.size());
+        if (!node_) {
+            // Empty target: adopt the source node outright.
+            node_ = other.node_;
+            node_->refs.fetch_add(1, std::memory_order_relaxed);
+            st.joinFastPaths.fetch_add(1, std::memory_order_relaxed);
+            st.sharedCopies.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        std::uint64_t visited = 0;
+        // other.node_ != node_, so mut() cannot invalidate it.
+        detail::CowNode &dst = mut();
+        other.node_->map.forEach([&](ChainId c, const Tick &t) {
+            ++visited;
+            Tick &slot = dst.map[c];
+            if (slot < t)
+                slot = t;
+        });
+        st.joinEntriesVisited.fetch_add(visited,
+                                        std::memory_order_relaxed);
+    }
+
+    std::uint32_t size() const { return node_ ? node_->map.size() : 0; }
+
+    void
+    clear()
+    {
+        release();
+        node_ = nullptr;
+    }
+
+    template <typename Pred>
+    void
+    eraseIf(Pred &&pred)
+    {
+        if (!node_ || node_->map.empty())
+            return;
+        mut().map.eraseIf(pred);
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        if (node_)
+            node_->map.forEach(fn);
+    }
+
+    template <typename Fn>
+    bool
+    forEachWhile(Fn &&fn) const
+    {
+        return node_ ? node_->map.forEachWhile(fn) : true;
+    }
+
+    /** True when both clocks share one node (cheap identity; implies
+     * equality). */
+    bool sharesNodeWith(const CowClock &other) const
+    {
+        return node_ && node_ == other.node_;
+    }
+
+    /**
+     * Fold this clock into the thread-local intern table: if a
+     * content-equal node is already interned, share it and drop ours;
+     * otherwise publish ours. Cheap no-op for the empty clock.
+     */
+    void intern();
+
+    std::uint64_t
+    byteSize() const
+    {
+        if (!node_)
+            return 0;
+        // Shared nodes are charged in full to each holder: accounting
+        // stays deterministic and errs conservative.
+        return sizeof(detail::CowNode) + node_->map.byteSize();
+    }
+
+  private:
+    /** Unique-owner access for mutation: clones a shared node, clears
+     * a stale hash. Never called with null intent — creates the node
+     * if absent. */
+    detail::CowNode &
+    mut()
+    {
+        if (!node_) {
+            node_ = new detail::CowNode();
+            return *node_;
+        }
+        if (node_->refs.load(std::memory_order_acquire) > 1) {
+            auto *fresh = new detail::CowNode();
+            fresh->map = node_->map;
+            clockStats().cowBreaks.fetch_add(
+                1, std::memory_order_relaxed);
+            clockStats().deepCopies.fetch_add(
+                1, std::memory_order_relaxed);
+            release();
+            node_ = fresh;
+        } else {
+            node_->hash = 0;
+        }
+        return *node_;
+    }
+
+    void
+    release()
+    {
+        if (node_ &&
+            node_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            delete node_;
+        node_ = nullptr;
+    }
+
+    detail::CowNode *node_ = nullptr;
+};
+
+/** Drop the calling thread's intern table (tests, end of load). */
+void clearInternTable();
+
+} // namespace asyncclock::clock
+
+#endif // ASYNCCLOCK_CLOCK_COW_CLOCK_HH

@@ -1,0 +1,144 @@
+#include "clock/policy.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "support/logging.hh"
+
+namespace asyncclock::clock {
+
+const char *
+backendName(Backend b)
+{
+    switch (b) {
+      case Backend::Sparse:
+        return "sparse";
+      case Backend::Cow:
+        return "cow";
+      case Backend::Tree:
+        return "tree";
+    }
+    return "sparse";
+}
+
+bool
+parseBackend(const char *name, Backend &out)
+{
+    if (!name)
+        return false;
+    if (!std::strcmp(name, "sparse")) {
+        out = Backend::Sparse;
+        return true;
+    }
+    if (!std::strcmp(name, "cow")) {
+        out = Backend::Cow;
+        return true;
+    }
+    if (!std::strcmp(name, "tree")) {
+        out = Backend::Tree;
+        return true;
+    }
+    return false;
+}
+
+namespace {
+
+Backend
+backendFromEnv()
+{
+    Backend b = Backend::Sparse;
+    const char *env = std::getenv("ASYNCCLOCK_CLOCK");
+    if (env && *env && !parseBackend(env, b))
+        warnOnce("clock.env",
+                 std::string("ASYNCCLOCK_CLOCK=") + env +
+                     " not recognized; using sparse");
+    return b;
+}
+
+std::atomic<Backend> &
+defaultBackendSlot()
+{
+    // Lazily env-seeded so namespace-scope DetectorConfig instances
+    // observe the override regardless of static init order.
+    static std::atomic<Backend> slot{backendFromEnv()};
+    return slot;
+}
+
+} // namespace
+
+Backend
+defaultBackend()
+{
+    return defaultBackendSlot().load(std::memory_order_relaxed);
+}
+
+void
+setDefaultBackend(Backend b)
+{
+    defaultBackendSlot().store(b, std::memory_order_relaxed);
+}
+
+void
+ClockStats::reset()
+{
+    joins.store(0, std::memory_order_relaxed);
+    joinFastPaths.store(0, std::memory_order_relaxed);
+    joinEntriesVisited.store(0, std::memory_order_relaxed);
+    deepCopies.store(0, std::memory_order_relaxed);
+    sharedCopies.store(0, std::memory_order_relaxed);
+    cowBreaks.store(0, std::memory_order_relaxed);
+    internHits.store(0, std::memory_order_relaxed);
+    internMisses.store(0, std::memory_order_relaxed);
+    for (auto &b : joinSizeBuckets)
+        b.store(0, std::memory_order_relaxed);
+}
+
+ClockStats &
+clockStats()
+{
+    static ClockStats stats;
+    return stats;
+}
+
+void
+resetClockStats()
+{
+    clockStats().reset();
+}
+
+void
+registerClockStats(obs::MetricsRegistry &reg)
+{
+    ClockStats &s = clockStats();
+    auto rd = [](const std::atomic<std::uint64_t> &v) {
+        return v.load(std::memory_order_relaxed);
+    };
+    reg.counterFn("clock.joins", [&s, rd] { return rd(s.joins); });
+    reg.counterFn("clock.join_fast_paths",
+                  [&s, rd] { return rd(s.joinFastPaths); });
+    reg.counterFn("clock.join_entries_visited",
+                  [&s, rd] { return rd(s.joinEntriesVisited); });
+    reg.counterFn("clock.copies_deep",
+                  [&s, rd] { return rd(s.deepCopies); });
+    reg.counterFn("clock.copies_shared",
+                  [&s, rd] { return rd(s.sharedCopies); });
+    reg.counterFn("clock.cow_breaks",
+                  [&s, rd] { return rd(s.cowBreaks); });
+    reg.counterFn("clock.intern_hits",
+                  [&s, rd] { return rd(s.internHits); });
+    reg.counterFn("clock.intern_misses",
+                  [&s, rd] { return rd(s.internMisses); });
+    for (unsigned i = 0; i < ClockStats::kJoinBuckets; ++i) {
+        char name[48];
+        std::snprintf(name, sizeof name, "clock.join_size_log2.%02u",
+                      i);
+        reg.counterFn(name, [&s, rd, i] {
+            return rd(s.joinSizeBuckets[i]);
+        });
+    }
+}
+
+} // namespace asyncclock::clock

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Clock substrate policy: runtime-selectable vector-clock backend.
+ *
+ * Every consumer of causal timestamps (detector, FastTrack checkers,
+ * gold closure, EventRacer graph, checkpoints, replay verifier) talks
+ * to clock::VectorClock, which since the ClockPolicy refactor is a
+ * facade over one of three representations:
+ *
+ *   - Sparse: the original eager FlatMap<chain -> tick> (default).
+ *   - Cow:    copy-on-write interned nodes — copies are refcount
+ *             bumps, content-equal clocks can share storage.
+ *   - Tree:   a tree clock (Mathur et al., "Tree Clocks: Improving
+ *             Vector Clocks for Sparse Dynamic Races", adapted from
+ *             threads to chains) with monotone sublinear joins.
+ *
+ * The backend is a process-wide runtime choice: the facade's default
+ * constructor reads defaultBackend(), which is seeded from the
+ * ASYNCCLOCK_CLOCK environment variable ("sparse" | "cow" | "tree")
+ * and may be overridden programmatically (trace_analyzer --clock=...)
+ * via setDefaultBackend(). All backends are observationally
+ * equivalent: identical get/knows/leq/forEach results, identical
+ * serialized (canonically sorted) entry lists, hence byte-identical
+ * reports and checkpoints.
+ *
+ * This header also owns ClockStats, the cheap relaxed-atomic counters
+ * behind the obs clock.* metrics (join sizes, copy counts, intern
+ * hits), so the backends can be compared on live runs.
+ */
+
+#ifndef ASYNCCLOCK_CLOCK_POLICY_HH
+#define ASYNCCLOCK_CLOCK_POLICY_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace asyncclock::obs {
+class MetricsRegistry;
+}
+
+namespace asyncclock::clock {
+
+using ChainId = std::uint32_t;
+using Tick = std::uint32_t;
+
+/**
+ * A (chain, tick) pair naming one operation's position on its chain —
+ * FastTrack's "epoch". The default epoch (tick 0) precedes everything.
+ */
+struct Epoch
+{
+    ChainId chain = 0;
+    Tick tick = 0;
+
+    bool operator==(const Epoch &other) const = default;
+};
+
+/** Clock representation backends (see file comment). */
+enum class Backend : std::uint8_t {
+    Sparse = 0,
+    Cow = 1,
+    Tree = 2,
+};
+
+/** Number of backends (checkpoint tag validation, test loops). */
+inline constexpr unsigned kBackendCount = 3;
+
+/** "sparse" | "cow" | "tree". */
+const char *backendName(Backend b);
+
+/** Parse a backend name; returns false (and leaves @p out alone) on
+ * unknown names. */
+bool parseBackend(const char *name, Backend &out);
+
+/** The process-wide backend new default-constructed clocks use.
+ * Initialized lazily from $ASYNCCLOCK_CLOCK (unset/unknown =>
+ * Sparse). */
+Backend defaultBackend();
+
+/**
+ * Override the process-wide default backend. Affects clocks
+ * constructed afterwards only; existing clocks keep their
+ * representation (cross-representation joins convert through the
+ * canonical sparse entry view). Call before building detectors and
+ * checkers.
+ */
+void setDefaultBackend(Backend b);
+
+/**
+ * Substrate-wide counters, updated with relaxed atomics from the
+ * copy/join/intern paths only (raise/get stay free). joinSizeBuckets
+ * is a log2 histogram of the entry count of join sources.
+ */
+struct ClockStats
+{
+    static constexpr unsigned kJoinBuckets = 16;
+
+    std::atomic<std::uint64_t> joins{0};
+    /** Joins resolved without touching entries (same node, empty
+     * source, whole-tree/subtree prune). */
+    std::atomic<std::uint64_t> joinFastPaths{0};
+    /** Entries actually visited by joins (the work a join did). */
+    std::atomic<std::uint64_t> joinEntriesVisited{0};
+    /** Deep clock copies (entry-by-entry). */
+    std::atomic<std::uint64_t> deepCopies{0};
+    /** Copies served as COW refcount bumps. */
+    std::atomic<std::uint64_t> sharedCopies{0};
+    /** COW nodes cloned because a shared node was mutated. */
+    std::atomic<std::uint64_t> cowBreaks{0};
+    std::atomic<std::uint64_t> internHits{0};
+    std::atomic<std::uint64_t> internMisses{0};
+    /** log2 histogram of join-source entry counts; bucket i counts
+     * sources with size in [2^i, 2^(i+1)), last bucket is overflow. */
+    std::atomic<std::uint64_t> joinSizeBuckets[kJoinBuckets];
+
+    void
+    noteJoinSize(std::uint32_t entries)
+    {
+        // bucket = floor(log2(entries)), clamped; 0 and 1 share
+        // bucket 0.
+        unsigned b = 0;
+        while (entries > 1 && b < kJoinBuckets - 1) {
+            entries >>= 1;
+            ++b;
+        }
+        joinSizeBuckets[b].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void reset();
+};
+
+/** The process-wide stats instance. */
+ClockStats &clockStats();
+
+/** Zero all counters (bench harnesses, tests). */
+void resetClockStats();
+
+/** Publish clockStats() as "clock.*" callback metrics on @p reg. */
+void registerClockStats(obs::MetricsRegistry &reg);
+
+} // namespace asyncclock::clock
+
+#endif // ASYNCCLOCK_CLOCK_POLICY_HH

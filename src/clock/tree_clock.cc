@@ -1,0 +1,384 @@
+#include "clock/tree_clock.hh"
+
+#include <atomic>
+
+namespace asyncclock::clock {
+
+namespace {
+
+/** Process-wide pruning kill switch (see header: erase on an
+ * owner-rooted tree breaks content monotonicity for everyone). */
+std::atomic<bool> prunePoisoned{false};
+
+} // namespace
+
+bool
+TreeClock::pruningDisabled()
+{
+    return prunePoisoned.load(std::memory_order_relaxed);
+}
+
+void
+TreeClock::resetPruneGuard()
+{
+    prunePoisoned.store(false, std::memory_order_relaxed);
+}
+
+void
+TreeClock::poisonPruning()
+{
+    prunePoisoned.store(true, std::memory_order_relaxed);
+}
+
+std::int32_t
+TreeClock::newNode(ChainId chain, Tick clk)
+{
+    Node n;
+    n.chain = chain;
+    n.clk = clk;
+    nodes_.push_back(n);
+    auto idx = static_cast<std::uint32_t>(nodes_.size() - 1);
+    index_[chain] = idx;
+    return static_cast<std::int32_t>(idx);
+}
+
+void
+TreeClock::detach(std::int32_t v)
+{
+    Node &n = nodes_[static_cast<std::uint32_t>(v)];
+    if (n.parent == kNil)
+        return;
+    if (n.prevSib != kNil)
+        nodes_[static_cast<std::uint32_t>(n.prevSib)].nextSib =
+            n.nextSib;
+    else
+        nodes_[static_cast<std::uint32_t>(n.parent)].firstChild =
+            n.nextSib;
+    if (n.nextSib != kNil)
+        nodes_[static_cast<std::uint32_t>(n.nextSib)].prevSib =
+            n.prevSib;
+    n.parent = n.prevSib = n.nextSib = kNil;
+}
+
+void
+TreeClock::attachFront(std::int32_t parent, std::int32_t child,
+                       Tick aclk)
+{
+    Node &p = nodes_[static_cast<std::uint32_t>(parent)];
+    Node &c = nodes_[static_cast<std::uint32_t>(child)];
+    c.parent = parent;
+    c.aclk = aclk;
+    c.prevSib = kNil;
+    c.nextSib = p.firstChild;
+    if (p.firstChild != kNil)
+        nodes_[static_cast<std::uint32_t>(p.firstChild)].prevSib =
+            child;
+    p.firstChild = child;
+}
+
+void
+TreeClock::uncertifyPath(std::int32_t v)
+{
+    // cert(child)=false does not bound cert(ancestor), so the walk
+    // cannot early-stop; tree depth is bounded by join history and
+    // stays small under the detector's tick/export discipline.
+    while (v != kNil) {
+        Node &n = nodes_[static_cast<std::uint32_t>(v)];
+        n.cert = false;
+        v = n.parent;
+    }
+}
+
+void
+TreeClock::copyFrom(const TreeClock &other)
+{
+    nodes_ = other.nodes_;
+    index_ = other.index_;
+    root_ = other.root_;
+    // A snapshot is not the chain's live owner clock: it may grow by
+    // joins the owner never sees, so it must not hand out finite
+    // attach claims against the owner's future ticks.
+    ownerRooted_ = false;
+    clockStats().deepCopies.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+TreeClock::raise(ChainId chain, Tick t)
+{
+    if (t == 0)
+        return;
+    if (std::uint32_t *ip = index_.find(chain)) {
+        std::int32_t v = static_cast<std::int32_t>(*ip);
+        Node &n = nodes_[*ip];
+        if (n.clk >= t)
+            return;
+        // An out-of-band entry: t need not be a tick the chain's
+        // owner clock ever published, so no subset claim survives.
+        n.clk = t;
+        n.cert = false;
+        n.covered = false;
+        uncertifyPath(n.parent);
+        if (v == root_)
+            ownerRooted_ = false;
+        return;
+    }
+    std::int32_t v = newNode(chain, t);
+    if (root_ == kNil) {
+        root_ = v;
+        return;
+    }
+    attachFront(root_, v, kInfAclk);
+    uncertifyPath(root_);
+}
+
+void
+TreeClock::tick(ChainId chain, Tick t)
+{
+    if (t == 0)
+        return;
+    if (std::uint32_t *ip = index_.find(chain)) {
+        std::int32_t v = static_cast<std::int32_t>(*ip);
+        if (nodes_[*ip].clk >= t)
+            return;  // non-advancing tick degrades to a no-op raise
+        if (v != root_) {
+            detach(v);
+            std::int32_t old = root_;
+            root_ = v;
+            Node &n = nodes_[*ip];
+            n.parent = kNil;
+            n.aclk = kInfAclk;
+            // A finite aclk asserts the pair claim
+            //   content(old.chain@old.clk) ⊆ content(chain@t),
+            // and the right side is exactly this tree at this
+            // instant — so the claim holds iff the dethroned root
+            // was covered. Uncovered roots attach unprunably.
+            attachFront(
+                v, old,
+                nodes_[static_cast<std::uint32_t>(old)].covered
+                    ? t
+                    : kInfAclk);
+        }
+        Node &n = nodes_[*ip];
+        n.clk = t;
+        n.cert = true;
+        n.covered = true;
+        ownerRooted_ = true;
+        return;
+    }
+    std::int32_t v = newNode(chain, t);
+    Node &n = nodes_[static_cast<std::uint32_t>(v)];
+    n.cert = true;
+    n.covered = true;
+    if (root_ != kNil) {
+        std::int32_t old = root_;
+        root_ = v;
+        // Same covered gate as the re-root path above.
+        attachFront(
+            v, old,
+            nodes_[static_cast<std::uint32_t>(old)].covered
+                ? t
+                : kInfAclk);
+    } else {
+        root_ = v;
+    }
+    ownerRooted_ = true;
+}
+
+void
+TreeClock::clear()
+{
+    if (ownerRooted_)
+        poisonPruning();
+    reset();
+}
+
+void
+TreeClock::joinWith(const TreeClock &s)
+{
+    ClockStats &st = clockStats();
+    st.joins.fetch_add(1, std::memory_order_relaxed);
+    if (s.root_ == kNil || &s == this) {
+        st.joinFastPaths.fetch_add(1, std::memory_order_relaxed);
+        st.noteJoinSize(0);
+        return;
+    }
+    st.noteJoinSize(s.size());
+    if (root_ == kNil) {
+        copyFrom(s);
+        st.joinFastPaths.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    const bool prune = !pruningDisabled();
+
+    struct Adoption
+    {
+        std::uint32_t tIdx;
+        ChainId parentChain;  ///< valid when !parentIsRoot
+        Tick aclk;            ///< valid when !parentIsRoot
+        bool parentIsRoot;
+    };
+    std::vector<Adoption> adoptions;
+    std::vector<std::int32_t> stack;
+    stack.push_back(s.root_);
+    std::uint64_t visited = 0;
+    std::uint64_t pruned = 0;
+
+    while (!stack.empty()) {
+        std::int32_t ui = stack.back();
+        stack.pop_back();
+        const Node &u = s.nodes_[static_cast<std::uint32_t>(ui)];
+        ++visited;
+
+        // Pre-join target state for u's chain: prune thresholds and
+        // the cert formula both need the values before adoption.
+        std::int32_t ti = kNil;
+        Tick oldClk = 0;
+        bool oldCert = false;
+        bool oldCovered = false;
+        if (const std::uint32_t *ip = index_.find(u.chain)) {
+            ti = static_cast<std::int32_t>(*ip);
+            const Node &tn = nodes_[*ip];
+            oldClk = tn.clk;
+            oldCert = tn.cert;
+            oldCovered = tn.covered;
+        }
+
+        // Whole-subtree prune: subtree_S(u) ⊆ content(u.chain@u.clk)
+        // (cert) ⊆ content(u.chain@oldClk) (monotone) ⊆ this tree
+        // (covered).
+        if (prune && u.cert && oldCovered && oldClk >= u.clk) {
+            ++pruned;
+            continue;
+        }
+
+        if (u.clk > oldClk) {
+            bool fresh = (ti == kNil);
+            if (fresh)
+                ti = newNode(u.chain, u.clk);
+            Node &tn = nodes_[static_cast<std::uint32_t>(ti)];
+            tn.clk = u.clk;
+            tn.cert = u.cert && (fresh || oldCert);
+            tn.covered = u.covered;
+            if (ti == root_) {
+                // The root entry now comes from a join, not from the
+                // chain's own tick: this tree stops being the owner
+                // clock.
+                ownerRooted_ = false;
+            } else {
+                Adoption a;
+                a.tIdx = static_cast<std::uint32_t>(ti);
+                if (ui == s.root_) {
+                    a.parentIsRoot = true;
+                    a.parentChain = 0;
+                    a.aclk = kInfAclk;
+                } else {
+                    a.parentIsRoot = false;
+                    a.parentChain =
+                        s.nodes_[static_cast<std::uint32_t>(u.parent)]
+                            .chain;
+                    a.aclk = u.aclk;
+                }
+                adoptions.push_back(a);
+            }
+        } else if (ti != kNil && u.clk == oldClk && u.covered) {
+            // Equal entries: the source's coverage claim transfers
+            // (content ⊆ S ⊆ pointwise this-after-join).
+            nodes_[static_cast<std::uint32_t>(ti)].covered = true;
+        }
+
+        for (std::int32_t wi = u.firstChild; wi != kNil;
+             wi = s.nodes_[static_cast<std::uint32_t>(wi)].nextSib) {
+            const Node &w = s.nodes_[static_cast<std::uint32_t>(wi)];
+            // Sibling prune:
+            //   subtree_S(w) ⊆ content(w.chain@w.clk)      [w.cert,
+            //                                     checked at prune
+            //                                     time: raises and
+            //                                     stale-parent
+            //                                     adoptions below w
+            //                                     clear it]
+            //   ⊆ content(u.chain@w.aclk)                  [pair
+            //                                     claim: finite
+            //                                     aclks are minted
+            //                                     only under a
+            //                                     covered root]
+            //   ⊆ content(u.chain@oldClk)                  [monotone]
+            //   ⊆ this tree                                [oldCovered]
+            if (prune && w.cert && oldCovered &&
+                w.aclk != kInfAclk && oldClk >= w.aclk) {
+                ++pruned;
+                continue;
+            }
+            stack.push_back(wi);
+        }
+    }
+
+    // Restructure: reattach adopted nodes mirroring the source, in
+    // source preorder so image parents exist before their children
+    // move.
+    for (const Adoption &a : adoptions) {
+        std::int32_t p;
+        Tick aclk;
+        if (a.parentIsRoot) {
+            p = root_;
+            // Mid-period attach. Claiming content(root.chain@clk+1)
+            // would assume the chain's NEXT tick happens on this very
+            // clock — but chain reuse can hand the next tick to a
+            // fresh owner that only inherited the last exported
+            // snapshot, not joins made after it. No safe finite
+            // threshold exists, so the attach is unprunable.
+            aclk = kInfAclk;
+        } else {
+            const std::uint32_t *pi = index_.find(a.parentChain);
+            // The image parent exists: source parents are visited
+            // before their children, and a visited node is either
+            // adopted or already present.
+            acAssert(pi != nullptr, "tree join: missing image parent");
+            p = static_cast<std::int32_t>(*pi);
+            aclk = a.aclk;
+        }
+        std::int32_t v = static_cast<std::int32_t>(a.tIdx);
+        // Undisciplined histories can place the image parent inside
+        // v's own current subtree; attaching there would cycle. Fall
+        // back to an unprunable root attach.
+        for (std::int32_t anc = p; anc != kNil;
+             anc = nodes_[static_cast<std::uint32_t>(anc)].parent) {
+            if (anc == v) {
+                p = root_;
+                aclk = kInfAclk;
+                break;
+            }
+        }
+        if (v == p)
+            continue;
+        detach(v);
+        attachFront(p, v, aclk);
+        // The attach parent's subtree grew by content its chain entry
+        // never vouched for: clear cert from the parent up.
+        uncertifyPath(p);
+    }
+
+    st.joinEntriesVisited.fetch_add(visited,
+                                    std::memory_order_relaxed);
+    if (pruned)
+        st.joinFastPaths.fetch_add(pruned, std::memory_order_relaxed);
+}
+
+bool
+TreeClock::leq(const TreeClock &other) const
+{
+    return forEachWhile([&](ChainId c, const Tick &t) {
+        return other.get(c) >= t;
+    });
+}
+
+bool
+TreeClock::operator==(const TreeClock &other) const
+{
+    if (size() != other.size())
+        return false;
+    return forEachWhile([&](ChainId c, const Tick &t) {
+        return other.get(c) == t;
+    });
+}
+
+} // namespace asyncclock::clock

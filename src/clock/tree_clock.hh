@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tree clock backend: sublinear monotone joins over chains.
+ *
+ * Adapts Mathur et al., "Tree Clocks: Improving Vector Clocks for
+ * Sparse Synchronization" (PAPERS.md) from threads to AsyncClock
+ * chains. Entries are nodes of a rooted tree; each node carries
+ *
+ *   (chain, clk, aclk)
+ *
+ * where clk is the known tick for the chain and aclk ("attach clock")
+ * is the parent chain's tick at which this subtree became known to
+ * the parent chain. A join walks the *source* tree top-down and can
+ * prune whole subtrees the target provably already knows, making join
+ * cost proportional to the number of entries that actually change —
+ * the paper's "monotone join".
+ *
+ * Soundness bookkeeping. The pruning argument relies on a global
+ * discipline — entries enter clocks only through a chain's own tick
+ * or joins of full chain clocks snapshotted at a tick. The detector
+ * obeys it (every export of a chain clock is immediately preceded by
+ * tick() in the same handler), but the clock API also allows raw
+ * raise(), eraseIf(), and cross-backend joins. Rather than trust the
+ * caller, each node tracks two bits that are the two halves of the
+ * pruning chain, where content(c@t) denotes the owner clock of chain
+ * c at the moment it ticked t:
+ *
+ *   cert    ("A"): subtree(v) \subseteq content(v.chain @ v.clk)
+ *   covered ("B"): content(v.chain @ v.clk) \subseteq this tree
+ *
+ * tick(c, t) re-roots the tree at chain c and establishes both bits
+ * on the root (at that instant the tree *is* content(c@t)); joins
+ * propagate the bits along the adoption rules derived in the .cc;
+ * raise() inserts uncertified entries (both bits false, ancestors'
+ * cert cleared); copies clear the owner-rooted flag so a snapshot
+ * can never impersonate the live owner clock. A subtree is skipped
+ * only when source cert, target covered, and the tick comparison all
+ * line up — this applies to both prune rules: the whole-subtree rule
+ * checks the visited node's cert, and the sibling rule checks the
+ * skipped child's cert plus its finite aclk, which is minted only
+ * when a tick dethrones a *covered* root (so the pair claim
+ * content(child.chain@clk) ⊆ content(parent.chain@aclk) is a
+ * historical fact, immune to later mutation). Undisciplined entries
+ * merely degrade joins to the sparse cost instead of corrupting
+ * results. eraseIf()/clear() on an
+ * owner-rooted tree would break the monotonicity of content(c@·)
+ * itself, so it trips a process-wide kill switch that disables
+ * pruning outright (the detector never does this; the generic-API
+ * escape hatch exists for tests and future callers).
+ */
+
+#ifndef ASYNCCLOCK_CLOCK_TREE_CLOCK_HH
+#define ASYNCCLOCK_CLOCK_TREE_CLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "clock/policy.hh"
+#include "support/flat_map.hh"
+
+namespace asyncclock::clock {
+
+class TreeClock
+{
+  public:
+    static constexpr std::int32_t kNil = -1;
+    static constexpr Tick kInfAclk = 0xFFFFFFFFu;
+
+    TreeClock() = default;
+
+    TreeClock(const TreeClock &other) { copyFrom(other); }
+
+    TreeClock(TreeClock &&other) noexcept
+        : nodes_(std::move(other.nodes_)),
+          index_(std::move(other.index_)), root_(other.root_),
+          ownerRooted_(other.ownerRooted_)
+    {
+        other.reset();
+    }
+
+    TreeClock &
+    operator=(const TreeClock &other)
+    {
+        if (this != &other) {
+            reset();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    TreeClock &
+    operator=(TreeClock &&other) noexcept
+    {
+        if (this != &other) {
+            nodes_ = std::move(other.nodes_);
+            index_ = std::move(other.index_);
+            root_ = other.root_;
+            ownerRooted_ = other.ownerRooted_;
+            other.reset();
+        }
+        return *this;
+    }
+
+    Tick
+    get(ChainId chain) const
+    {
+        const std::uint32_t *i = index_.find(chain);
+        return i ? nodes_[*i].clk : 0;
+    }
+
+    bool
+    knows(const Epoch &e) const
+    {
+        return e.tick == 0 || get(e.chain) >= e.tick;
+    }
+
+    /** Generic monotone raise: uncertified entry (see file comment). */
+    void raise(ChainId chain, Tick tick);
+
+    /**
+     * Owner tick: chain @p chain advances its own clock to @p tick
+     * and becomes the root. Only a chain's unique owner clock may
+     * call this (the tick values of a chain must be globally unique);
+     * a tick that does not advance the entry degrades to raise().
+     */
+    void tick(ChainId chain, Tick t);
+
+    void joinWith(const TreeClock &other);
+
+    bool leq(const TreeClock &other) const;
+    bool operator==(const TreeClock &other) const;
+
+    std::uint32_t
+    size() const
+    {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+
+    void clear();
+
+    template <typename Pred>
+    void
+    eraseIf(Pred &&pred)
+    {
+        bool any = false;
+        for (const Node &n : nodes_) {
+            // Copy: FlatMap's eraseIf passes a mutable value ref, so
+            // predicates may take Tick& — never let them write nodes.
+            Tick t = n.clk;
+            if (pred(n.chain, t)) {
+                any = true;
+                break;
+            }
+        }
+        if (any)
+            eraseRebuild([&](ChainId c, Tick t) { return pred(c, t); });
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Node &n : nodes_)
+            fn(n.chain, static_cast<const Tick &>(n.clk));
+    }
+
+    template <typename Fn>
+    bool
+    forEachWhile(Fn &&fn) const
+    {
+        for (const Node &n : nodes_) {
+            if (!fn(n.chain, static_cast<const Tick &>(n.clk)))
+                return false;
+        }
+        return true;
+    }
+
+    std::uint64_t
+    byteSize() const
+    {
+        return nodes_.capacity() * sizeof(Node) + index_.byteSize();
+    }
+
+    /** Pruning kill switch state (see file comment). */
+    static bool pruningDisabled();
+    /** Re-arm pruning after a disciplined test reset. */
+    static void resetPruneGuard();
+
+  private:
+    struct Node
+    {
+        ChainId chain = 0;
+        Tick clk = 0;
+        Tick aclk = kInfAclk;
+        bool cert = false;
+        bool covered = false;
+        std::int32_t parent = kNil;
+        std::int32_t firstChild = kNil;
+        std::int32_t nextSib = kNil;
+        std::int32_t prevSib = kNil;
+    };
+
+    void copyFrom(const TreeClock &other);
+    std::int32_t newNode(ChainId chain, Tick clk);
+    void detach(std::int32_t v);
+    void attachFront(std::int32_t parent, std::int32_t child,
+                     Tick aclk);
+    /** Clear cert on @p v and its ancestors (stop at already-false:
+     * false is absorbing, so walks amortize). */
+    void uncertifyPath(std::int32_t v);
+
+    void
+    reset()
+    {
+        nodes_.clear();
+        index_.clear();
+        root_ = kNil;
+        ownerRooted_ = false;
+    }
+
+    template <typename Pred>
+    void
+    eraseRebuild(Pred &&pred)
+    {
+        if (ownerRooted_)
+            poisonPruning();
+        std::vector<Node> old = std::move(nodes_);
+        nodes_.clear();
+        index_.clear();
+        root_ = kNil;
+        ownerRooted_ = false;
+        for (const Node &n : old) {
+            Tick t = n.clk;
+            if (pred(n.chain, t))
+                continue;
+            // Flat rebuild: structure and both soundness bits are
+            // forfeited (any subset claim may now be false).
+            std::int32_t v = newNode(n.chain, n.clk);
+            if (root_ == kNil)
+                root_ = v;
+            else
+                attachFront(root_, v, kInfAclk);
+        }
+    }
+    static void poisonPruning();
+
+    std::vector<Node> nodes_;
+    FlatMap<std::uint32_t> index_;  ///< chain -> index in nodes_
+    std::int32_t root_ = kNil;
+    /** True while this tree is the live owner clock of root_'s chain,
+     * i.e. the last structural op was tick(). Cleared by copies,
+     * joins that overwrite the root entry, erase, clear. */
+    bool ownerRooted_ = false;
+};
+
+} // namespace asyncclock::clock
+
+#endif // ASYNCCLOCK_CLOCK_TREE_CLOCK_HH

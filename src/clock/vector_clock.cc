@@ -11,7 +11,7 @@ std::string
 VectorClock::toString() const
 {
     std::vector<std::pair<ChainId, Tick>> entries;
-    map_.forEach([&](ChainId c, const Tick &t) {
+    forEach([&](ChainId c, const Tick &t) {
         entries.emplace_back(c, t);
     });
     std::sort(entries.begin(), entries.end());
@@ -28,18 +28,21 @@ VectorClock::toString() const
 bool
 VectorClock::operator==(const VectorClock &other) const
 {
+    if (const auto *a = std::get_if<CowClock>(&rep_)) {
+        if (const auto *b = std::get_if<CowClock>(&other.rep_)) {
+            if (a->sharesNodeWith(*b))
+                return true;
+        }
+    }
     // Sparse equality: nonzero entries must match both ways (a zero
-    // entry equals an absent one).
-    bool eq = true;
-    map_.forEach([&](ChainId c, const Tick &t) {
-        if (t != other.get(c))
-            eq = false;
+    // entry equals an absent one); no backend stores zero entries, so
+    // equal sizes plus a one-way pointwise match suffice — with early
+    // exit in both checks.
+    if (size() != other.size())
+        return false;
+    return forEachWhile([&](ChainId c, const Tick &t) {
+        return other.get(c) == t;
     });
-    other.map_.forEach([&](ChainId c, const Tick &t) {
-        if (t != get(c))
-            eq = false;
-    });
-    return eq;
 }
 
 } // namespace asyncclock::clock

@@ -1,6 +1,6 @@
 /**
  * @file
- * Sparse vector clocks over chains.
+ * Sparse vector clocks over chains, behind a pluggable backend.
  *
  * A chain (section 2.4) is either a worker thread or a chain of
  * causally ordered events produced by chain decomposition; chains play
@@ -9,6 +9,15 @@
  * has causal history in only a few, the clock is stored sparsely
  * (section 4.2 "Sparse Vectors", following accordion clocks [7]):
  * absent entries mean timestamp 0.
+ *
+ * Since the ClockPolicy refactor (see clock/policy.hh) VectorClock is
+ * a facade over one of three representations selected at construction
+ * time — the eager sparse FlatMap (SparseClock, default), the
+ * copy-on-write interned clock (clock/cow_clock.hh), and the tree
+ * clock (clock/tree_clock.hh). All expose the same operation set and
+ * identical observable state; mixed-backend joins and comparisons go
+ * through the canonical (chain, tick) entry view, so backends can
+ * coexist in one process.
  */
 
 #ifndef ASYNCCLOCK_CLOCK_VECTOR_CLOCK_HH
@@ -16,33 +25,21 @@
 
 #include <cstdint>
 #include <string>
+#include <variant>
 
+#include "clock/cow_clock.hh"
+#include "clock/policy.hh"
+#include "clock/tree_clock.hh"
 #include "support/flat_map.hh"
 
 namespace asyncclock::clock {
 
-using ChainId = std::uint32_t;
-using Tick = std::uint32_t;
-
-/**
- * A (chain, tick) pair naming one operation's position on its chain —
- * FastTrack's "epoch". The default epoch (tick 0) precedes everything.
- */
-struct Epoch
-{
-    ChainId chain = 0;
-    Tick tick = 0;
-
-    bool operator==(const Epoch &other) const = default;
-};
-
-/** Sparse vector clock: chain id -> last causally known tick. */
-class VectorClock
+/** The original eager sparse clock: chain id -> last known tick. */
+class SparseClock
 {
   public:
-    VectorClock() = default;
+    SparseClock() = default;
 
-    /** Timestamp known for @p chain (0 if none). */
     Tick
     get(ChainId chain) const
     {
@@ -50,7 +47,6 @@ class VectorClock
         return t ? *t : 0;
     }
 
-    /** Raise the entry for @p chain to at least @p tick. */
     void
     raise(ChainId chain, Tick tick)
     {
@@ -59,6 +55,124 @@ class VectorClock
         Tick &slot = map_[chain];
         if (slot < tick)
             slot = tick;
+    }
+
+    bool
+    knows(const Epoch &e) const
+    {
+        return e.tick == 0 || get(e.chain) >= e.tick;
+    }
+
+    void
+    joinWith(const SparseClock &other)
+    {
+        ClockStats &st = clockStats();
+        st.joins.fetch_add(1, std::memory_order_relaxed);
+        st.noteJoinSize(other.map_.size());
+        if (other.map_.empty() || &other == this) {
+            st.joinFastPaths.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        other.map_.forEach([this](ChainId c, const Tick &t) {
+            raise(c, t);
+        });
+        st.joinEntriesVisited.fetch_add(other.map_.size(),
+                                        std::memory_order_relaxed);
+    }
+
+    bool
+    leq(const SparseClock &other) const
+    {
+        return map_.forEachWhile([&](ChainId c, const Tick &t) {
+            return t <= other.get(c);
+        });
+    }
+
+    std::uint32_t size() const { return map_.size(); }
+    void clear() { map_.clear(); }
+
+    template <typename Pred>
+    void
+    eraseIf(Pred &&pred)
+    {
+        map_.eraseIf(pred);
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        map_.forEach(fn);
+    }
+
+    template <typename Fn>
+    bool
+    forEachWhile(Fn &&fn) const
+    {
+        return map_.forEachWhile(fn);
+    }
+
+    std::uint64_t byteSize() const { return map_.byteSize(); }
+
+  private:
+    asyncclock::FlatMap<Tick> map_;
+};
+
+/**
+ * The clock the rest of the system uses. The representation is fixed
+ * per object at construction (default: the process-wide
+ * defaultBackend()); copies keep the source's representation.
+ */
+class VectorClock
+{
+  public:
+    VectorClock() : VectorClock(defaultBackend()) {}
+
+    explicit VectorClock(Backend b)
+    {
+        if (b == Backend::Cow)
+            rep_.emplace<CowClock>();
+        else if (b == Backend::Tree)
+            rep_.emplace<TreeClock>();
+        // Sparse is the variant's default alternative.
+    }
+
+    /** This clock's representation. */
+    Backend
+    backend() const
+    {
+        return static_cast<Backend>(rep_.index());
+    }
+
+    /** Timestamp known for @p chain (0 if none). */
+    Tick
+    get(ChainId chain) const
+    {
+        return std::visit(
+            [&](const auto &r) { return r.get(chain); }, rep_);
+    }
+
+    /** Raise the entry for @p chain to at least @p tick. */
+    void
+    raise(ChainId chain, Tick tick)
+    {
+        std::visit([&](auto &r) { r.raise(chain, tick); }, rep_);
+    }
+
+    /**
+     * Owner tick: like raise(), but asserts that this clock is chain
+     * @p chain's own clock advancing to a fresh, globally unique
+     * tick. Semantically identical to raise() on every backend; the
+     * tree backend uses the discipline to re-root and certify the
+     * entry so later joins can prune.
+     */
+    void
+    tick(ChainId chain, Tick t)
+    {
+        if (auto *tr = std::get_if<TreeClock>(&rep_))
+            tr->tick(chain, t);
+        else
+            raise(chain, t);
     }
 
     /** Does this clock know epoch @p e (i.e. op(e) happens-before the
@@ -73,28 +187,57 @@ class VectorClock
     void
     joinWith(const VectorClock &other)
     {
-        other.map_.forEach([this](ChainId c, const Tick &t) {
+        if (rep_.index() == other.rep_.index()) {
+            std::visit(
+                [&](auto &r) {
+                    using R = std::decay_t<decltype(r)>;
+                    r.joinWith(std::get<R>(other.rep_));
+                },
+                rep_);
+            return;
+        }
+        // Mixed backends: join through the canonical entry view.
+        ClockStats &st = clockStats();
+        st.joins.fetch_add(1, std::memory_order_relaxed);
+        st.noteJoinSize(other.size());
+        std::uint64_t visited = 0;
+        other.forEach([&](ChainId c, const Tick &t) {
+            ++visited;
             raise(c, t);
         });
+        st.joinEntriesVisited.fetch_add(visited,
+                                        std::memory_order_relaxed);
     }
 
     /** True if this clock is pointwise <= @p other. */
     bool
     leq(const VectorClock &other) const
     {
-        bool ok = true;
-        map_.forEach([&](ChainId c, const Tick &t) {
-            if (t > other.get(c))
-                ok = false;
+        if (const auto *a = std::get_if<CowClock>(&rep_)) {
+            if (const auto *b = std::get_if<CowClock>(&other.rep_)) {
+                if (a->sharesNodeWith(*b))
+                    return true;
+            }
+        }
+        return forEachWhile([&](ChainId c, const Tick &t) {
+            return t <= other.get(c);
         });
-        return ok;
     }
 
     /** Number of nonzero entries. */
-    std::uint32_t size() const { return map_.size(); }
+    std::uint32_t
+    size() const
+    {
+        return std::visit([](const auto &r) { return r.size(); },
+                          rep_);
+    }
 
     /** Drop all entries. */
-    void clear() { map_.clear(); }
+    void
+    clear()
+    {
+        std::visit([](auto &r) { r.clear(); }, rep_);
+    }
 
     /** Remove entries for which @p pred(chain, tick) holds (used when
      * retiring chains under the time window). */
@@ -102,31 +245,51 @@ class VectorClock
     void
     eraseIf(Pred &&pred)
     {
-        map_.eraseIf(pred);
+        std::visit([&](auto &r) { r.eraseIf(pred); }, rep_);
     }
 
-    /** Iterate (chain, tick) entries. */
+    /** Iterate (chain, tick) entries (order unspecified). */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
-        map_.forEach(fn);
+        std::visit([&](const auto &r) { r.forEach(fn); }, rep_);
+    }
+
+    /** Iterate until @p fn returns false; true if the walk finished. */
+    template <typename Fn>
+    bool
+    forEachWhile(Fn &&fn) const
+    {
+        return std::visit(
+            [&](const auto &r) { return r.forEachWhile(fn); }, rep_);
+    }
+
+    /** Fold into the COW intern table (no-op on other backends) —
+     * call on clocks likely to repeat content, e.g. checkpoint
+     * loads. */
+    void
+    intern()
+    {
+        if (auto *c = std::get_if<CowClock>(&rep_))
+            c->intern();
     }
 
     /** Heap bytes, for metadata accounting. */
     std::uint64_t
     byteSize() const
     {
-        return map_.byteSize();
+        return std::visit(
+            [](const auto &r) { return r.byteSize(); }, rep_);
     }
 
-    /** Debug rendering, e.g. "{0:3, 2:7}". */
+    /** Debug rendering, e.g. "{0:3, 2:7}" (canonically sorted). */
     std::string toString() const;
 
     bool operator==(const VectorClock &other) const;
 
   private:
-    asyncclock::FlatMap<Tick> map_;
+    std::variant<SparseClock, CowClock, TreeClock> rep_;
 };
 
 } // namespace asyncclock::clock

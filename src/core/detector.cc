@@ -75,6 +75,7 @@ AsyncClockDetector::AsyncClockDetector(trace::TraceSource &src,
                                        DetectorConfig cfg)
     : source_(&src), checker_(checker), cfg_(cfg)
 {
+    clock::setDefaultBackend(cfg_.clockBackend);
     syncEntities();
 }
 
@@ -84,6 +85,7 @@ AsyncClockDetector::AsyncClockDetector(const trace::Trace &tr,
     : owned_(std::make_unique<trace::MaterializedSource>(tr)),
       source_(owned_.get()), checker_(checker), cfg_(cfg)
 {
+    clock::setDefaultBackend(cfg_.clockBackend);
     syncEntities();
 }
 
@@ -185,7 +187,7 @@ AsyncClockDetector::tickChain(ChainId c)
 {
     ChainState &ch = chains_[c];
     clock::Tick t = ++ch.tick;
-    ch.vc.raise(c, t);
+    ch.vc.tick(c, t);
     ++counters_.clockTicks;
     return {c, t};
 }
@@ -1172,7 +1174,9 @@ AsyncClockDetector::onEventBegin(const Operation &op, OpId id)
     ChainState &ch = chains_[c];
     clock::Tick beginTick = ++ch.tick;
     m->beginEpoch = {c, beginTick};
-    r.vc.raise(c, beginTick);
+    // r.vc becomes chain c's clock on the next line, so this is an
+    // owner tick (joins into r.vc are all behind us).
+    r.vc.tick(c, beginTick);
     m->begun = true;
 
     ch.vc = std::move(r.vc);
@@ -1365,7 +1369,7 @@ AsyncClockDetector::ageOneEnded()
     ++counters_.clockJoins;
     joinACSet(tc.acs, x->endACs);
     joinAtomicSet(tc.atomic, x->endAtomic);
-    tc.vc.raise(tc.marker, ++tc.version);
+    tc.vc.tick(tc.marker, ++tc.version);
     ChainId c = x->beginEpoch.chain;
     ChainState &ch = chains_[c];
     if (!ch.retired && ch.lastEnded && ch.lastEvent.get() == x &&

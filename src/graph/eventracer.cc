@@ -81,7 +81,9 @@ Epoch
 EventRacerDetector::tick(TaskState &ts)
 {
     clock::Tick t = ++chainTicks_[ts.chain];
-    ts.vc.raise(ts.chain, t);
+    // Owner tick: every newNode() snapshot of ts.vc happens right
+    // after this, and joins into ts.vc happen before it.
+    ts.vc.tick(ts.chain, t);
     return {ts.chain, t};
 }
 

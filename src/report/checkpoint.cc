@@ -80,6 +80,7 @@ saveCheckpoint(const std::string &path, const CheckpointMeta &meta,
                                      tmp);
         out.write(kCheckpointMagic, 4);
         out.put(static_cast<char>(kCheckpointVersion));
+        out.put(static_cast<char>(clock::defaultBackend()));
         putU64(out, meta.opsProcessed);
         putU64(out, meta.accessesChecked);
         putU64(out, meta.traceBytes);
@@ -115,13 +116,26 @@ loadCheckpoint(const std::string &path, FastTrackChecker &checker)
                              "not a checkpoint file: " + path);
     }
     int version = in.get();
-    if (version != kCheckpointVersion) {
+    if (version < 1 || version > kCheckpointVersion) {
         return Status::error(
             ErrCode::Unsupported,
-            strf("unsupported checkpoint version %d (expected %d)",
+            strf("unsupported checkpoint version %d (expected <= %d)",
                  version, kCheckpointVersion));
     }
     CheckpointMeta meta;
+    if (version >= 2) {
+        // Clock-backend tag. Any known backend loads fine: entries
+        // are serialized in canonical sparse form and rebuilt under
+        // the loader's backend.
+        int tag = in.get();
+        if (tag < 0 ||
+            tag >= static_cast<int>(clock::kBackendCount)) {
+            return Status::error(
+                ErrCode::Corrupt,
+                strf("bad clock-backend tag %d in checkpoint", tag));
+        }
+        meta.clockBackend = static_cast<clock::Backend>(tag);
+    }
     if (!getU64(in, meta.opsProcessed) ||
         !getU64(in, meta.accessesChecked) ||
         !getU64(in, meta.traceBytes) || !getU64(in, meta.traceHash)) {

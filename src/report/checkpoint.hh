@@ -48,9 +48,14 @@
 
 namespace asyncclock::report {
 
-/** Magic bytes opening a checkpoint file ("ACCP") + format version. */
+/** Magic bytes opening a checkpoint file ("ACCP") + format version.
+ * v1: original header. v2: adds a clock-backend tag byte (see
+ * clock::Backend) after the version. The tag is informational —
+ * checker state is serialized as canonically sorted (chain, tick)
+ * entries, so loading converts to whatever backend the loading
+ * process runs, and v1 files (implicitly sparse) load unchanged. */
 extern const char kCheckpointMagic[4];
-constexpr std::uint8_t kCheckpointVersion = 1;
+constexpr std::uint8_t kCheckpointVersion = 2;
 
 /** Everything a checkpoint records besides the checker state. */
 struct CheckpointMeta
@@ -63,6 +68,10 @@ struct CheckpointMeta
      * resume refuses a mismatch. */
     std::uint64_t traceBytes = 0;
     std::uint64_t traceHash = 0;
+    /** Clock backend of the writing process (v2+; v1 files report
+     * Sparse). Loading never requires a match — see
+     * kCheckpointVersion. */
+    clock::Backend clockBackend = clock::Backend::Sparse;
 };
 
 /** Size + FNV-1a content hash of @p path (the identity stored in and

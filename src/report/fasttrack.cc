@@ -113,14 +113,11 @@ FastTrackChecker::onAccess(trace::VarId var, const Access &access,
             report(var, st.lastWrite, access);
         // Read-write check.
         if (st.shared) {
-            // Race iff some read epoch is not known; find one for the
-            // report (the stored lastRead is the most recent).
-            bool racy = false;
-            st.readVC.forEach([&](clock::ChainId c, const clock::Tick &t) {
-                if (!vc.knows({c, t}))
-                    racy = true;
-            });
-            if (racy)
+            // Race iff some read epoch is not known, i.e. the read
+            // clock is not below vc (short-circuits on the first
+            // unordered entry); the reported lastRead is the most
+            // recent read.
+            if (!st.readVC.leq(vc))
                 report(var, st.lastRead, access);
         } else if (!vc.knows(st.read)) {
             report(var, st.lastRead, access);
@@ -231,6 +228,10 @@ FastTrackChecker::loadState(std::istream &in)
                 return truncated();
             st.readVC.raise(c, t);
         }
+        // Resumed read clocks repeat a few contents across many
+        // variables; under the COW backend fold them into shared
+        // nodes (no-op elsewhere).
+        st.readVC.intern();
         if (!getAccess(in, st.lastWrite) || !getAccess(in, st.lastRead))
             return truncated();
     }

@@ -153,6 +153,24 @@ class FlatMap
     }
 
     /**
+     * Iterate occupied slots until @p fn returns false. @p fn
+     * receives (key, const value&) and returns bool ("keep going").
+     * Returns true if the walk completed, false if @p fn stopped it —
+     * the early-exit primitive behind short-circuiting clock
+     * comparisons (leq/==).
+     */
+    template <typename Fn>
+    bool
+    forEachWhile(Fn &&fn) const
+    {
+        for (const auto &s : slots_) {
+            if (s.key != emptyKey && !fn(s.key, s.value))
+                return false;
+        }
+        return true;
+    }
+
+    /**
      * Erase every entry for which @p pred(key, value) returns true.
      * Implemented by rebuilding: backshift deletion during iteration
      * would revisit moved slots.

@@ -299,6 +299,59 @@ TEST(Resume, IdenticalUnderMemoryPressureLadder)
     std::remove(path.c_str());
 }
 
+TEST(Resume, CrossBackendCheckpointsInterchange)
+{
+    // v2 checkpoints carry the writer's clock backend as an
+    // informational tag; checker state is serialized in canonical
+    // sparse form, so a checkpoint written under any backend must
+    // resume under any other with an identical final race list.
+    auto app = workload::generateApp(profile(11, 150));
+    const clock::Backend backends[] = {clock::Backend::Sparse,
+                                       clock::Backend::Cow,
+                                       clock::Backend::Tree};
+    core::DetectorConfig base;
+    std::vector<RaceReport> expected =
+        uninterruptedRaces(app.trace, base);
+    ASSERT_GT(expected.size(), 0u);
+
+    std::string path = tempPath("ckpt_backend.accp");
+    std::uint64_t kill = app.trace.numOps() / 2;
+    for (clock::Backend wb : backends) {
+        {
+            core::DetectorConfig cfg;
+            cfg.clockBackend = wb;
+            FastTrackChecker ft;
+            ResumeFilter filter(ft);
+            core::AsyncClockDetector det(app.trace, filter, cfg);
+            std::uint64_t n = 0;
+            while (n < kill && det.processNext())
+                ++n;
+            report::CheckpointMeta meta;
+            meta.opsProcessed = n;
+            meta.accessesChecked = filter.accessesSeen();
+            ASSERT_TRUE(report::saveCheckpoint(path, meta, ft));
+        }
+        for (clock::Backend rb : backends) {
+            SCOPED_TRACE(std::string(clock::backendName(wb)) +
+                         " -> " + clock::backendName(rb));
+            core::DetectorConfig cfg;
+            cfg.clockBackend = rb;
+            FastTrackChecker ft;
+            auto loaded = report::loadCheckpoint(path, ft);
+            ASSERT_TRUE(loaded) << loaded.status().toString();
+            // The tag records the writer (the detector pins the
+            // process default to its configured backend).
+            EXPECT_EQ(loaded.value().clockBackend, wb);
+            ResumeFilter filter(ft,
+                                loaded.value().accessesChecked);
+            core::AsyncClockDetector det(app.trace, filter, cfg);
+            det.runAll();
+            expectSameRaces(expected, ft.races());
+        }
+    }
+    std::remove(path.c_str());
+}
+
 TEST(Resume, FilterSkipsExactlyTheCheckedPrefix)
 {
     auto app = workload::generateApp(profile(13, 100));

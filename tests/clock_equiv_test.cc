@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Backend equivalence: the three clock backends (sparse, COW, tree)
+ * must be observationally identical.
+ *
+ * Two layers of evidence:
+ *
+ *  - Differential property tests: the same random operation sequence
+ *    is applied to one clock universe per backend and every
+ *    observable (get, size, knows, leq, ==, toString) is compared
+ *    after each step. One generator uses the unrestricted API
+ *    (raise/join/eraseIf — the tree backend must degrade, never
+ *    diverge); the other follows the detector's ownership discipline
+ *    (tick, snapshot export, join of exports) so the tree backend's
+ *    pruning paths are actually exercised.
+ *
+ *  - End-to-end: full detector + FastTrack + analyzer runs over
+ *    generated apps and chaos traces must produce byte-identical
+ *    reports under all three backends.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "clock/tree_clock.hh"
+#include "clock/vector_clock.hh"
+#include "core/detector.hh"
+#include "report/export.hh"
+#include "report/fasttrack.hh"
+#include "report/races.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace asyncclock::clock {
+namespace {
+
+constexpr Backend kBackends[] = {Backend::Sparse, Backend::Cow,
+                                 Backend::Tree};
+
+/** Probe every observable of two same-content clocks. */
+void
+expectSameObservables(const VectorClock &a, const VectorClock &b,
+                      ChainId maxChain, const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (ChainId c = 0; c <= maxChain; ++c)
+        ASSERT_EQ(a.get(c), b.get(c)) << what << " chain " << c;
+    ASSERT_EQ(a.toString(), b.toString()) << what;
+}
+
+TEST(ParseBackend, NamesRoundTrip)
+{
+    Backend b = Backend::Sparse;
+    EXPECT_TRUE(parseBackend("sparse", b));
+    EXPECT_EQ(b, Backend::Sparse);
+    EXPECT_TRUE(parseBackend("cow", b));
+    EXPECT_EQ(b, Backend::Cow);
+    EXPECT_TRUE(parseBackend("tree", b));
+    EXPECT_EQ(b, Backend::Tree);
+    EXPECT_FALSE(parseBackend("vector", b));
+    EXPECT_FALSE(parseBackend("", b));
+    for (Backend x : kBackends) {
+        Backend y = Backend::Sparse;
+        EXPECT_TRUE(parseBackend(backendName(x), y));
+        EXPECT_EQ(x, y);
+    }
+}
+
+TEST(BackendEquiv, ExplicitConstructionSelectsBackend)
+{
+    for (Backend b : kBackends) {
+        VectorClock vc(b);
+        EXPECT_EQ(vc.backend(), b);
+        vc.raise(3, 7);
+        EXPECT_EQ(vc.get(3), 7u);
+        // Copies keep the source's backend, not the process default.
+        VectorClock copy = vc;
+        EXPECT_EQ(copy.backend(), b);
+        EXPECT_EQ(copy.get(3), 7u);
+    }
+}
+
+/**
+ * Unrestricted API sweep: raise/join/copy/knows/eraseIf in random
+ * order. The tree backend sees out-of-band raises and erases here;
+ * it must still agree with sparse on every observable.
+ */
+TEST(BackendEquiv, RandomOpsArbitraryDiscipline)
+{
+    constexpr unsigned kClocks = 8;
+    constexpr ChainId kMaxChain = 12;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        TreeClock::resetPruneGuard();
+        // One universe of kClocks clocks per backend, driven by
+        // identical op streams (fresh RNG per backend).
+        std::vector<std::vector<VectorClock>> u;
+        for (Backend b : kBackends)
+            u.emplace_back(kClocks, VectorClock(b));
+        for (std::size_t bi = 0; bi < u.size(); ++bi) {
+            Rng rng(seed * 1000003);
+            auto &clocks = u[bi];
+            for (unsigned step = 0; step < 300; ++step) {
+                unsigned op = static_cast<unsigned>(rng.below(100));
+                unsigned i =
+                    static_cast<unsigned>(rng.below(kClocks));
+                unsigned j =
+                    static_cast<unsigned>(rng.below(kClocks));
+                ChainId c = static_cast<ChainId>(
+                    rng.below(kMaxChain + 1));
+                Tick t = static_cast<Tick>(rng.range(1, 40));
+                if (op < 45) {
+                    clocks[i].raise(c, t);
+                } else if (op < 80) {
+                    clocks[i].joinWith(clocks[j]);
+                } else if (op < 90) {
+                    clocks[i] = clocks[j];
+                } else if (op < 95) {
+                    clocks[i].intern();
+                } else {
+                    clocks[i].eraseIf(
+                        [t](ChainId, Tick v) { return v < t; });
+                }
+            }
+        }
+        for (unsigned i = 0; i < kClocks; ++i) {
+            expectSameObservables(u[0][i], u[1][i], kMaxChain,
+                                  "sparse vs cow");
+            expectSameObservables(u[0][i], u[2][i], kMaxChain,
+                                  "sparse vs tree");
+            for (unsigned j = 0; j < kClocks; ++j) {
+                bool leq = u[0][i].leq(u[0][j]);
+                EXPECT_EQ(u[1][i].leq(u[1][j]), leq);
+                EXPECT_EQ(u[2][i].leq(u[2][j]), leq);
+                bool eq = u[0][i] == u[0][j];
+                EXPECT_EQ(u[1][i] == u[1][j], eq);
+                EXPECT_EQ(u[2][i] == u[2][j], eq);
+            }
+        }
+    }
+    TreeClock::resetPruneGuard();
+}
+
+/**
+ * Detector-discipline sweep: every chain has a unique owner clock;
+ * entries enter other clocks only through joins of snapshots
+ * exported right after a tick. This is the regime where tree pruning
+ * fires; the observables must still match sparse exactly.
+ */
+TEST(BackendEquiv, RandomOpsTickDiscipline)
+{
+    constexpr unsigned kChains = 10;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        TreeClock::resetPruneGuard();
+        std::vector<std::vector<VectorClock>> owners;
+        std::vector<std::vector<VectorClock>> exports;
+        for (Backend b : kBackends) {
+            owners.emplace_back(kChains, VectorClock(b));
+            exports.emplace_back(kChains, VectorClock(b));
+        }
+        std::vector<Tick> ticks(kChains, 0);
+        for (std::size_t bi = 0; bi < owners.size(); ++bi) {
+            Rng rng(seed * 777);
+            std::vector<Tick> localTicks(kChains, 0);
+            auto &own = owners[bi];
+            auto &exp = exports[bi];
+            for (unsigned step = 0; step < 400; ++step) {
+                unsigned c =
+                    static_cast<unsigned>(rng.below(kChains));
+                unsigned d =
+                    static_cast<unsigned>(rng.below(kChains));
+                if (rng.chance(0.45)) {
+                    // Owner receives a peer's snapshot, then ticks
+                    // and exports — the detector's handler shape.
+                    own[c].joinWith(exp[d]);
+                    own[c].tick(c, ++localTicks[c]);
+                    exp[c] = own[c];
+                } else if (rng.chance(0.5)) {
+                    own[c].joinWith(exp[d]);
+                } else {
+                    own[c].tick(c, ++localTicks[c]);
+                    exp[c] = own[c];
+                }
+            }
+            if (bi == 0)
+                ticks = localTicks;
+        }
+        for (unsigned c = 0; c < kChains; ++c) {
+            expectSameObservables(owners[0][c], owners[1][c],
+                                  kChains, "sparse vs cow owner");
+            expectSameObservables(owners[0][c], owners[2][c],
+                                  kChains, "sparse vs tree owner");
+            for (unsigned d = 0; d < kChains; ++d) {
+                Epoch e{d, ticks[d]};
+                EXPECT_EQ(owners[1][c].knows(e),
+                          owners[0][c].knows(e));
+                EXPECT_EQ(owners[2][c].knows(e),
+                          owners[0][c].knows(e));
+            }
+        }
+    }
+}
+
+TEST(BackendEquiv, CowCopiesAreIndependent)
+{
+    VectorClock a{Backend::Cow};
+    a.raise(1, 5);
+    a.raise(2, 9);
+    VectorClock b = a;  // shares the node
+    b.raise(1, 6);      // must break the share, not mutate a
+    EXPECT_EQ(a.get(1), 5u);
+    EXPECT_EQ(b.get(1), 6u);
+    EXPECT_EQ(b.get(2), 9u);
+    // Interning equal-content clocks keeps them equal and
+    // mutation-safe.
+    VectorClock c{Backend::Cow}, d{Backend::Cow};
+    c.raise(7, 3);
+    d.raise(7, 3);
+    c.intern();
+    d.intern();
+    EXPECT_TRUE(c == d);
+    d.raise(8, 1);
+    EXPECT_EQ(c.get(8), 0u);
+    EXPECT_EQ(d.get(8), 1u);
+}
+
+// ----------------------------------------------------------------
+// End-to-end: byte-identical reports under every backend.
+// ----------------------------------------------------------------
+
+/** Full pipeline (detector -> FastTrack -> analyzer) as one string:
+ * the race list, the grouped report text, and the JSON export. */
+std::string
+fullReport(const trace::Trace &tr, Backend b)
+{
+    core::DetectorConfig cfg;
+    cfg.windowMs = 0;
+    cfg.clockBackend = b;
+    report::FastTrackChecker checker;
+    core::AsyncClockDetector det(tr, checker, cfg);
+    det.runAll();
+
+    std::string out;
+    for (const auto &r : checker.races()) {
+        out += std::to_string(r.prevOp) + "-" +
+               std::to_string(r.curOp) + ";";
+    }
+    out += "\n";
+    report::RaceAnalyzer analyzer(tr);
+    report::ReportSummary summary = analyzer.analyze(checker.races());
+    out += summary.summary();
+    for (const auto &g : summary.reported)
+        out += analyzer.describe(g) + "\n";
+    out += report::toJson(summary, tr);
+    return out;
+}
+
+TEST(BackendEquiv, EndToEndReportsByteIdentical)
+{
+    TreeClock::resetPruneGuard();
+    std::vector<trace::Trace> traces;
+    workload::AppProfile p;
+    p.seed = 42;
+    p.looperEvents = 120;
+    p.binderEvents = 15;
+    traces.push_back(workload::generateApp(p).trace);
+    traces.push_back(workload::chaosTrace(54, 70));
+    traces.push_back(workload::chaosTrace(57, 55));
+    for (const auto &tr : traces) {
+        ASSERT_EQ(tr.validate(true), "");
+        const std::string sparse = fullReport(tr, Backend::Sparse);
+        EXPECT_EQ(fullReport(tr, Backend::Cow), sparse);
+        EXPECT_EQ(fullReport(tr, Backend::Tree), sparse);
+    }
+}
+
+} // namespace
+} // namespace asyncclock::clock
