@@ -12,7 +12,7 @@
 
 #include <vector>
 
-#include "clock/dense_clock.hh"
+#include "dense_clock.hh"
 #include "clock/vector_clock.hh"
 #include "core/meta.hh"
 #include "support/flat_map.hh"

@@ -14,10 +14,14 @@
  *
  * Interface-compatible with clock::VectorClock for the operations the
  * detectors use, so it can also be dropped into experiments.
+ *
+ * Lives in bench/ (not src/clock/) because nothing in the library
+ * proper uses it: it exists only so the micro-benchmarks and the
+ * equivalence tests can measure sparse against it.
  */
 
-#ifndef ASYNCCLOCK_CLOCK_DENSE_CLOCK_HH
-#define ASYNCCLOCK_CLOCK_DENSE_CLOCK_HH
+#ifndef ASYNCCLOCK_BENCH_DENSE_CLOCK_HH
+#define ASYNCCLOCK_BENCH_DENSE_CLOCK_HH
 
 #include <algorithm>
 #include <cstdint>
@@ -105,4 +109,4 @@ class DenseClock
 
 } // namespace asyncclock::clock
 
-#endif // ASYNCCLOCK_CLOCK_DENSE_CLOCK_HH
+#endif // ASYNCCLOCK_BENCH_DENSE_CLOCK_HH

@@ -9,6 +9,7 @@
  * Usage:
  *   trace_analyzer gen <AppName> <out.trace> [scale] [--binary]
  *   trace_analyzer analyze <in.trace> [--detector=asyncclock|eventracer]
+ *                  [--model=looper|async]
  *                  [--window-ms=N] [--chains=fifo|greedy]
  *                  [--no-reclaim] [--all-races]
  *                  [--clock=sparse|cow|tree]
@@ -16,7 +17,15 @@
  *                  [--progress[=N]] [--trace-out=PATH]
  *                  [--metrics-out=PATH]
  *
- * analyze auto-detects text vs binary traces by magic. --streaming
+ * gen accepts the Table 2 looper app names (workload/workload.hh) and
+ * the async task-graph profiles (AsyncTree, AsyncPipeline,
+ * AsyncFanOut; workload/async_workload.hh), which produce
+ * async-dialect traces.
+ *
+ * analyze auto-detects text vs binary traces by magic, and picks its
+ * causality model from the trace's dialect tag; --model is an
+ * assertion (a mismatch is an error), not an override — running the
+ * looper rules over a task graph would be meaningless. --streaming
  * feeds the detector from the file without materializing the op
  * vector (O(1) trace memory); --shards=N fans the race checks out to
  * N parallel FastTrack shards.
@@ -41,7 +50,7 @@
 #include <memory>
 #include <string>
 
-#include "core/detector.hh"
+#include "core/engine.hh"
 #include "graph/eventracer.hh"
 #include "obs/obs.hh"
 #include "obs/progress.hh"
@@ -54,6 +63,7 @@
 #include "trace/fault.hh"
 #include "trace/trace_io.hh"
 #include "verify/verifier.hh"
+#include "workload/async_workload.hh"
 #include "workload/workload.hh"
 
 using namespace asyncclock;
@@ -68,8 +78,14 @@ usage()
         "usage:\n"
         "  trace_analyzer gen <AppName> <out.trace> [scale] [--binary]\n"
         "  trace_analyzer analyze <in.trace> [options]\n"
+        "gen: AppName is a Table 2 looper profile (e.g. Firefox) or an\n"
+        "  async task-graph profile (AsyncTree|AsyncPipeline|\n"
+        "  AsyncFanOut); async profiles write async-dialect traces\n"
         "options:\n"
         "  --detector=asyncclock|eventracer   (default asyncclock)\n"
+        "  --model=looper|async  causality model; inferred from the\n"
+        "                   trace's dialect tag, so this flag only\n"
+        "                   asserts the expectation (mismatch = error)\n"
         "  --window-ms=N    time window, 0 = off (default 120000)\n"
         "  --chains=fifo|greedy               (default fifo)\n"
         "  --clock=sparse|cow|tree  vector-clock backend (default\n"
@@ -147,12 +163,55 @@ cmdGen(int argc, char **argv)
         return usage();
     bool binary = false;
     double scale = 0.05;
+    bool haveScale = false;
     for (int i = 4; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--binary")
+        if (arg == "--binary") {
             binary = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "gen: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        } else {
+            char *end = nullptr;
+            scale = std::strtod(arg.c_str(), &end);
+            if (end == arg.c_str() || *end != '\0' || scale <= 0) {
+                std::fprintf(stderr, "gen: bad scale '%s'\n",
+                             arg.c_str());
+                return usage();
+            }
+            haveScale = true;
+        }
+    }
+    for (const workload::AsyncProfile &ap :
+         workload::asyncProfiles()) {
+        if (ap.name != argv[2])
+            continue;
+        workload::AsyncProfile prof = ap;
+        // Async profiles are sized in root tasks: scale multiplies
+        // the profile's default (1.0 = as-published), unlike the
+        // looper path's absolute event-count scale.
+        double s = haveScale ? scale : 1.0;
+        prof.rootTasks = std::max(
+            1u,
+            static_cast<std::uint32_t>(prof.rootTasks * s + 0.5));
+        std::printf("generating %s (async dialect, %u root task(s), "
+                    "%u executor(s))...\n",
+                    prof.name.c_str(), prof.rootTasks,
+                    prof.executors);
+        workload::GeneratedAsyncApp app =
+            workload::generateAsyncApp(prof);
+        std::string problem = app.trace.validate(true);
+        if (!problem.empty())
+            fatal("generated trace invalid: " + problem);
+        if (binary)
+            trace::saveBinaryTraceFile(app.trace, argv[3]);
         else
-            scale = std::strtod(arg.c_str(), nullptr);
+            trace::saveTraceFile(app.trace, argv[3]);
+        std::printf("wrote %s (%s): %s\n", argv[3],
+                    binary ? "binary" : "text",
+                    app.trace.stats().summary().c_str());
+        return 0;
     }
     workload::AppProfile profile =
         workload::profileByName(argv[2], scale);
@@ -178,6 +237,7 @@ cmdAnalyze(int argc, char **argv)
     if (argc < 3)
         return usage();
     std::string detectorName = "asyncclock";
+    std::string modelArg;
     core::DetectorConfig cfg;
     report::FilterConfig filters;
     bool json = false;
@@ -200,6 +260,16 @@ cmdAnalyze(int argc, char **argv)
         std::string arg = argv[i];
         if (arg.rfind("--detector=", 0) == 0) {
             detectorName = arg.substr(11);
+        } else if (arg.rfind("--model=", 0) == 0) {
+            modelArg = arg.substr(8);
+            core::ModelKind ignored;
+            if (!core::parseModelName(modelArg, ignored)) {
+                std::fprintf(stderr,
+                             "--model: unknown model '%s' (want "
+                             "looper|async)\n",
+                             modelArg.c_str());
+                return 2;
+            }
         } else if (arg.rfind("--window-ms=", 0) == 0) {
             cfg.windowMs = std::strtoull(arg.c_str() + 12, nullptr, 10);
         } else if (arg == "--chains=greedy") {
@@ -267,6 +337,8 @@ cmdAnalyze(int argc, char **argv)
         } else if (arg.rfind("--inject=", 0) == 0) {
             injectSpec = arg.substr(9);
         } else {
+            std::fprintf(stderr, "analyze: unknown option '%s'\n",
+                         arg.c_str());
             return usage();
         }
     }
@@ -373,6 +445,8 @@ cmdAnalyze(int argc, char **argv)
     }
 
     report::CheckpointMeta identity; // trace size + hash
+    bool ckptLoaded = false;
+    std::uint8_t ckptModelTag = report::kModelTagLooper;
     if (!checkpointPath.empty()) {
         auto id = report::traceIdentity(argv[2]);
         if (!id) {
@@ -410,6 +484,8 @@ cmdAnalyze(int argc, char **argv)
                             .c_str());
                     return 1;
                 }
+                ckptLoaded = true;
+                ckptModelTag = loaded.value().modelTag;
                 skip = loaded.value().accessesChecked;
                 std::printf("resuming from %s: replaying %llu op(s), "
                             "skipping %llu checked access(es)\n",
@@ -430,7 +506,7 @@ cmdAnalyze(int argc, char **argv)
     trace::FaultyOpenedSource faultyOpened; // streaming, with faults
     trace::TraceSource *source = nullptr;  // streaming mode only
     std::unique_ptr<report::Detector> detector;
-    core::AsyncClockDetector *acDetector = nullptr;
+    core::DetectorEngine *acDetector = nullptr;
     auto binaryE = trace::tryIsBinaryTraceFile(argv[2]);
     if (!binaryE) {
         std::fprintf(stderr, "error: %s\n",
@@ -467,16 +543,67 @@ cmdAnalyze(int argc, char **argv)
         std::printf("loaded %s: %s\n", argv[2],
                     tr.stats().summary().c_str());
     }
+    // Causality model: the trace's dialect tag is authoritative
+    // (headers carry it in both text and binary form, so streaming
+    // sources know it before the first op). --model only asserts the
+    // caller's expectation — running the looper rules over a task
+    // graph (or vice versa) would infer nonsense, so a mismatch is an
+    // error, never a silent override.
+    const trace::Dialect dialect =
+        streaming ? source->meta().dialect() : tr.dialect();
+    const core::ModelKind model = core::modelForDialect(dialect);
+    if (!modelArg.empty()) {
+        core::ModelKind requested = core::ModelKind::Looper;
+        core::parseModelName(modelArg, requested);
+        if (requested != model) {
+            std::fprintf(
+                stderr, "error: %s\n",
+                Status::error(
+                    ErrCode::ParseError,
+                    strf("--model=%s does not match the trace's %s "
+                         "dialect (which requires the %s model)",
+                         modelArg.c_str(), trace::dialectName(dialect),
+                         core::modelName(model)))
+                    .toString()
+                    .c_str());
+            return 1;
+        }
+    }
+    const std::uint8_t myModelTag = model == core::ModelKind::Async
+                                        ? report::kModelTagAsync
+                                        : report::kModelTagLooper;
+    identity.modelTag = myModelTag;
+    if (ckptLoaded && ckptModelTag != myModelTag) {
+        std::fprintf(
+            stderr, "error: %s\n",
+            Status::error(ErrCode::Unsupported,
+                          "checkpoint was taken under a different "
+                          "causality model; resume would replay a "
+                          "different access sequence — refusing")
+                .toString()
+                .c_str());
+        return 1;
+    }
     if (detectorName == "asyncclock") {
         auto ac = streaming
-                      ? std::make_unique<core::AsyncClockDetector>(
-                            *source, *checker, cfg)
-                      : std::make_unique<core::AsyncClockDetector>(
-                            tr, *checker, cfg);
+                      ? std::make_unique<core::DetectorEngine>(
+                            model, *source, *checker, cfg)
+                      : std::make_unique<core::DetectorEngine>(
+                            model, tr, *checker, cfg);
         ac->attachObs(octx);
         acDetector = ac.get();
         detector = std::move(ac);
     } else if (detectorName == "eventracer") {
+        if (model != core::ModelKind::Looper) {
+            std::fprintf(
+                stderr, "error: %s\n",
+                Status::error(ErrCode::Unsupported,
+                              "the eventracer baseline only "
+                              "understands the looper dialect")
+                    .toString()
+                    .c_str());
+            return 1;
+        }
         detector =
             streaming
                 ? std::make_unique<graph::EventRacerDetector>(
@@ -558,10 +685,11 @@ cmdAnalyze(int argc, char **argv)
         return 1;
     }
 
-    std::printf("\nanalysis (%s%s, clock=%s): %.3fs, "
+    std::printf("\nanalysis (%s%s, model=%s, clock=%s): %.3fs, "
                 "peak metadata %s\n",
                 detectorName.c_str(),
                 shards > 0 ? strf(", %u shards", shards).c_str() : "",
+                core::modelName(model),
                 clock::backendName(clock::defaultBackend()), elapsed,
                 humanBytes(mem.peakTotal()).c_str());
     std::printf("%s", mem.summary().c_str());
@@ -653,10 +781,17 @@ cmdAnalyze(int argc, char **argv)
     }
 
     if (json) {
-        std::printf("%s\n",
-                    verify
-                        ? report::toJson(summary, triage, tr).c_str()
-                        : report::toJson(summary, tr).c_str());
+        std::string jsonText =
+            verify ? report::toJson(summary, triage, tr)
+                   : report::toJson(summary, tr);
+        std::printf("%s\n", jsonText.c_str());
+        if (!reportOut.empty()) {
+            // Same machine-diffable copy the text path writes; the
+            // confirmation goes to stderr so stdout stays pipeable.
+            writeTextFile(reportOut, jsonText + "\n");
+            std::fprintf(stderr, "wrote report to %s\n",
+                         reportOut.c_str());
+        }
         return 0;
     }
     std::string reportText = summary.summary() + "\n";

@@ -1,372 +1,43 @@
 /**
  * @file
- * The AsyncClock race detector (paper sections 3-5).
+ * AsyncClockDetector: the looper-model detector.
  *
- * Single-pass, non-graph-based happens-before inference for the
- * extended Android causality model. Per chain it maintains a vector
- * clock, one AsyncClock per queue (latest causally-preceding send per
- * chain), generalized AsyncClocks for Rule ATOMIC, and async-before
- * send lists for the non-total Table 1 priority function. An event's
- * logical time is resolved at its begin by joining the end times of
- * the predecessors named by the AsyncClock at its send (section 3.2),
- * walking the async-before lists with the paper's early-stopping
- * rules for tagged events (section 5.3).
- *
- * Scalability (section 4): event metadata is reference-counted and
- * reclaimed when heirless; multi-path reduction fires at event end;
- * the time-window approximation ages out old events into a per-queue
- * time-window clock (TC), invalidates their metadata, and retires
- * idle chains for reuse; periodic GC sweeps drop dead AsyncClock
- * entries and trims the lists. Sparse representations throughout.
- *
- * Deviations from the paper, made for soundness under the *extended*
- * model and documented in DESIGN.md:
- *  - the begin-time AC reduction ("remove all causal predecessors of
- *    E from AC_q") only drops an entry when the async-before walk
- *    verified that everything at or below it is causally inherited —
- *    unconditional dropping is only sound for the base FIFO model;
- *  - async-before list records hold counted references; records
- *    dominated within their priority class (same kind+flag, equal
- *    time constraint — every plain FIFO post) are dropped eagerly,
- *    which is what keeps FIFO events reclaimable by refcount.
+ * Historically this class held both the detection mechanism and the
+ * looper happens-before semantics; those now live in DetectorEngine
+ * (core/engine.hh) and LooperModel (core/looper_model.hh). The name
+ * survives as the facade every looper-model client constructs — a
+ * DetectorEngine fixed to ModelKind::Looper.
  */
 
 #ifndef ASYNCCLOCK_CORE_DETECTOR_HH
 #define ASYNCCLOCK_CORE_DETECTOR_HH
 
-#include <cstdint>
-#include <deque>
-#include <memory>
-#include <vector>
-
 #include "core/config.hh"
-#include "core/meta.hh"
-#include "obs/obs.hh"
-#include "report/checker.hh"
-#include "report/detector.hh"
-#include "support/status.hh"
-#include "trace/source.hh"
-#include "trace/trace.hh"
+#include "core/engine.hh"
 
 namespace asyncclock::core {
 
-class AsyncClockDetector : public report::Detector
+class AsyncClockDetector : public DetectorEngine
 {
   public:
-    /** Stream operations from @p src. @p src and @p checker must
-     * outlive the detector. */
+    /** Stream operations from @p src (single pass; entity tables may
+     * grow mid-stream). @p src and @p checker must outlive the
+     * detector. */
     AsyncClockDetector(trace::TraceSource &src,
                        report::AccessChecker &checker,
-                       DetectorConfig cfg = {});
-
-    /** Convenience over a materialized trace (owns a
-     * MaterializedSource internally). @p tr and @p checker must
-     * outlive the detector. */
-    AsyncClockDetector(const trace::Trace &tr,
-                       report::AccessChecker &checker,
-                       DetectorConfig cfg = {});
-    ~AsyncClockDetector() override;
-
-    bool processNext() override;
-    std::uint64_t opsProcessed() const override { return cursor_; }
-    std::uint64_t metadataBytes() const override;
-    void sampleMemory(MemStats &stats) const override;
-
-    /**
-     * Attach an observability context. With metrics: every
-     * DetectorCounters field plus ops/chain gauges become callback
-     * metrics (the hot path keeps bumping the plain struct; the
-     * registry reads it at snapshot time, so the registry must not be
-     * snapshotted after this detector dies). With a tracer: "pump"
-     * spans on the main track covering blocks of processed ops (with
-     * decode/resolve cost split in args) and a span per GC sweep.
-     * Call before the first processNext().
-     */
-    void attachObs(const obs::ObsContext &ctx);
-
-    /**
-     * Structured health of the run. Ok while healthy; BudgetExceeded
-     * once maxInvalidOps protocol-invalid operations were dropped
-     * (processNext() then returns false). A non-ok status means the
-     * race report is best-effort, not authoritative.
-     */
-    const Status &runStatus() const { return runStatus_; }
-
-    const DetectorCounters &counters() const { return counters_; }
-    /** Number of chains ever created (clock dimension). */
-    std::uint32_t numChains() const
+                       DetectorConfig cfg = {})
+        : DetectorEngine(ModelKind::Looper, src, checker, cfg)
     {
-        return static_cast<std::uint32_t>(chains_.size());
     }
 
-  private:
-    using VectorClock = clock::VectorClock;
-    using ChainId = clock::ChainId;
-    using Epoch = clock::Epoch;
-
-    /** One record of an async-before list: an event sent from this
-     * chain to this queue. */
-    struct SendRec
+    /** Convenience over a materialized trace. @p tr and @p checker
+     * must outlive the detector. */
+    AsyncClockDetector(const trace::Trace &tr,
+                       report::AccessChecker &checker,
+                       DetectorConfig cfg = {})
+        : DetectorEngine(ModelKind::Looper, tr, checker, cfg)
     {
-        EventRef ev;
-        clock::Tick sendTick = 0;
-        trace::SendAttrs attrs{};
-        bool dead = false;  ///< dominance-dropped; skip and GC
-        /** Early-stopping case 2 (section 5.3): every earlier record
-         * of the same class has time <= ours, so once we match a
-         * target, everything deeper in our class is covered. */
-        bool prefixMax = false;
-    };
-
-    /** Async-before list: sends from one chain to one queue, in send
-     * order (sorted by sendTick). */
-    struct SendList
-    {
-        std::vector<SendRec> recs;
-        std::uint32_t deadCount = 0;
-        /** Live records per priority class (drives the "fully
-         * covered" determination of the begin-time AC reduction and
-         * the per-class walk skip). */
-        std::uint32_t liveCount[trace::kNumPriorityClasses] = {};
-        /** Index+1 of the newest live rec per priority class, and its
-         * time constraint; drives dominance-dropping. */
-        std::uint32_t lastIdx[trace::kNumPriorityClasses] = {};
-        /** Largest time constraint seen per class (prefixMax). */
-        std::uint64_t maxTime[trace::kNumPriorityClasses] = {};
-
-        std::uint64_t
-        byteSize() const
-        {
-            return sizeof(SendList) +
-                   recs.capacity() * sizeof(SendRec);
-        }
-    };
-
-    struct ChainState
-    {
-        clock::Tick tick = 0;
-        VectorClock vc;
-        ACSet acs;
-        AtomicSet atomic;
-        FlatMap<SendList> sendLists;  ///< queue -> list
-        EventRef lastEvent;
-        bool lastEnded = true;
-        bool isBinder = false;
-        bool retired = false;
-        /** 0 = thread chain, 1..3 = FIFO chain level, 255 = greedy. */
-        std::uint8_t level = 255;
-        /** FIFO chain decomposition: queue -> child FIFO chain for
-         * plain-FIFO events sent from this chain. */
-        FlatMap<clock::ChainId> fifoChild;
-        /** Back-reference for retirement cleanup: the (parent chain,
-         * queue) this FIFO chain serves. */
-        clock::ChainId fifoParent = trace::kInvalidId;
-        trace::QueueId fifoQueue = trace::kInvalidId;
-
-        std::uint64_t byteSize() const;
-    };
-
-    /** Snapshot passed across fork/signal edges. */
-    struct Snapshot
-    {
-        VectorClock vc;
-        ACSet acs;
-        AtomicSet atomic;
-
-        std::uint64_t
-        byteSize() const
-        {
-            return vc.byteSize() + acSetBytes(acs) +
-                   atomicSetBytes(atomic);
-        }
-    };
-
-    /** Time-window clock: causal successor of every aged-out event
-     * of a queue, inherited by every new event on it (section 4.1).
-     * Stamped with a version epoch on a dedicated marker chain so a
-     * begin whose clock already (transitively) includes the current
-     * version skips the O(|TC|) join — after the first inheritor,
-     * FIFO successors carry it for free. */
-    struct WindowClock : Snapshot
-    {
-        ChainId marker = trace::kInvalidId;
-        clock::Tick version = 0;
-    };
-
-    /** Entity tables seen so far by the source. */
-    const trace::TraceMeta &meta() const { return source_->meta(); }
-    /** Grow per-entity state to match meta() (entities may be
-     * declared mid-stream). */
-    void syncEntities();
-
-    // ----- robustness -----------------------------------------------
-    /** Entity life cycles enforced by the admission gate. Decode-level
-     * skip-and-count can hand the detector protocol-invalid sequences
-     * (an EventBegin whose Send was skipped); the gate drops them at
-     * the door — with a budget — so the resolution machinery only ever
-     * sees ops consistent with its invariants. */
-    enum class ThreadPhase : std::uint8_t { Unstarted, Running, Ended };
-    enum class EventPhase : std::uint8_t { Unsent, Pending, Running, Done };
-
-    /** True if @p op is admissible; commits its phase transition.
-     * False = dropped (counted; may fail the run via the budget). */
-    bool admitOp(const trace::Operation &op);
-    /** Count a tolerated causality-invariant violation; charges the
-     * same budget as dropped ops. */
-    void noteAnomaly(const char *what);
-    /** Degradation ladder (see DetectorConfig::memBudgetBytes). */
-    void relieveMemoryPressure(std::uint64_t now);
-    /** Rung 1: compact every async-before list (tombstones out,
-     * capacity returned) and run a full sweep. */
-    void aggressiveSweep();
-
-    // ----- op handlers ----------------------------------------------
-    void processOp(const trace::Operation &op, trace::OpId id);
-    void onThreadBegin(const trace::Operation &op);
-    void onThreadEnd(const trace::Operation &op);
-    void onSend(const trace::Operation &op);
-    void onRemove(const trace::Operation &op);
-    void onEventBegin(const trace::Operation &op, trace::OpId id);
-    void onEventEnd(const trace::Operation &op);
-
-    // ----- resolution helpers ---------------------------------------
-    /** Scratch result of one begin resolution. */
-    struct Resolution
-    {
-        VectorClock vc;
-        ACSet acs;
-        AtomicSet atomic;
-        /** Walk starts: the AsyncClock at send(E) for E's own queue,
-         * snapshotted before any non-send-ordered state is merged.
-         * The entry's event is processed directly (its async-before
-         * record may have been dominance-dropped); records strictly
-         * below its tick are walked. */
-        std::vector<std::pair<clock::ChainId, ACEntry>> starts;
-        /** Immediate predecessor events (greedy chain candidates). */
-        std::vector<EventRef> preds;
-        /** Per chain: walk reached the bottom with everything
-         * inherited (enables the begin-time AC reduction). */
-        FlatMap<std::uint8_t> fullyCovered;
-        FlatMap<clock::Tick> walkedTick;
-    };
-
-    /** Inherit a predecessor's end state into @p r, re-materializing
-     * the predecessor's own slot in its queue's AsyncClock (stripped
-     * from its end snapshot to avoid a self-reference cycle). */
-    void inheritEnd(Resolution &r, const EventRef &pred);
-    /** Walk async-before lists for a looper-queue event. */
-    void priorityResolve(EventMeta *m, Resolution &r);
-    /** Inherit begin states of binder predecessors. */
-    void binderResolve(EventMeta *m, Resolution &r);
-    /** Sent-at-front fixpoint step; true if anything was joined. */
-    bool atFrontFold(EventMeta *m, Resolution &r);
-    /** ATOMIC fold for an op of an event on @p looper; true if
-     * anything was joined. Clears folded entries. */
-    bool atomicFold(trace::ThreadId looper, const EventMeta *self,
-                    VectorClock &vc, ACSet &acs, AtomicSet &atomic);
-    /** Lazily resolve a removed event's logical time (section 5.3). */
-    void resolveRemoved(EventMeta *m);
-
-    ChainId newChain();
-    ChainId chooseChain(EventMeta *m, const Resolution &r);
-    /** The chain executing @p task right now. */
-    ChainId chainOf(trace::Task task) const;
-
-    Epoch tickChain(ChainId c);
-    void joinIntoChain(ChainId c, const Snapshot &snap);
-    /** Fold ATOMIC entries if @p task is an event on a looper. */
-    void maybeAtomicFold(trace::Task task);
-
-    // ----- scalability ----------------------------------------------
-    /** Drop heirless refcount-1 predecessors from @p m's end clock
-     * (multi-path reduction, section 4.1). When @p deferred is given,
-     * the dropped references are moved there instead of destroyed
-     * inline — required while walking the meta registry, where an
-     * inline destruction cascade could free the meta under iteration
-     * (metadata reference cycles are legal). */
-    void multiPathReduce(EventMeta *m,
-                         std::vector<EventRef> *deferred = nullptr);
-    void ageWindow(std::uint64_t now);
-    /** Fold the oldest ended event into its queue's window clock. */
-    void ageOneEnded();
-    /** Rung 3: age out every ended event regardless of window age. */
-    void drainEndedWindow();
-    void retireChain(ChainId c);
-    void gcSweep();
-    /** Begin-time dominance drop of the record adjacent below event
-     * @p m's own async-before record (see definition for the safety
-     * argument). */
-    void dominanceDrop(EventMeta *m);
-
-    std::unique_ptr<trace::TraceSource> owned_;
-    trace::TraceSource *source_;
-    report::AccessChecker &checker_;
-    DetectorConfig cfg_;
-    std::uint64_t cursor_ = 0;
-
-    std::vector<ChainState> chains_;
-    std::vector<ChainId> threadChain_;       ///< per thread
-    std::vector<ChainId> eventChain_;        ///< per event (resolved)
-    std::vector<Snapshot> forkSnap_;         ///< pending fork state
-    std::vector<bool> forkSnapValid_;
-    std::vector<Snapshot> threadEndState_;   ///< per ended thread
-    std::vector<Epoch> threadEndEpoch_;
-    std::vector<Snapshot> handleState_;      ///< per handle
-    std::vector<Snapshot> looperBegin_;      ///< per looper thread
-    /** Epoch of each looper's ThreadBegin: lets event begins skip the
-     * LOOPBEGIN join when already inherited transitively. */
-    std::vector<Epoch> looperBeginEpoch_;
-    std::vector<VectorClock> looperEndAccum_;
-
-    /** Active metadata handles: send->begin (pending) and
-     * begin->end (running). Dropped at end so reference counting can
-     * reclaim heirless events. */
-    std::vector<FlatMap<EventRef>> pending_;  ///< per queue
-    FlatMap<EventRef> running_;               ///< event id -> ref
-
-    std::vector<WindowClock> windowClock_;    ///< per queue
-    /** Ended events in end-time order, for aging. Weak so reference
-     * counting can still reclaim heirless events inside the window. */
-    std::deque<std::pair<std::uint64_t, WeakPtr<EventMeta>>>
-        endedQueue_;
-
-    /** Retired chains available for reuse, per queue (the new event
-     * joined that queue's window clock, which orders it after the
-     * retired chain's last event). */
-    std::vector<std::vector<ChainId>> freeByQueue_;
-    std::vector<ChainId> binderChains_;
-
-    /** With reclaimHeirless off ("no reclaiming" in Fig 9a), every
-     * event's metadata is pinned for the whole analysis. */
-    std::vector<EventRef> pinned_;
-
-    MetaRegistry registry_;
-    DetectorCounters counters_;
-    std::uint64_t opsSinceGc_ = 0;
-    /** Effective sweep cadence: gcIntervalOps, tightened to ≤512 when
-     * a memory budget is set (computed once — hot-path constant). */
-    std::uint64_t gcIntervalEff_ = 0;
-
-    std::vector<std::uint8_t> threadPhase_;   ///< per thread
-    std::vector<std::uint8_t> eventPhase_;    ///< per event
-    Status runStatus_ = Status::ok();
-
-    // ----- observability (inactive until attachObs) -----------------
-    /** processNext() with per-block span timing; kept out of line so
-     * the untraced hot path stays small. */
-    bool processNextTraced();
-    /** Emit the accumulated pump span, if any ops are pending. */
-    void flushPumpSpan();
-
-    obs::ObsContext obs_{};
-    /** Ops per "pump" span when tracing: coarse enough that a
-     * million-op run yields a loadable trace, fine enough to see
-     * throughput phases. */
-    static constexpr std::uint64_t kPumpSpanOps = 8192;
-    std::uint64_t pumpOps_ = 0;
-    std::uint64_t pumpStartUs_ = 0;
-    std::uint64_t pumpDecodeUs_ = 0;
-    std::uint64_t pumpResolveUs_ = 0;
+    }
 };
 
 } // namespace asyncclock::core

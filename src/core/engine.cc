@@ -1,0 +1,192 @@
+#include "core/engine.hh"
+
+#include "support/format.hh"
+
+namespace asyncclock::core {
+
+using trace::OpId;
+using trace::Operation;
+
+DetectorEngine::DetectorEngine(ModelKind model, trace::TraceSource &src,
+                               report::AccessChecker &checker,
+                               DetectorConfig cfg)
+    : source_(&src), checker_(checker), cfg_(cfg)
+{
+    clock::setDefaultBackend(cfg_.clockBackend);
+    gcIntervalEff_ = (cfg_.memBudgetBytes > 0 && cfg_.gcIntervalOps > 512)
+                         ? 512
+                         : cfg_.gcIntervalOps;
+    model_ = makeModel(model, *this);
+    model_->syncEntities();
+}
+
+DetectorEngine::DetectorEngine(ModelKind model, const trace::Trace &tr,
+                               report::AccessChecker &checker,
+                               DetectorConfig cfg)
+    : owned_(std::make_unique<trace::MaterializedSource>(tr)),
+      source_(owned_.get()), checker_(checker), cfg_(cfg)
+{
+    clock::setDefaultBackend(cfg_.clockBackend);
+    gcIntervalEff_ = (cfg_.memBudgetBytes > 0 && cfg_.gcIntervalOps > 512)
+                         ? 512
+                         : cfg_.gcIntervalOps;
+    model_ = makeModel(model, *this);
+    model_->syncEntities();
+}
+
+DetectorEngine::~DetectorEngine() = default;
+
+void
+DetectorEngine::flushPumpSpan()
+{
+    if (pumpOps_ == 0)
+        return;
+    obs_.tracer->span(
+        obs::kMainTrack, "pump", pumpStartUs_, obs_.tracer->nowUs(),
+        strf("{\"ops\":%llu,\"decode_us\":%llu,\"resolve_us\":%llu}",
+             static_cast<unsigned long long>(pumpOps_),
+             static_cast<unsigned long long>(pumpDecodeUs_),
+             static_cast<unsigned long long>(pumpResolveUs_)));
+    pumpOps_ = 0;
+    pumpDecodeUs_ = 0;
+    pumpResolveUs_ = 0;
+}
+
+bool
+DetectorEngine::processNext()
+{
+    if (!runStatus_.isOk()) [[unlikely]]
+        return false;
+    if (obs_.tracer) [[unlikely]]
+        return processNextTraced();
+    Operation op;
+    if (!source_->next(op))
+        return false;
+    model_->syncEntities();
+    processOp(op, static_cast<OpId>(cursor_));
+    ++cursor_;
+    return true;
+}
+
+bool
+DetectorEngine::processNextTraced()
+{
+    // Traced pump: split the per-op cost into decode (pulling from
+    // the source) and resolve (the causality machinery), aggregated
+    // into one span per kPumpSpanOps block.
+    if (!runStatus_.isOk()) [[unlikely]]
+        return false;
+    Operation op;
+    std::uint64_t t0 = obs_.tracer->nowUs();
+    if (pumpOps_ == 0)
+        pumpStartUs_ = t0;
+    bool got = source_->next(op);
+    std::uint64_t t1 = obs_.tracer->nowUs();
+    pumpDecodeUs_ += t1 - t0;
+    if (!got) {
+        flushPumpSpan();
+        return false;
+    }
+    model_->syncEntities();
+    processOp(op, static_cast<OpId>(cursor_));
+    ++cursor_;
+    pumpResolveUs_ += obs_.tracer->nowUs() - t1;
+    if (++pumpOps_ >= kPumpSpanOps)
+        flushPumpSpan();
+    return true;
+}
+
+void
+DetectorEngine::processOp(const Operation &op, OpId id)
+{
+    if (!model_->admitOp(op)) [[unlikely]]
+        return;
+    model_->applyOp(op, id);
+
+    if (cfg_.windowMs > 0)
+        model_->ageWindow(op.vtime);
+    if (++opsSinceGc_ >= gcIntervalEff_) {
+        opsSinceGc_ = 0;
+        {
+            obs::ScopedSpan span(obs_.tracer, obs::kMainTrack,
+                                 "gc_sweep");
+            model_->gcSweep();
+        }
+        // Memory-pressure check rides the GC cadence: modelBytes()
+        // walks all live metadata, far too costly per op.
+        if (cfg_.memBudgetBytes > 0)
+            model_->relieveMemoryPressure(op.vtime);
+    }
+    model_->syncDerivedCounters();
+}
+
+std::uint64_t
+DetectorEngine::metadataBytes() const
+{
+    return model_->modelBytes() + checker_.byteSize();
+}
+
+void
+DetectorEngine::sampleMemory(MemStats &stats) const
+{
+    model_->sampleMemory(stats);
+}
+
+void
+DetectorEngine::attachObs(const obs::ObsContext &ctx)
+{
+    obs_ = ctx;
+    if (!obs_.metrics)
+        return;
+    obs::MetricsRegistry &reg = *obs_.metrics;
+    const DetectorCounters *c = &counters_;
+    reg.counterFn("detector.ops_processed",
+                  [this] { return cursor_; });
+    reg.counterFn("detector.events_seen",
+                  [c] { return c->eventsSeen; });
+    reg.counterFn("detector.reclaimed_refcount",
+                  [c] { return c->reclaimedRefcount; });
+    reg.counterFn("detector.reclaimed_multipath",
+                  [c] { return c->reclaimedMultiPath; });
+    reg.counterFn("detector.invalidated_by_window",
+                  [c] { return c->invalidatedByWindow; });
+    reg.counterFn("detector.chains_created",
+                  [c] { return c->chainsCreated; });
+    reg.counterFn("detector.chains_reused",
+                  [c] { return c->chainsReused; });
+    reg.counterFn("detector.gc_sweeps", [c] { return c->gcSweeps; });
+    reg.counterFn("detector.walk_steps",
+                  [c] { return c->walkSteps; });
+    reg.counterFn("detector.walk_early_stops",
+                  [c] { return c->walkEarlyStops; });
+    reg.counterFn("detector.clock_ticks",
+                  [c] { return c->clockTicks; });
+    reg.counterFn("detector.clock_joins",
+                  [c] { return c->clockJoins; });
+    reg.counterFn("detector.invalid_ops_dropped",
+                  [c] { return c->invalidOpsDropped; });
+    reg.counterFn("detector.causal_anomalies",
+                  [c] { return c->causalAnomalies; });
+    reg.counterFn("detector.pressure_gc_sweeps",
+                  [c] { return c->pressureGcSweeps; });
+    reg.counterFn("detector.pressure_window_shrinks",
+                  [c] { return c->pressureWindowShrinks; });
+    reg.counterFn("detector.pressure_invalidations",
+                  [c] { return c->pressureInvalidations; });
+    for (unsigned lvl = 0; lvl < 4; ++lvl) {
+        reg.counterFn(strf("detector.fifo_level_%u", lvl),
+                      [c, lvl] { return c->fifoLevel[lvl]; });
+    }
+    reg.gaugeFn("detector.events_live", [c] {
+        return static_cast<std::int64_t>(c->eventsLive);
+    });
+    reg.gaugeFn("detector.events_live_peak", [c] {
+        return static_cast<std::int64_t>(c->eventsLivePeak);
+    });
+    reg.gaugeFn("detector.chains", [this] {
+        return static_cast<std::int64_t>(model_->numChains());
+    });
+    model_->registerModelMetrics(reg);
+}
+
+} // namespace asyncclock::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The model-agnostic detection engine.
+ *
+ * DetectorEngine is the mechanism half of the model/mechanism split
+ * (see core/model.hh): it owns the trace source, the access checker
+ * reference, the run configuration and status, the op cursor, the
+ * shared DetectorCounters, the GC/memory-pressure cadence, and the
+ * observability plumbing (pump spans, detector.* metrics). All
+ * happens-before semantics live in the plugged-in CausalityModel.
+ *
+ * AsyncClockDetector (core/detector.hh) is the backwards-compatible
+ * facade: a DetectorEngine constructed with ModelKind::Looper.
+ */
+
+#ifndef ASYNCCLOCK_CORE_ENGINE_HH
+#define ASYNCCLOCK_CORE_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/config.hh"
+#include "core/model.hh"
+#include "obs/obs.hh"
+#include "report/checker.hh"
+#include "report/detector.hh"
+#include "support/status.hh"
+#include "trace/source.hh"
+#include "trace/trace.hh"
+
+namespace asyncclock::core {
+
+class DetectorEngine : public report::Detector
+{
+  public:
+    /** Stream operations from @p src under causality model @p model.
+     * @p src and @p checker must outlive the engine. */
+    DetectorEngine(ModelKind model, trace::TraceSource &src,
+                   report::AccessChecker &checker,
+                   DetectorConfig cfg = {});
+
+    /** Convenience over a materialized trace (owns a
+     * MaterializedSource internally). @p tr and @p checker must
+     * outlive the engine. */
+    DetectorEngine(ModelKind model, const trace::Trace &tr,
+                   report::AccessChecker &checker,
+                   DetectorConfig cfg = {});
+    ~DetectorEngine() override;
+
+    bool processNext() override;
+    std::uint64_t opsProcessed() const override { return cursor_; }
+    std::uint64_t metadataBytes() const override;
+    void sampleMemory(MemStats &stats) const override;
+
+    /**
+     * Attach an observability context. With metrics: every
+     * DetectorCounters field plus ops/chain gauges become callback
+     * metrics (the hot path keeps bumping the plain struct; the
+     * registry reads it at snapshot time, so the registry must not be
+     * snapshotted after this engine dies), and the model registers
+     * its model.* metrics. With a tracer: "pump" spans on the main
+     * track covering blocks of processed ops (with decode/resolve
+     * cost split in args) and a span per GC sweep. Call before the
+     * first processNext().
+     */
+    void attachObs(const obs::ObsContext &ctx);
+
+    /**
+     * Structured health of the run. Ok while healthy; BudgetExceeded
+     * once maxInvalidOps protocol-invalid operations were dropped
+     * (processNext() then returns false). A non-ok status means the
+     * race report is best-effort, not authoritative.
+     */
+    const Status &runStatus() const { return runStatus_; }
+
+    const DetectorCounters &counters() const { return counters_; }
+    /** Number of chains ever created (clock dimension). */
+    std::uint32_t numChains() const { return model_->numChains(); }
+
+    /** The causality model this engine hosts. */
+    ModelKind modelKind() const { return model_->kind(); }
+
+    // ----- services for the plugged-in model ------------------------
+    /** Entity tables seen so far by the source. */
+    const trace::TraceMeta &meta() const { return source_->meta(); }
+    report::AccessChecker &checker() { return checker_; }
+    /** Mutable: the pressure ladder shrinks cfg().windowMs. */
+    DetectorConfig &cfg() { return cfg_; }
+    DetectorCounters &countersMut() { return counters_; }
+    /** Fail the run with a structured status (budget exhaustion). */
+    void failRun(Status st) { runStatus_ = std::move(st); }
+    /** Attached tracer, or null (for model-specific spans). */
+    obs::Tracer *tracer() const { return obs_.tracer; }
+
+  private:
+    void processOp(const trace::Operation &op, trace::OpId id);
+
+    // ----- observability (inactive until attachObs) -----------------
+    /** processNext() with per-block span timing; kept out of line so
+     * the untraced hot path stays small. */
+    bool processNextTraced();
+    /** Emit the accumulated pump span, if any ops are pending. */
+    void flushPumpSpan();
+
+    std::unique_ptr<trace::TraceSource> owned_;
+    trace::TraceSource *source_;
+    report::AccessChecker &checker_;
+    DetectorConfig cfg_;
+    std::uint64_t cursor_ = 0;
+
+    DetectorCounters counters_;
+    std::uint64_t opsSinceGc_ = 0;
+    /** Effective sweep cadence: gcIntervalOps, tightened to ≤512 when
+     * a memory budget is set (computed once — hot-path constant). */
+    std::uint64_t gcIntervalEff_ = 0;
+    Status runStatus_ = Status::ok();
+
+    /** The model; declared after every service it borrows so it is
+     * destroyed first. */
+    std::unique_ptr<CausalityModel> model_;
+
+    obs::ObsContext obs_{};
+    /** Ops per "pump" span when tracing: coarse enough that a
+     * million-op run yields a loadable trace, fine enough to see
+     * throughput phases. */
+    static constexpr std::uint64_t kPumpSpanOps = 8192;
+    std::uint64_t pumpOps_ = 0;
+    std::uint64_t pumpStartUs_ = 0;
+    std::uint64_t pumpDecodeUs_ = 0;
+    std::uint64_t pumpResolveUs_ = 0;
+};
+
+} // namespace asyncclock::core
+
+#endif // ASYNCCLOCK_CORE_ENGINE_HH

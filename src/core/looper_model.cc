@@ -1,4 +1,4 @@
-#include "core/detector.hh"
+#include "core/looper_model.hh"
 
 #include <algorithm>
 
@@ -59,7 +59,7 @@ stopsWalk(const trace::SendAttrs &found, const trace::SendAttrs &target)
 } // namespace
 
 std::uint64_t
-AsyncClockDetector::ChainState::byteSize() const
+LooperModel::ChainState::byteSize() const
 {
     std::uint64_t total = sizeof(ChainState) + vc.byteSize() +
                           acSetBytes(acs) + atomicSetBytes(atomic) +
@@ -70,31 +70,15 @@ AsyncClockDetector::ChainState::byteSize() const
     return total;
 }
 
-AsyncClockDetector::AsyncClockDetector(trace::TraceSource &src,
-                                       report::AccessChecker &checker,
-                                       DetectorConfig cfg)
-    : source_(&src), checker_(checker), cfg_(cfg)
+LooperModel::LooperModel(DetectorEngine &engine)
+    : engine_(engine), checker_(engine.checker()), cfg_(engine.cfg()),
+      counters_(engine.countersMut())
 {
-    clock::setDefaultBackend(cfg_.clockBackend);
-    syncEntities();
-}
-
-AsyncClockDetector::AsyncClockDetector(const trace::Trace &tr,
-                                       report::AccessChecker &checker,
-                                       DetectorConfig cfg)
-    : owned_(std::make_unique<trace::MaterializedSource>(tr)),
-      source_(owned_.get()), checker_(checker), cfg_(cfg)
-{
-    clock::setDefaultBackend(cfg_.clockBackend);
-    syncEntities();
 }
 
 void
-AsyncClockDetector::syncEntities()
+LooperModel::syncEntities()
 {
-    gcIntervalEff_ = (cfg_.memBudgetBytes > 0 && cfg_.gcIntervalOps > 512)
-                         ? 512
-                         : cfg_.gcIntervalOps;
     const trace::TraceMeta &m = meta();
     std::size_t nt = m.threads().size();
     if (threadChain_.size() < nt) {
@@ -127,14 +111,14 @@ AsyncClockDetector::syncEntities()
         handleState_.resize(nh);
 }
 
-AsyncClockDetector::~AsyncClockDetector()
+LooperModel::~LooperModel()
 {
     // Event metadata may form reference cycles (mutual AsyncClock
     // entries), which plain member destruction would leak. Drain
     // every meta's outgoing references into one vector first — moving
     // them frees nothing and keeps the registry stable — then let the
     // vector's destruction cascade; with no cycles left, the
-    // remaining references die with the detector's members.
+    // remaining references die with the model's members.
     std::vector<EventRef> drained;
     auto drainACs = [&drained](ACSet &acs) {
         acs.forEach([&drained](std::uint32_t, AsyncClock &ac) {
@@ -168,7 +152,7 @@ AsyncClockDetector::~AsyncClockDetector()
 }
 
 clock::ChainId
-AsyncClockDetector::newChain()
+LooperModel::newChain()
 {
     chains_.emplace_back();
     ++counters_.chainsCreated;
@@ -176,14 +160,14 @@ AsyncClockDetector::newChain()
 }
 
 clock::ChainId
-AsyncClockDetector::chainOf(Task task) const
+LooperModel::chainOf(Task task) const
 {
     return task.isEvent() ? eventChain_[task.index()]
                           : threadChain_[task.index()];
 }
 
 Epoch
-AsyncClockDetector::tickChain(ChainId c)
+LooperModel::tickChain(ChainId c)
 {
     ChainState &ch = chains_[c];
     clock::Tick t = ++ch.tick;
@@ -193,7 +177,7 @@ AsyncClockDetector::tickChain(ChainId c)
 }
 
 void
-AsyncClockDetector::joinIntoChain(ChainId c, const Snapshot &snap)
+LooperModel::joinIntoChain(ChainId c, const Snapshot &snap)
 {
     ChainState &ch = chains_[c];
     ch.vc.joinWith(snap.vc);
@@ -202,124 +186,8 @@ AsyncClockDetector::joinIntoChain(ChainId c, const Snapshot &snap)
     joinAtomicSet(ch.atomic, snap.atomic);
 }
 
-void
-AsyncClockDetector::attachObs(const obs::ObsContext &ctx)
-{
-    obs_ = ctx;
-    if (!obs_.metrics)
-        return;
-    obs::MetricsRegistry &reg = *obs_.metrics;
-    const DetectorCounters *c = &counters_;
-    reg.counterFn("detector.ops_processed",
-                  [this] { return cursor_; });
-    reg.counterFn("detector.events_seen",
-                  [c] { return c->eventsSeen; });
-    reg.counterFn("detector.reclaimed_refcount",
-                  [c] { return c->reclaimedRefcount; });
-    reg.counterFn("detector.reclaimed_multipath",
-                  [c] { return c->reclaimedMultiPath; });
-    reg.counterFn("detector.invalidated_by_window",
-                  [c] { return c->invalidatedByWindow; });
-    reg.counterFn("detector.chains_created",
-                  [c] { return c->chainsCreated; });
-    reg.counterFn("detector.chains_reused",
-                  [c] { return c->chainsReused; });
-    reg.counterFn("detector.gc_sweeps", [c] { return c->gcSweeps; });
-    reg.counterFn("detector.walk_steps",
-                  [c] { return c->walkSteps; });
-    reg.counterFn("detector.walk_early_stops",
-                  [c] { return c->walkEarlyStops; });
-    reg.counterFn("detector.clock_ticks",
-                  [c] { return c->clockTicks; });
-    reg.counterFn("detector.clock_joins",
-                  [c] { return c->clockJoins; });
-    reg.counterFn("detector.invalid_ops_dropped",
-                  [c] { return c->invalidOpsDropped; });
-    reg.counterFn("detector.causal_anomalies",
-                  [c] { return c->causalAnomalies; });
-    reg.counterFn("detector.pressure_gc_sweeps",
-                  [c] { return c->pressureGcSweeps; });
-    reg.counterFn("detector.pressure_window_shrinks",
-                  [c] { return c->pressureWindowShrinks; });
-    reg.counterFn("detector.pressure_invalidations",
-                  [c] { return c->pressureInvalidations; });
-    for (unsigned lvl = 0; lvl < 4; ++lvl) {
-        reg.counterFn(strf("detector.fifo_level_%u", lvl),
-                      [c, lvl] { return c->fifoLevel[lvl]; });
-    }
-    reg.gaugeFn("detector.events_live", [c] {
-        return static_cast<std::int64_t>(c->eventsLive);
-    });
-    reg.gaugeFn("detector.events_live_peak", [c] {
-        return static_cast<std::int64_t>(c->eventsLivePeak);
-    });
-    reg.gaugeFn("detector.chains", [this] {
-        return static_cast<std::int64_t>(chains_.size());
-    });
-}
-
-void
-AsyncClockDetector::flushPumpSpan()
-{
-    if (pumpOps_ == 0)
-        return;
-    obs_.tracer->span(
-        obs::kMainTrack, "pump", pumpStartUs_, obs_.tracer->nowUs(),
-        strf("{\"ops\":%llu,\"decode_us\":%llu,\"resolve_us\":%llu}",
-             static_cast<unsigned long long>(pumpOps_),
-             static_cast<unsigned long long>(pumpDecodeUs_),
-             static_cast<unsigned long long>(pumpResolveUs_)));
-    pumpOps_ = 0;
-    pumpDecodeUs_ = 0;
-    pumpResolveUs_ = 0;
-}
-
 bool
-AsyncClockDetector::processNext()
-{
-    if (!runStatus_.isOk()) [[unlikely]]
-        return false;
-    if (obs_.tracer) [[unlikely]]
-        return processNextTraced();
-    Operation op;
-    if (!source_->next(op))
-        return false;
-    syncEntities();
-    processOp(op, static_cast<OpId>(cursor_));
-    ++cursor_;
-    return true;
-}
-
-bool
-AsyncClockDetector::processNextTraced()
-{
-    // Traced pump: split the per-op cost into decode (pulling from
-    // the source) and resolve (the causality machinery), aggregated
-    // into one span per kPumpSpanOps block.
-    if (!runStatus_.isOk()) [[unlikely]]
-        return false;
-    Operation op;
-    std::uint64_t t0 = obs_.tracer->nowUs();
-    if (pumpOps_ == 0)
-        pumpStartUs_ = t0;
-    bool got = source_->next(op);
-    std::uint64_t t1 = obs_.tracer->nowUs();
-    pumpDecodeUs_ += t1 - t0;
-    if (!got) {
-        flushPumpSpan();
-        return false;
-    }
-    syncEntities();
-    processOp(op, static_cast<OpId>(cursor_));
-    ++cursor_;
-    pumpResolveUs_ += obs_.tracer->nowUs() - t1;
-    if (++pumpOps_ >= kPumpSpanOps)
-        flushPumpSpan();
-    return true;
-}
-
-bool
-AsyncClockDetector::admitOp(const Operation &op)
+LooperModel::admitOp(const Operation &op)
 {
     const char *why = nullptr;
     if (op.task.isEvent()) {
@@ -353,21 +221,29 @@ AsyncClockDetector::admitOp(const Operation &op)
             EventPhase::Pending) {
         why = "remove of an event that is not pending";
     }
+    if (!why && (op.kind == OpKind::TaskSpawn ||
+                 op.kind == OpKind::TaskAwait ||
+                 op.kind == OpKind::ScopeEnd ||
+                 op.kind == OpKind::TaskCancel)) {
+        why = "async-dialect op under the looper model";
+    }
     if (why) {
         ++counters_.invalidOpsDropped;
         warnRateLimited(
             "detector.invalid_op",
             strf("dropping protocol-invalid op at index %llu: %s",
-                 static_cast<unsigned long long>(cursor_), why));
+                 static_cast<unsigned long long>(
+                     engine_.opsProcessed()),
+                 why));
         if (counters_.invalidOpsDropped > cfg_.maxInvalidOps) {
-            runStatus_ = Status::error(
+            engine_.failRun(Status::error(
                 ErrCode::BudgetExceeded,
                 strf("invalid-op budget exhausted after %llu dropped "
                      "operations; last: %s",
                      static_cast<unsigned long long>(
                          counters_.invalidOpsDropped),
                      why),
-                cursor_);
+                engine_.opsProcessed()));
         }
         return false;
     }
@@ -403,7 +279,7 @@ AsyncClockDetector::admitOp(const Operation &op)
 }
 
 void
-AsyncClockDetector::noteAnomaly(const char *what)
+LooperModel::noteAnomaly(const char *what)
 {
     ++counters_.causalAnomalies;
     warnRateLimited("detector.causal_anomaly",
@@ -413,8 +289,8 @@ AsyncClockDetector::noteAnomaly(const char *what)
     // fails fast instead of producing a confident garbage report.
     if (counters_.causalAnomalies + counters_.invalidOpsDropped >
             cfg_.maxInvalidOps &&
-        runStatus_.isOk()) {
-        runStatus_ = Status::error(
+        engine_.runStatus().isOk()) {
+        engine_.failRun(Status::error(
             ErrCode::BudgetExceeded,
             strf("anomaly budget exhausted (%llu anomalies, %llu "
                  "dropped ops); last: %s",
@@ -423,15 +299,13 @@ AsyncClockDetector::noteAnomaly(const char *what)
                  static_cast<unsigned long long>(
                      counters_.invalidOpsDropped),
                  what),
-            cursor_);
+            engine_.opsProcessed()));
     }
 }
 
 void
-AsyncClockDetector::processOp(const Operation &op, OpId id)
+LooperModel::applyOp(const Operation &op, OpId id)
 {
-    if (!admitOp(op)) [[unlikely]]
-        return;
     switch (op.kind) {
       case OpKind::ThreadBegin:
         onThreadBegin(op);
@@ -504,22 +378,14 @@ AsyncClockDetector::processOp(const Operation &op, OpId id)
       case OpKind::EventEnd:
         onEventEnd(op);
         break;
+      default:
+        break;  // async-dialect ops are rejected by admitOp
     }
+}
 
-    if (cfg_.windowMs > 0)
-        ageWindow(op.vtime);
-    if (++opsSinceGc_ >= gcIntervalEff_) {
-        opsSinceGc_ = 0;
-        {
-            obs::ScopedSpan span(obs_.tracer, obs::kMainTrack,
-                                 "gc_sweep");
-            gcSweep();
-        }
-        // Memory-pressure check rides the GC cadence: metadataBytes()
-        // walks all live metadata, far too costly per op.
-        if (cfg_.memBudgetBytes > 0)
-            relieveMemoryPressure(op.vtime);
-    }
+void
+LooperModel::syncDerivedCounters()
+{
     counters_.eventsLive = registry_.live;
     counters_.eventsLivePeak = registry_.livePeak;
     counters_.reclaimedRefcount =
@@ -527,7 +393,16 @@ AsyncClockDetector::processOp(const Operation &op, OpId id)
 }
 
 void
-AsyncClockDetector::onThreadBegin(const Operation &op)
+LooperModel::registerModelMetrics(obs::MetricsRegistry &reg)
+{
+    // The looper model predates the model seam; its state is fully
+    // described by the engine's detector.* metrics, and adding
+    // model.* aliases would churn every existing metrics consumer.
+    (void)reg;
+}
+
+void
+LooperModel::onThreadBegin(const Operation &op)
 {
     ThreadId t = op.task.index();
     ChainId c = newChain();
@@ -550,7 +425,7 @@ AsyncClockDetector::onThreadBegin(const Operation &op)
 }
 
 void
-AsyncClockDetector::onThreadEnd(const Operation &op)
+LooperModel::onThreadEnd(const Operation &op)
 {
     ThreadId t = op.task.index();
     ChainId c = threadChain_[t];
@@ -568,7 +443,7 @@ AsyncClockDetector::onThreadEnd(const Operation &op)
 }
 
 void
-AsyncClockDetector::dominanceDrop(EventMeta *m)
+LooperModel::dominanceDrop(EventMeta *m)
 {
     // Drop the async-before record *immediately below* event m's own
     // record when it has m's class and time constraint: every future
@@ -608,7 +483,7 @@ AsyncClockDetector::dominanceDrop(EventMeta *m)
 }
 
 void
-AsyncClockDetector::onSend(const Operation &op)
+LooperModel::onSend(const Operation &op)
 {
     ChainId c = chainOf(op.task);
     Epoch sendEpoch = tickChain(c);
@@ -650,7 +525,7 @@ AsyncClockDetector::onSend(const Operation &op)
 }
 
 void
-AsyncClockDetector::onRemove(const Operation &op)
+LooperModel::onRemove(const Operation &op)
 {
     ChainId c = chainOf(op.task);
     tickChain(c);
@@ -665,7 +540,7 @@ AsyncClockDetector::onRemove(const Operation &op)
 }
 
 void
-AsyncClockDetector::resolveRemoved(EventMeta *m)
+LooperModel::resolveRemoved(EventMeta *m)
 {
     if (m->resolvedRemoved)
         return;
@@ -681,7 +556,7 @@ AsyncClockDetector::resolveRemoved(EventMeta *m)
 }
 
 void
-AsyncClockDetector::inheritEnd(Resolution &r, const EventRef &predRef)
+LooperModel::inheritEnd(Resolution &r, const EventRef &predRef)
 {
     EventMeta *pred = predRef.get();
     r.vc.joinWith(pred->endVC);
@@ -697,7 +572,7 @@ AsyncClockDetector::inheritEnd(Resolution &r, const EventRef &predRef)
 }
 
 void
-AsyncClockDetector::priorityResolve(EventMeta *m, Resolution &r)
+LooperModel::priorityResolve(EventMeta *m, Resolution &r)
 {
     const trace::SendAttrs &target = m->attrs;
     // Walk starts come from the AsyncClock at send(E) only — entries
@@ -864,7 +739,7 @@ AsyncClockDetector::priorityResolve(EventMeta *m, Resolution &r)
 }
 
 void
-AsyncClockDetector::binderResolve(EventMeta *m, Resolution &r)
+LooperModel::binderResolve(EventMeta *m, Resolution &r)
 {
     // Binder rule: begins follow sends; inherit the *begin* state of
     // the latest non-removed send per chain.
@@ -918,7 +793,7 @@ AsyncClockDetector::binderResolve(EventMeta *m, Resolution &r)
 }
 
 bool
-AsyncClockDetector::atFrontFold(EventMeta *m, Resolution &r)
+LooperModel::atFrontFold(EventMeta *m, Resolution &r)
 {
     bool changed = false;
     for (EventRef &ref : m->sentAtFront) {
@@ -943,9 +818,8 @@ AsyncClockDetector::atFrontFold(EventMeta *m, Resolution &r)
 }
 
 bool
-AsyncClockDetector::atomicFold(ThreadId looper, const EventMeta *self,
-                               VectorClock &vc, ACSet &acs,
-                               AtomicSet &atomic)
+LooperModel::atomicFold(ThreadId looper, const EventMeta *self,
+                        VectorClock &vc, ACSet &acs, AtomicSet &atomic)
 {
     AtomicClock *ac = atomic.find(looper);
     if (!ac || ac->empty())
@@ -990,7 +864,7 @@ AsyncClockDetector::atomicFold(ThreadId looper, const EventMeta *self,
 }
 
 void
-AsyncClockDetector::maybeAtomicFold(Task task)
+LooperModel::maybeAtomicFold(Task task)
 {
     if (!task.isEvent())
         return;
@@ -1006,7 +880,7 @@ AsyncClockDetector::maybeAtomicFold(Task task)
 }
 
 clock::ChainId
-AsyncClockDetector::chooseChain(EventMeta *m, const Resolution &r)
+LooperModel::chooseChain(EventMeta *m, const Resolution &r)
 {
     const bool binder =
         meta().queue(m->queue).kind == QueueKind::Binder;
@@ -1092,7 +966,7 @@ AsyncClockDetector::chooseChain(EventMeta *m, const Resolution &r)
 }
 
 void
-AsyncClockDetector::onEventBegin(const Operation &op, OpId id)
+LooperModel::onEventBegin(const Operation &op, OpId id)
 {
     (void)id;
     EventId e = op.task.index();
@@ -1184,7 +1058,8 @@ AsyncClockDetector::onEventBegin(const Operation &op, OpId id)
     ch.atomic = std::move(r.atomic);
 
     // Begin-time AC reduction (section 3.3), restricted to chains the
-    // walk verified as fully inherited (see detector.hh header note).
+    // walk verified as fully inherited (see looper_model.hh header
+    // note).
     if (AsyncClock *ownAc = ch.acs.find(m->queue)) {
         const VectorClock &vc = ch.vc;
         ownAc->eraseIf([&](ChainId i, ACEntry &entry) {
@@ -1239,7 +1114,7 @@ AsyncClockDetector::onEventBegin(const Operation &op, OpId id)
 }
 
 void
-AsyncClockDetector::onEventEnd(const Operation &op)
+LooperModel::onEventEnd(const Operation &op)
 {
     EventId e = op.task.index();
     EventRef *rref = running_.find(e);
@@ -1298,8 +1173,8 @@ AsyncClockDetector::onEventEnd(const Operation &op)
 }
 
 void
-AsyncClockDetector::multiPathReduce(EventMeta *m,
-                                    std::vector<EventRef> *deferred)
+LooperModel::multiPathReduce(EventMeta *m,
+                             std::vector<EventRef> *deferred)
 {
     m->endACs.forEach([&](std::uint32_t, AsyncClock &ac) {
         ac.eraseIf([&](ChainId, ACEntry &entry) {
@@ -1317,7 +1192,7 @@ AsyncClockDetector::multiPathReduce(EventMeta *m,
 }
 
 void
-AsyncClockDetector::retireChain(ChainId c)
+LooperModel::retireChain(ChainId c)
 {
     ChainState &ch = chains_[c];
     if (ch.retired)
@@ -1335,7 +1210,7 @@ AsyncClockDetector::retireChain(ChainId c)
 }
 
 void
-AsyncClockDetector::ageWindow(std::uint64_t now)
+LooperModel::ageWindow(std::uint64_t now)
 {
     while (!endedQueue_.empty() &&
            endedQueue_.front().first + cfg_.windowMs < now) {
@@ -1344,14 +1219,14 @@ AsyncClockDetector::ageWindow(std::uint64_t now)
 }
 
 void
-AsyncClockDetector::drainEndedWindow()
+LooperModel::drainEndedWindow()
 {
     while (!endedQueue_.empty())
         ageOneEnded();
 }
 
 void
-AsyncClockDetector::ageOneEnded()
+LooperModel::ageOneEnded()
 {
     WeakPtr<EventMeta> weak = std::move(endedQueue_.front().second);
     endedQueue_.pop_front();
@@ -1386,7 +1261,7 @@ AsyncClockDetector::ageOneEnded()
 }
 
 void
-AsyncClockDetector::gcSweep()
+LooperModel::gcSweep()
 {
     ++counters_.gcSweeps;
     auto cleanseAC = [](ACSet &acs) {
@@ -1493,7 +1368,7 @@ AsyncClockDetector::gcSweep()
 }
 
 void
-AsyncClockDetector::aggressiveSweep()
+LooperModel::aggressiveSweep()
 {
     // The scheduled sweep trades compaction for speed (tombstones are
     // only removed when they dominate, capacity is never returned).
@@ -1523,22 +1398,19 @@ AsyncClockDetector::aggressiveSweep()
 }
 
 void
-AsyncClockDetector::relieveMemoryPressure(std::uint64_t now)
+LooperModel::relieveMemoryPressure(std::uint64_t now)
 {
     // Checker bytes are deliberately excluded (see the config doc):
     // the ladder must fire identically when a checkpointed run is
     // replayed against a restored checker.
-    auto detectorBytes = [this] {
-        return metadataBytes() - checker_.byteSize();
-    };
-    if (detectorBytes() <= cfg_.memBudgetBytes)
+    if (modelBytes() <= cfg_.memBudgetBytes)
         return;
 
     // Rung 1: aggressive sweep — reclaim everything reclaimable
     // without any recall impact.
     aggressiveSweep();
     ++counters_.pressureGcSweeps;
-    if (detectorBytes() <= cfg_.memBudgetBytes)
+    if (modelBytes() <= cfg_.memBudgetBytes)
         return;
 
     // Rung 2: halve the time window (down to the floor) and age the
@@ -1550,7 +1422,7 @@ AsyncClockDetector::relieveMemoryPressure(std::uint64_t now)
         ageWindow(now);
         gcSweep();
         ++counters_.pressureWindowShrinks;
-        if (detectorBytes() <= cfg_.memBudgetBytes)
+        if (modelBytes() <= cfg_.memBudgetBytes)
             return;
     }
 
@@ -1566,7 +1438,7 @@ AsyncClockDetector::relieveMemoryPressure(std::uint64_t now)
 }
 
 std::uint64_t
-AsyncClockDetector::metadataBytes() const
+LooperModel::modelBytes() const
 {
     std::uint64_t total = 0;
     for (const ChainState &ch : chains_)
@@ -1589,12 +1461,11 @@ AsyncClockDetector::metadataBytes() const
         total += p.byteSize();
     total += running_.byteSize();
     total += endedQueue_.size() * sizeof(endedQueue_.front());
-    total += checker_.byteSize();
     return total;
 }
 
 void
-AsyncClockDetector::sampleMemory(MemStats &stats) const
+LooperModel::sampleMemory(MemStats &stats) const
 {
     std::uint64_t metaBytes = 0;
     for (const EventMeta *m = registry_.head; m; m = m->next)
@@ -1605,8 +1476,7 @@ AsyncClockDetector::sampleMemory(MemStats &stats) const
     stats.sample(MemCat::EventMeta, metaBytes);
     stats.sample(MemCat::AsyncClock, chainBytes);
     stats.sample(MemCat::VarState, checker_.byteSize());
-    stats.sample(MemCat::Other, metadataBytes() - metaBytes -
-                                    chainBytes - checker_.byteSize());
+    stats.sample(MemCat::Other, modelBytes() - metaBytes - chainBytes);
 }
 
 } // namespace asyncclock::core

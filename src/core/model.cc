@@ -1,0 +1,52 @@
+#include "core/model.hh"
+
+#include "core/async_model.hh"
+#include "core/looper_model.hh"
+#include "support/logging.hh"
+
+namespace asyncclock::core {
+
+const char *
+modelName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Looper: return "looper";
+      case ModelKind::Async: return "async";
+    }
+    return "?";
+}
+
+bool
+parseModelName(const std::string &name, ModelKind &out)
+{
+    if (name == "looper") {
+        out = ModelKind::Looper;
+        return true;
+    }
+    if (name == "async") {
+        out = ModelKind::Async;
+        return true;
+    }
+    return false;
+}
+
+ModelKind
+modelForDialect(trace::Dialect d)
+{
+    return d == trace::Dialect::Async ? ModelKind::Async
+                                      : ModelKind::Looper;
+}
+
+std::unique_ptr<CausalityModel>
+makeModel(ModelKind kind, DetectorEngine &engine)
+{
+    switch (kind) {
+      case ModelKind::Looper:
+        return std::make_unique<LooperModel>(engine);
+      case ModelKind::Async:
+        return std::make_unique<AsyncTaskModel>(engine);
+    }
+    panic("makeModel: unknown ModelKind");
+}
+
+} // namespace asyncclock::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The causality-model seam: what varies between event-loop dialects.
+ *
+ * The detection *mechanism* — pulling operations from a TraceSource,
+ * admission budgeting, GC/memory-pressure cadence, race emission
+ * through an AccessChecker, observability — is the same whatever
+ * concurrency model produced the trace. What varies is the *model*:
+ * which operations exist, which happens-before edges they induce, and
+ * what per-entity metadata must be kept to resolve them. This
+ * interface captures exactly that variable part, so the engine
+ * (core/engine.hh) can host either
+ *
+ *  - LooperModel (core/looper_model.hh): the paper's extended Android
+ *    model — message queues, Table 1 priorities, chains, AsyncClocks,
+ *    async-before lists; or
+ *  - AsyncTaskModel (core/async_model.hh): structured-concurrency
+ *    async/await task graphs — spawn/await/cancel edges and
+ *    scope-close joins over the async trace dialect.
+ *
+ * A model is a per-run object owned by its engine; it reaches shared
+ * services (checker, config, counters, trace metadata) back through
+ * the engine reference handed to makeModel().
+ */
+
+#ifndef ASYNCCLOCK_CORE_MODEL_HH
+#define ASYNCCLOCK_CORE_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "support/stats.hh"
+#include "trace/trace.hh"
+
+namespace asyncclock::core {
+
+class DetectorEngine;
+
+/** The causality models an engine can host. */
+enum class ModelKind : std::uint8_t {
+    Looper,  ///< extended Android looper/binder model (paper)
+    Async,   ///< structured-concurrency async/await task graphs
+};
+
+/** Human-readable model name ("looper" / "async"). */
+const char *modelName(ModelKind kind);
+
+/** Parse a model name; false (out untouched) if unknown. */
+bool parseModelName(const std::string &name, ModelKind &out);
+
+/** The model a trace dialect calls for (Looper dialect -> Looper
+ * model, Async dialect -> Async model). */
+ModelKind modelForDialect(trace::Dialect d);
+
+/**
+ * One causality model plugged into a DetectorEngine.
+ *
+ * Call protocol (driven by the engine, in this order per operation):
+ * syncEntities() after each source pull (entity tables may grow
+ * mid-stream), admitOp() as the protocol gate (false = dropped, with
+ * the engine's shared budget), applyOp() for the happens-before work
+ * and access emission, then ageWindow()/gcSweep()/
+ * relieveMemoryPressure() on the engine's cadence, and
+ * syncDerivedCounters() to publish model-derived counter values.
+ */
+class CausalityModel
+{
+  public:
+    virtual ~CausalityModel() = default;
+
+    virtual ModelKind kind() const = 0;
+
+    /** Grow per-entity state to match the source's meta(). */
+    virtual void syncEntities() = 0;
+
+    /** True if @p op is admissible under the model's entity life
+     * cycles; commits its phase transition. False = dropped (counted;
+     * may fail the run via the engine's invalid-op budget). */
+    virtual bool admitOp(const trace::Operation &op) = 0;
+
+    /** Apply one admitted operation: maintain clocks and metadata,
+     * emit Read/Write accesses into the engine's checker. */
+    virtual void applyOp(const trace::Operation &op,
+                         trace::OpId id) = 0;
+
+    /** Age out metadata older than the configured time window. */
+    virtual void ageWindow(std::uint64_t now) = 0;
+
+    /** Periodic garbage-collection sweep. */
+    virtual void gcSweep() = 0;
+
+    /** Degradation ladder while over the memory budget (see
+     * DetectorConfig::memBudgetBytes). */
+    virtual void relieveMemoryPressure(std::uint64_t now) = 0;
+
+    /** Publish counters derived from model-internal state (live
+     * metadata gauges etc.) into the engine's DetectorCounters. */
+    virtual void syncDerivedCounters() = 0;
+
+    /** Number of chains ever created (clock dimension). */
+    virtual std::uint32_t numChains() const = 0;
+
+    /** Live model-metadata bytes, excluding the checker (the
+     * pressure ladder keys off this — see checkpoint.hh for why the
+     * checker is excluded). */
+    virtual std::uint64_t modelBytes() const = 0;
+
+    /** Record current per-category live bytes (including the
+     * checker's, under MemCat::VarState). */
+    virtual void sampleMemory(MemStats &stats) const = 0;
+
+    /** Register model-specific ("model.*") metrics. Called once from
+     * DetectorEngine::attachObs when a registry is present. */
+    virtual void registerModelMetrics(obs::MetricsRegistry &reg) = 0;
+};
+
+/** Construct the model implementation for @p kind, bound to
+ * @p engine (which must outlive it). */
+std::unique_ptr<CausalityModel> makeModel(ModelKind kind,
+                                          DetectorEngine &engine);
+
+} // namespace asyncclock::core
+
+#endif // ASYNCCLOCK_CORE_MODEL_HH

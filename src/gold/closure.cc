@@ -108,6 +108,38 @@ Closure::Closure(const trace::Trace &tr, GoldConfig cfg)
         }
     }
 
+    // ----- async-dialect edges (AWAIT / SCOPE) ----------------------
+    // SPAWN is covered above: taskSpawn fills EventInfo::sendOp, so
+    // the sendOp -> beginOp edge is the spawn -> start edge. The
+    // settle op of a task is its end (if it ran) or its cancel.
+    if (tr.dialect() == trace::Dialect::Async) {
+        auto settleOp = [&](EventId e) -> OpId {
+            const EventInfo &ev = tr.event(e);
+            return ev.endOp != kInvalidId ? ev.endOp : ev.removeOp;
+        };
+        std::vector<std::vector<EventId>> byScope(tr.handles().size());
+        for (EventId e = 0; e < tr.events().size(); ++e) {
+            if (tr.event(e).scope != kInvalidId)
+                byScope[tr.event(e).scope].push_back(e);
+        }
+        for (OpId i = 0; i < n_; ++i) {
+            const Operation &op = tr.op(i);
+            if (op.kind == OpKind::TaskAwait) {
+                OpId s = settleOp(op.event);
+                if (s != kInvalidId)
+                    addEdge(s, i);
+            } else if (op.kind == OpKind::ScopeEnd) {
+                // Structured concurrency: every member of the scope
+                // settles before the scope closes.
+                for (EventId e : byScope[op.target]) {
+                    OpId s = settleOp(e);
+                    if (s != kInvalidId && s < i)
+                        addEdge(s, i);
+                }
+            }
+        }
+    }
+
     // ----- fixpoint over conditional rules --------------------------
     recomputeClosure();
     rounds_ = 1;
@@ -152,6 +184,13 @@ Closure::happensBefore(OpId a, OpId b) const
 bool
 Closure::runRuleScan()
 {
+    // The async model has no queues, so none of the conditional
+    // looper rules apply; every async edge is unconditional and was
+    // added in the constructor. (Also keeps byQueue below from
+    // indexing the kInvalidId queue of task events.)
+    if (trace_.dialect() == trace::Dialect::Async)
+        return false;
+
     bool added = false;
     auto have = [&](OpId from, OpId to) {
         return happensBefore(from, to);

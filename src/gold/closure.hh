@@ -23,6 +23,14 @@
  *    (section 5.3 "Event Removal")
  *  - binder events of one queue have causally ordered begins when
  *    their sends are ordered (dequeued FIFO, executed concurrently)
+ *
+ * The oracle is model-parameterized by the trace's dialect. For async
+ * traces (trace/trace.hh) the looper rule set is replaced by the
+ * structured-concurrency edges of core/async_model.hh — SPAWN (the
+ * sendOp/beginOp cross-links double as spawn/start), AWAIT (settle ->
+ * await, where a task's settle op is its end or its cancel), and
+ * SCOPE (every member's settle -> scope close) — all unconditional,
+ * so the fixpoint converges in one round.
  */
 
 #ifndef ASYNCCLOCK_GOLD_CLOSURE_HH

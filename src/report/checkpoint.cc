@@ -81,6 +81,7 @@ saveCheckpoint(const std::string &path, const CheckpointMeta &meta,
         out.write(kCheckpointMagic, 4);
         out.put(static_cast<char>(kCheckpointVersion));
         out.put(static_cast<char>(clock::defaultBackend()));
+        out.put(static_cast<char>(meta.modelTag));
         putU64(out, meta.opsProcessed);
         putU64(out, meta.accessesChecked);
         putU64(out, meta.traceBytes);
@@ -135,6 +136,15 @@ loadCheckpoint(const std::string &path, FastTrackChecker &checker)
                 strf("bad clock-backend tag %d in checkpoint", tag));
         }
         meta.clockBackend = static_cast<clock::Backend>(tag);
+    }
+    if (version >= 3) {
+        int tag = in.get();
+        if (tag < 0 || tag >= kModelTagCount) {
+            return Status::error(
+                ErrCode::Corrupt,
+                strf("bad causality-model tag %d in checkpoint", tag));
+        }
+        meta.modelTag = static_cast<std::uint8_t>(tag);
     }
     if (!getU64(in, meta.opsProcessed) ||
         !getU64(in, meta.accessesChecked) ||

@@ -53,9 +53,20 @@ namespace asyncclock::report {
  * clock::Backend) after the version. The tag is informational —
  * checker state is serialized as canonically sorted (chain, tick)
  * entries, so loading converts to whatever backend the loading
- * process runs, and v1 files (implicitly sparse) load unchanged. */
+ * process runs, and v1 files (implicitly sparse) load unchanged.
+ * v3: adds a causality-model tag byte after the backend byte. Unlike
+ * the backend tag this one is semantic: resume replays the detector,
+ * and a different model would replay a different access sequence, so
+ * loaders (trace_analyzer) refuse a checkpoint whose model differs
+ * from the run's. v1/v2 files (implicitly looper) load unchanged. */
 extern const char kCheckpointMagic[4];
-constexpr std::uint8_t kCheckpointVersion = 2;
+constexpr std::uint8_t kCheckpointVersion = 3;
+
+/** Causality-model tag values (match core::ModelKind; kept as a raw
+ * byte here because report/ sits below core/ in the layering). */
+constexpr std::uint8_t kModelTagLooper = 0;
+constexpr std::uint8_t kModelTagAsync = 1;
+constexpr std::uint8_t kModelTagCount = 2;
 
 /** Everything a checkpoint records besides the checker state. */
 struct CheckpointMeta
@@ -72,6 +83,9 @@ struct CheckpointMeta
      * Sparse). Loading never requires a match — see
      * kCheckpointVersion. */
     clock::Backend clockBackend = clock::Backend::Sparse;
+    /** Causality model of the writing run (v3+; older files report
+     * looper). Resume requires a match — see kCheckpointVersion. */
+    std::uint8_t modelTag = kModelTagLooper;
 };
 
 /** Size + FNV-1a content hash of @p path (the identity stored in and

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Task-graph runtime: the async-dialect counterpart of Runtime.
+ *
+ * Simulates a structured-concurrency executor pool (coroutine-style
+ * async/await) and produces an async-dialect trace::Trace
+ * (trace/trace.hh). The model:
+ *
+ *  - A main driver thread runs the root body; a fixed pool of
+ *    executor threads runs tasks.
+ *  - `spawn` makes a declared task runnable; it starts (EventBegin on
+ *    whichever executor frees up first) without ordering against its
+ *    siblings — that unordered start is where seeded races live.
+ *  - `await` of an unsettled task parks the continuation and releases
+ *    the executor (cooperative suspension, so a one-executor pool
+ *    cannot deadlock on a parent awaiting its child).
+ *  - Every spawning body owns one scope; when the body finishes, it
+ *    implicitly waits for its unsettled children, then emits ScopeEnd
+ *    before its own end — structured concurrency's guarantee that no
+ *    task outlives its scope.
+ *  - `cancel` settles a task that has not started yet (TaskCancel op);
+ *    cancelling a task that already started or settled is a silent
+ *    no-op, as in cooperative cancellation.
+ *
+ * Deterministic: a discrete-event loop keyed on (virtual time, FIFO
+ * sequence), no randomness. The produced trace passes
+ * Trace::validate() for the async dialect by construction.
+ */
+
+#ifndef ASYNCCLOCK_RUNTIME_TASKGRAPH_HH
+#define ASYNCCLOCK_RUNTIME_TASKGRAPH_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace asyncclock::runtime {
+
+struct TaskGraphConfig
+{
+    /** Virtual time consumed by each non-sleep step (ms). */
+    std::uint64_t stepCostMs = 1;
+    /** Executor pool size. Tasks wait for a free executor to start. */
+    std::uint32_t executors = 2;
+};
+
+/** Summary of one task-graph run. */
+struct TaskGraphRunInfo
+{
+    /** Final virtual time (ms). */
+    std::uint64_t endTimeMs = 0;
+    /** Tasks settled by a TaskCancel (never ran). */
+    std::uint64_t cancelled = 0;
+};
+
+/**
+ * Builder + simulator. Usage: declare vars/sites/tasks, script each
+ * task body (and the main body, actor kMain) with read/write/sleep/
+ * spawn/await/cancel steps, then run() once to obtain the trace.
+ */
+class TaskGraph
+{
+  public:
+    using TaskRef = std::uint32_t;
+    /** The main driver body (a thread, not a task). */
+    static constexpr TaskRef kMain = 0xFFFFFFFFu;
+
+    explicit TaskGraph(TaskGraphConfig cfg = {});
+
+    // ----- entity declaration -------------------------------------
+    trace::VarId var(std::string name,
+                     trace::SeedLabel label = trace::SeedLabel::None);
+    trace::SiteId site(std::string name,
+                       trace::Frame frame = trace::Frame::User,
+                       std::uint32_t commGroup = trace::kInvalidId);
+    /** Declare a task node; script its body with the step builders. */
+    TaskRef task(std::string name);
+
+    // ----- body steps (actor = kMain or a TaskRef) ----------------
+    void read(TaskRef actor, trace::VarId v, trace::SiteId s);
+    void write(TaskRef actor, trace::VarId v, trace::SiteId s);
+    /** Advance the actor's virtual clock without emitting an op. */
+    void sleepFor(TaskRef actor, std::uint64_t ms);
+    /** Make @p child runnable inside @p actor's scope. */
+    void spawn(TaskRef actor, TaskRef child);
+    /** Join @p child's settle time (parks until it settles). */
+    void await(TaskRef actor, TaskRef child);
+    /** Cancel @p child if it has not started yet; else no-op. */
+    void cancel(TaskRef actor, TaskRef child);
+
+    /** Simulate and return the async-dialect trace. Call once. */
+    trace::Trace run(TaskGraphRunInfo *info = nullptr);
+
+  private:
+    struct Step
+    {
+        enum class Kind : std::uint8_t {
+            Read,
+            Write,
+            Sleep,
+            Spawn,
+            Await,
+            Cancel,
+        };
+        Kind kind;
+        std::uint32_t a = trace::kInvalidId;  ///< var / task ref
+        std::uint32_t b = trace::kInvalidId;  ///< site
+        std::uint64_t ms = 0;                 ///< sleep duration
+    };
+
+    struct VarSpec
+    {
+        std::string name;
+        trace::SeedLabel label;
+    };
+    struct SiteSpec
+    {
+        std::string name;
+        trace::Frame frame;
+        std::uint32_t commGroup;
+    };
+
+    enum class Phase : std::uint8_t {
+        Unspawned,
+        Pending,      ///< spawned, waiting for an executor
+        Running,
+        AwaitParked,  ///< suspended on an unsettled child
+        ScopeParked,  ///< body done, waiting for open children
+        Settled,      ///< finished or cancelled
+    };
+
+    /** Why a ready-queue entry is runnable. */
+    enum class Resume : std::uint8_t {
+        Start,        ///< fresh task: emit EventBegin
+        AfterAwait,   ///< continuation: emit TaskAwait
+        CloseScope,   ///< continuation: emit ScopeEnd + end
+    };
+
+    struct ReadyEntry
+    {
+        TaskRef task;
+        Resume resume;
+        TaskRef child = kMain;  ///< awaited child (AfterAwait)
+    };
+
+    /** One scheduled resumption of an actor. Min-ordered on (time,
+     * seq) so op emission is globally time-sorted and deterministic. */
+    struct SchedEntry
+    {
+        std::uint64_t time;
+        std::uint64_t seq;
+        TaskRef actor;
+
+        bool operator>(const SchedEntry &o) const
+        {
+            return time != o.time ? time > o.time : seq > o.seq;
+        }
+    };
+
+    /** One scripted body: the main driver (kMain) or a task. */
+    struct Body
+    {
+        std::string name;
+        std::vector<Step> steps;
+        bool spawns = false;  ///< owns a scope
+
+        // Run-time state.
+        Phase phase = Phase::Unspawned;
+        std::uint32_t pc = 0;
+        trace::EventId event = trace::kInvalidId;  ///< tasks only
+        trace::HandleId scope = trace::kInvalidId;
+        /** Scope this body was spawned into (tasks only). */
+        TaskRef parent = kMain;
+        std::uint32_t openChildren = 0;
+        TaskRef awaitedChild = kMain;
+        /** Actors parked in `await` on this task. */
+        std::vector<TaskRef> waiters;
+    };
+
+    Body &body(TaskRef actor)
+    {
+        return actor == kMain ? main_ : nodes_[actor];
+    }
+    void addStep(TaskRef actor, Step step);
+
+    void schedule(TaskRef actor, std::uint64_t time);
+    void tryDispatch(std::uint64_t now);
+    /** Run one step of @p actor at @p now. */
+    void stepActor(TaskRef actor, std::uint64_t now);
+    void finishBody(TaskRef actor, std::uint64_t now);
+    /** Emit ScopeEnd (if the body owns a scope) and the end op, then
+     * settle. */
+    void closeOut(TaskRef actor, std::uint64_t now);
+    void settle(TaskRef actor, std::uint64_t now);
+    void parkOnChild(TaskRef actor, TaskRef child);
+    void releaseExecutor(TaskRef actor, std::uint64_t now);
+    trace::Task actorTask(TaskRef actor) const;
+
+    TaskGraphConfig cfg_;
+    std::vector<VarSpec> varSpecs_;
+    std::vector<SiteSpec> siteSpecs_;
+    std::vector<Body> nodes_;
+    Body main_;
+    bool ran_ = false;
+
+    // Run-time state (valid during run()).
+    trace::Trace *tr_ = nullptr;
+    trace::ThreadId mainThread_ = trace::kInvalidId;
+    std::vector<trace::ThreadId> executorThreads_;
+    std::deque<trace::ThreadId> freeExecutors_;
+    /** Executor each running task holds (kInvalidId when parked). */
+    std::vector<trace::ThreadId> executorOf_;
+    std::deque<ReadyEntry> ready_;
+    std::priority_queue<SchedEntry, std::vector<SchedEntry>,
+                        std::greater<SchedEntry>>
+        sched_;
+    std::uint64_t seq_ = 0;
+
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t endTime_ = 0;
+};
+
+} // namespace asyncclock::runtime
+
+#endif // ASYNCCLOCK_RUNTIME_TASKGRAPH_HH

@@ -87,12 +87,18 @@ priorityOrders(const SendAttrs &e1, const SendAttrs &e2)
     return false;
 }
 
-/** Trace operation kinds (section 2.2). */
+/**
+ * Trace operation kinds. The first twelve are the looper dialect of
+ * paper section 2.2; the last four belong to the async/await dialect
+ * (spawn/await/finish-scope/cancellation over structured-concurrency
+ * task graphs). A trace's Dialect says which vocabulary it uses; the
+ * two never mix within one trace.
+ */
 enum class OpKind : std::uint8_t {
     ThreadBegin,    ///< begin(T)
     ThreadEnd,      ///< end(T)
-    EventBegin,     ///< begin(E)
-    EventEnd,       ///< end(E)
+    EventBegin,     ///< begin(E) — async dialect: task E starts running
+    EventEnd,       ///< end(E) — async dialect: task E finishes
     Read,           ///< rd(S, x)
     Write,          ///< wr(S, x)
     Fork,           ///< fork(S, T)
@@ -101,6 +107,11 @@ enum class OpKind : std::uint8_t {
     Wait,           ///< wait(S, m)
     Send,           ///< send(S, q, E)
     RemoveEvent,    ///< programmer removed E from its queue (sec. 5.3)
+    // ----- async/await dialect only -------------------------------
+    TaskSpawn,      ///< S spawns task E into scope h
+    TaskAwait,      ///< S awaits finished/cancelled task E
+    ScopeEnd,       ///< S closes scope h (all member tasks settled)
+    TaskCancel,     ///< S cancels pending task E
 };
 
 /** Short mnemonic for an OpKind, used by the text serializer. */
@@ -117,6 +128,10 @@ const char *opKindName(OpKind kind);
  *  - Send: `target` is the QueueId, `event` the sent EventId, `attrs`
  *    the queueing attributes.
  *  - RemoveEvent: `event` is the removed EventId.
+ *  - TaskSpawn: `event` is the spawned child task, `target` the
+ *    HandleId of the scope it belongs to.
+ *  - TaskAwait/TaskCancel: `event` is the awaited/cancelled task.
+ *  - ScopeEnd: `target` is the HandleId of the closed scope.
  */
 struct Operation
 {

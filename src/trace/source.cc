@@ -111,10 +111,45 @@ TraceSink::removeEvent(Task task, EventId event, std::uint64_t vtime)
     emit(op);
 }
 
+void
+TraceSink::taskSpawn(Task task, EventId child, HandleId scope,
+                     std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::TaskSpawn, task, vtime);
+    op.target = scope;
+    op.event = child;
+    emit(op);
+}
+
+void
+TraceSink::taskAwait(Task task, EventId child, std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::TaskAwait, task, vtime);
+    op.event = child;
+    emit(op);
+}
+
+void
+TraceSink::scopeEnd(Task task, HandleId scope, std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::ScopeEnd, task, vtime);
+    op.target = scope;
+    emit(op);
+}
+
+void
+TraceSink::taskCancel(Task task, EventId child, std::uint64_t vtime)
+{
+    Operation op = makeOp(OpKind::TaskCancel, task, vtime);
+    op.event = child;
+    emit(op);
+}
+
 TraceMeta
 TraceMeta::fromTrace(const Trace &tr)
 {
     TraceMeta meta;
+    meta.dialect_ = tr.dialect();
     meta.threads_ = tr.threads();
     meta.queues_ = tr.queues();
     meta.vars_ = tr.vars();

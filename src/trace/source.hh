@@ -93,6 +93,13 @@ class TraceSink : public EntitySink
     void send(Task task, QueueId queue, EventId event,
               const SendAttrs &attrs, std::uint64_t vtime);
     void removeEvent(Task task, EventId event, std::uint64_t vtime);
+
+    // Async-dialect emitters (events stand in for tasks).
+    void taskSpawn(Task task, EventId child, HandleId scope,
+                   std::uint64_t vtime);
+    void taskAwait(Task task, EventId child, std::uint64_t vtime);
+    void scopeEnd(Task task, HandleId scope, std::uint64_t vtime);
+    void taskCancel(Task task, EventId child, std::uint64_t vtime);
 };
 
 /** TraceSink adapter materializing into a trace::Trace. */
@@ -242,6 +249,11 @@ class TraceMeta : public EntitySink
         return q.kind == QueueKind::Looper ? q.looper : kInvalidId;
     }
 
+    /** Which op vocabulary the stream uses (set from the header by
+     * the readers; default Looper). */
+    Dialect dialect() const { return dialect_; }
+    void setDialect(Dialect d) { dialect_ = d; }
+
     /** Build the slim view of a materialized trace (event queueing
      * facts pre-filled from its event table). */
     static TraceMeta fromTrace(const Trace &tr);
@@ -256,6 +268,7 @@ class TraceMeta : public EntitySink
     std::vector<VarInfo> vars_;
     std::vector<HandleInfo> handles_;
     std::vector<SiteInfo> sites_;
+    Dialect dialect_ = Dialect::Looper;
 };
 
 /**

@@ -24,6 +24,20 @@ opKindName(OpKind kind)
       case OpKind::Wait: return "wait";
       case OpKind::Send: return "send";
       case OpKind::RemoveEvent: return "remove";
+      case OpKind::TaskSpawn: return "spawn";
+      case OpKind::TaskAwait: return "await";
+      case OpKind::ScopeEnd: return "scopeend";
+      case OpKind::TaskCancel: return "cancel";
+    }
+    return "?";
+}
+
+const char *
+dialectName(Dialect d)
+{
+    switch (d) {
+      case Dialect::Looper: return "looper";
+      case Dialect::Async: return "async";
     }
     return "?";
 }
@@ -116,6 +130,17 @@ Trace::append(const Operation &op)
         events_[op.task.index()].endOp = id;
         break;
       case OpKind::RemoveEvent:
+        events_[op.event].removeOp = id;
+        break;
+      case OpKind::TaskSpawn:
+        {
+            EventInfo &ev = events_[op.event];
+            ev.sender = op.task;
+            ev.scope = op.target;
+            ev.sendOp = id;
+        }
+        break;
+      case OpKind::TaskCancel:
         events_[op.event].removeOp = id;
         break;
       default:
@@ -259,6 +284,52 @@ Trace::removeEvent(Task task, EventId event, std::uint64_t vtime)
     return append(op);
 }
 
+OpId
+Trace::taskSpawn(Task task, EventId child, HandleId scope,
+                 std::uint64_t vtime)
+{
+    Operation op;
+    op.kind = OpKind::TaskSpawn;
+    op.task = task;
+    op.target = scope;
+    op.event = child;
+    op.vtime = vtime;
+    return append(op);
+}
+
+OpId
+Trace::taskAwait(Task task, EventId child, std::uint64_t vtime)
+{
+    Operation op;
+    op.kind = OpKind::TaskAwait;
+    op.task = task;
+    op.event = child;
+    op.vtime = vtime;
+    return append(op);
+}
+
+OpId
+Trace::scopeEnd(Task task, HandleId scope, std::uint64_t vtime)
+{
+    Operation op;
+    op.kind = OpKind::ScopeEnd;
+    op.task = task;
+    op.target = scope;
+    op.vtime = vtime;
+    return append(op);
+}
+
+OpId
+Trace::taskCancel(Task task, EventId child, std::uint64_t vtime)
+{
+    Operation op;
+    op.kind = OpKind::TaskCancel;
+    op.task = task;
+    op.event = child;
+    op.vtime = vtime;
+    return append(op);
+}
+
 ThreadId
 Trace::looperOf(EventId e) const
 {
@@ -285,6 +356,10 @@ Trace::stats() const
           case OpKind::Signal:
           case OpKind::Wait:
           case OpKind::Send:
+          case OpKind::TaskSpawn:
+          case OpKind::TaskAwait:
+          case OpKind::ScopeEnd:
+          case OpKind::TaskCancel:
             ++s.syncOps;
             break;
           default:
@@ -335,11 +410,191 @@ namespace {
 /** Task lifecycle states used by the validator. */
 enum class LiveState { NotStarted, Running, Finished };
 
+/**
+ * Async-dialect well-formedness: the structured-concurrency rules the
+ * AsyncTaskModel relies on. A task (event) is spawned exactly once
+ * into a scope, begins only after its spawn, is cancelled only while
+ * pending, is awaited only once settled (finished or cancelled), and
+ * a scope closes only when every member task has settled.
+ */
+std::string
+validateAsync(const Trace &tr)
+{
+    const auto &events = tr.events();
+    const auto &threads = tr.threads();
+    const auto &handles = tr.handles();
+    std::vector<LiveState> threadState(threads.size(),
+                                       LiveState::NotStarted);
+    std::vector<LiveState> taskState(events.size(),
+                                     LiveState::NotStarted);
+    std::vector<bool> spawned(events.size(), false);
+    std::vector<bool> cancelled(events.size(), false);
+    std::vector<HandleId> scopeOf(events.size(), kInvalidId);
+    std::vector<std::uint64_t> handleSignals(handles.size(), 0);
+    std::vector<std::uint64_t> scopeOpen(handles.size(), 0);
+
+    std::uint64_t lastVtime = 0;
+    const auto &ops = tr.ops();
+    for (OpId i = 0; i < ops.size(); ++i) {
+        const Operation &op = ops[i];
+        if (op.vtime < lastVtime)
+            return strf("op %u: vtime decreases", i);
+        lastVtime = op.vtime;
+
+        if (op.task.isEvent()) {
+            if (op.task.index() >= events.size())
+                return strf("op %u: bad task id", i);
+        } else {
+            if (op.task.index() >= threads.size())
+                return strf("op %u: bad thread id", i);
+        }
+
+        const bool isBegin = op.kind == OpKind::ThreadBegin ||
+                             op.kind == OpKind::EventBegin;
+        if (!isBegin) {
+            if (op.task.isEvent()) {
+                if (taskState[op.task.index()] != LiveState::Running)
+                    return strf("op %u: task %u not running", i,
+                                op.task.index());
+            } else {
+                if (threadState[op.task.index()] != LiveState::Running)
+                    return strf("op %u: thread %u not running", i,
+                                op.task.index());
+            }
+        }
+
+        switch (op.kind) {
+          case OpKind::ThreadBegin:
+            if (threadState[op.task.index()] != LiveState::NotStarted)
+                return strf("op %u: double thread begin", i);
+            threadState[op.task.index()] = LiveState::Running;
+            break;
+          case OpKind::ThreadEnd:
+            threadState[op.task.index()] = LiveState::Finished;
+            break;
+          case OpKind::EventBegin:
+            {
+                EventId e = op.task.index();
+                if (taskState[e] != LiveState::NotStarted)
+                    return strf("op %u: double task begin", i);
+                if (!spawned[e])
+                    return strf("op %u: task %u begins unspawned", i,
+                                e);
+                if (cancelled[e])
+                    return strf("op %u: cancelled task %u begins", i,
+                                e);
+                taskState[e] = LiveState::Running;
+                ThreadId exec = op.target;
+                if (exec >= threads.size())
+                    return strf("op %u: bad executor thread", i);
+                if (threadState[exec] != LiveState::Running)
+                    return strf("op %u: executor not running", i);
+            }
+            break;
+          case OpKind::EventEnd:
+            {
+                EventId e = op.task.index();
+                taskState[e] = LiveState::Finished;
+                if (scopeOf[e] != kInvalidId)
+                    --scopeOpen[scopeOf[e]];
+            }
+            break;
+          case OpKind::Read:
+          case OpKind::Write:
+            if (op.target >= tr.vars().size())
+                return strf("op %u: bad var id", i);
+            if (op.site != kInvalidId && op.site >= tr.sites().size())
+                return strf("op %u: bad site id", i);
+            break;
+          case OpKind::Fork:
+            if (op.target >= threads.size())
+                return strf("op %u: bad forked thread", i);
+            if (threadState[op.target] != LiveState::NotStarted)
+                return strf("op %u: forked thread already started", i);
+            break;
+          case OpKind::Join:
+            if (op.target >= threads.size())
+                return strf("op %u: bad joined thread", i);
+            if (threadState[op.target] != LiveState::Finished)
+                return strf("op %u: join before thread end", i);
+            break;
+          case OpKind::Signal:
+            if (op.target >= handles.size())
+                return strf("op %u: bad handle", i);
+            ++handleSignals[op.target];
+            break;
+          case OpKind::Wait:
+            if (op.target >= handles.size())
+                return strf("op %u: bad handle", i);
+            if (handleSignals[op.target] == 0)
+                return strf("op %u: wait before any signal", i);
+            break;
+          case OpKind::TaskSpawn:
+            {
+                if (op.event >= events.size())
+                    return strf("op %u: spawn of bad task", i);
+                if (op.target >= handles.size())
+                    return strf("op %u: spawn into bad scope", i);
+                if (spawned[op.event])
+                    return strf("op %u: task %u spawned twice", i,
+                                op.event);
+                spawned[op.event] = true;
+                scopeOf[op.event] = op.target;
+                ++scopeOpen[op.target];
+            }
+            break;
+          case OpKind::TaskAwait:
+            {
+                if (op.event >= events.size())
+                    return strf("op %u: await of bad task", i);
+                if (!spawned[op.event])
+                    return strf("op %u: await of unspawned task", i);
+                if (taskState[op.event] != LiveState::Finished &&
+                    !cancelled[op.event]) {
+                    return strf("op %u: await before task %u settles",
+                                i, op.event);
+                }
+            }
+            break;
+          case OpKind::ScopeEnd:
+            if (op.target >= handles.size())
+                return strf("op %u: close of bad scope", i);
+            if (scopeOpen[op.target] != 0)
+                return strf("op %u: scope %u closes with %llu open "
+                            "task(s)",
+                            i, op.target,
+                            (unsigned long long)scopeOpen[op.target]);
+            break;
+          case OpKind::TaskCancel:
+            {
+                if (op.event >= events.size())
+                    return strf("op %u: cancel of bad task", i);
+                if (!spawned[op.event])
+                    return strf("op %u: cancel of unspawned task", i);
+                if (taskState[op.event] != LiveState::NotStarted)
+                    return strf("op %u: cancel of started task", i);
+                if (cancelled[op.event])
+                    return strf("op %u: task %u cancelled twice", i,
+                                op.event);
+                cancelled[op.event] = true;
+                --scopeOpen[scopeOf[op.event]];
+            }
+            break;
+          case OpKind::Send:
+          case OpKind::RemoveEvent:
+            return strf("op %u: looper-dialect op in async trace", i);
+        }
+    }
+    return "";
+}
+
 } // namespace
 
 std::string
 Trace::validate(bool full) const
 {
+    if (dialect_ == Dialect::Async)
+        return validateAsync(*this);
     // --- id ranges, vtime monotonicity, lifecycle -------------------
     std::vector<LiveState> threadState(threads_.size(),
                                        LiveState::NotStarted);
@@ -483,6 +738,11 @@ Trace::validate(bool full) const
                 eventRemoved[op.event] = true;
             }
             break;
+          case OpKind::TaskSpawn:
+          case OpKind::TaskAwait:
+          case OpKind::ScopeEnd:
+          case OpKind::TaskCancel:
+            return strf("op %u: async-dialect op in looper trace", i);
         }
     }
 

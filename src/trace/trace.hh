@@ -21,6 +21,17 @@
 
 namespace asyncclock::trace {
 
+/**
+ * Causality-model vocabulary of a trace. Looper traces use the
+ * message-queue op set of HsiaoNKPP17 (send/begin/end/remove); async
+ * traces use the structured-concurrency set (spawn/await/scope-end/
+ * cancel) with events standing in for tasks. Detectors pick their
+ * CausalityModel from this tag.
+ */
+enum class Dialect : std::uint8_t { Looper, Async };
+
+const char *dialectName(Dialect d);
+
 /** Thread flavors of the three Android thread models (section 2.1). */
 enum class ThreadKind : std::uint8_t { Worker, Looper, Binder };
 
@@ -66,7 +77,9 @@ struct QueueInfo
 };
 
 /** Per-event record; the op cross-links are filled in as operations
- * are appended. */
+ * are appended. In the async dialect an event is a task: `scope` is
+ * its structured-concurrency scope, sendOp/removeOp double as the
+ * spawn/cancel ops, and `queue` stays kInvalidId. */
 struct EventInfo
 {
     QueueId queue = kInvalidId;
@@ -74,6 +87,8 @@ struct EventInfo
     Task sender{};
     /** Thread that executed the event (filled at begin). */
     ThreadId executor = kInvalidId;
+    /** Async dialect: the scope handle the task was spawned into. */
+    HandleId scope = kInvalidId;
     OpId sendOp = kInvalidId;
     OpId beginOp = kInvalidId;
     OpId endOp = kInvalidId;
@@ -161,6 +176,13 @@ class Trace
               const SendAttrs &attrs, std::uint64_t vtime);
     OpId removeEvent(Task task, EventId event, std::uint64_t vtime);
 
+    // Async-dialect appenders (events stand in for tasks).
+    OpId taskSpawn(Task task, EventId child, HandleId scope,
+                   std::uint64_t vtime);
+    OpId taskAwait(Task task, EventId child, std::uint64_t vtime);
+    OpId scopeEnd(Task task, HandleId scope, std::uint64_t vtime);
+    OpId taskCancel(Task task, EventId child, std::uint64_t vtime);
+
     // ----- access ---------------------------------------------------
     const std::vector<Operation> &ops() const { return ops_; }
     const Operation &op(OpId id) const { return ops_[id]; }
@@ -192,6 +214,10 @@ class Trace
      * binder events). */
     ThreadId looperOf(EventId e) const;
 
+    /** Which op vocabulary this trace uses (default Looper). */
+    Dialect dialect() const { return dialect_; }
+    void setDialect(Dialect d) { dialect_ = d; }
+
     /** Compute aggregate statistics. */
     TraceStats stats() const;
 
@@ -213,6 +239,7 @@ class Trace
     std::vector<HandleInfo> handles_;
     std::vector<SiteInfo> sites_;
     std::vector<Operation> ops_;
+    Dialect dialect_ = Dialect::Looper;
 };
 
 } // namespace asyncclock::trace

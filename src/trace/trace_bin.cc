@@ -5,10 +5,16 @@
  *
  * Layout:
  *   magic "ACTB", version byte
+ *   version 2 only: dialect byte (0 = looper, 1 = async)
  *   records until the end marker:
  *     0x00..0x0B  operation (tag == OpKind)
+ *     0x0C..0x0F  async-dialect operation (version 2 async only)
  *     0xE0..0xE6  entity declaration
  *     0xFF        end marker
+ *
+ * Looper traces are always written as version 1, so the original
+ * encoding stays byte-for-byte unchanged; only async traces use the
+ * version-2 header and the task-graph op tags.
  *
  * Operation record: task varint ((index << 1) | isEvent), then the
  * kind-specific payload, then zigzag varint of (vtime - prev vtime).
@@ -48,6 +54,7 @@ constexpr std::uint8_t kTagHandle = 0xE5;
 constexpr std::uint8_t kTagSite = 0xE6;
 constexpr std::uint8_t kTagEnd = 0xFF;
 constexpr std::uint8_t kMaxOpTag = 0x0B;
+constexpr std::uint8_t kMaxOpTagAsync = 0x0F;
 
 std::uint64_t
 zigzag(std::int64_t v)
@@ -106,6 +113,7 @@ class BinaryDecoder
     const std::string &error() const { return error_; }
     bool atEnd() const { return sawEnd_; }
     std::uint64_t skipped() const { return skipped_; }
+    Dialect dialect() const { return dialect_; }
 
     Status
     status() const
@@ -127,10 +135,22 @@ class BinaryDecoder
         int version = in_.get();
         if (version == EOF)
             return fail(ErrCode::Truncated, "missing version");
-        if (version != kBinaryVersion) {
+        if (version == kBinaryVersion) {
+            dialect_ = Dialect::Looper;
+            return true;
+        }
+        if (version != kBinaryVersionDialect) {
             return fail(ErrCode::Unsupported,
                         strf("unsupported version %d", version));
         }
+        int dialect = in_.get();
+        if (dialect == EOF)
+            return fail(ErrCode::Truncated, "missing dialect byte");
+        if (dialect > 1) {
+            return fail(ErrCode::Corrupt,
+                        strf("bad dialect tag %d", dialect));
+        }
+        dialect_ = static_cast<Dialect>(dialect);
         return true;
     }
 
@@ -173,7 +193,12 @@ class BinaryDecoder
             sawEnd_ = true;
             return Rec::Stop;
         }
-        if (t <= kMaxOpTag) {
+        // The async op tags are only words of the async dialect; in a
+        // looper stream 0x0C..0x0F stay unknown tags (hard failure —
+        // the payload layout cannot be trusted to resynchronize).
+        const std::uint8_t maxOpTag =
+            dialect_ == Dialect::Async ? kMaxOpTagAsync : kMaxOpTag;
+        if (t <= maxOpTag) {
             Rec rec = decodeOp(static_cast<OpKind>(t), op);
             isOp = rec == Rec::Good;
             return rec;
@@ -405,10 +430,14 @@ class BinaryDecoder
           case OpKind::Signal:
           case OpKind::Wait:
           case OpKind::RemoveEvent:
+          case OpKind::TaskAwait:
+          case OpKind::ScopeEnd:
+          case OpKind::TaskCancel:
             payload = 1;
             break;
           case OpKind::Read:
           case OpKind::Write:
+          case OpKind::TaskSpawn:
             payload = 2;
             break;
           case OpKind::Send:
@@ -487,9 +516,24 @@ class BinaryDecoder
             op.attrs.time = d;
             break;
           case OpKind::RemoveEvent:
+          case OpKind::TaskAwait:
+          case OpKind::TaskCancel:
             if (a >= events_)
                 return soft("op event out of range");
             op.event = static_cast<std::uint32_t>(a);
+            break;
+          case OpKind::TaskSpawn:
+            if (a >= events_)
+                return soft("op event out of range");
+            if (b >= handles_)
+                return soft("op scope out of range");
+            op.event = static_cast<std::uint32_t>(a);
+            op.target = static_cast<std::uint32_t>(b);
+            break;
+          case OpKind::ScopeEnd:
+            if (a >= handles_)
+                return soft("op scope out of range");
+            op.target = static_cast<std::uint32_t>(a);
             break;
         }
         return Rec::Good;
@@ -497,6 +541,7 @@ class BinaryDecoder
 
     std::istream &in_;
     SourceErrorPolicy policy_;
+    Dialect dialect_ = Dialect::Looper;
     std::uint64_t threads_ = 0, queues_ = 0, events_ = 0;
     std::uint64_t vars_ = 0, handles_ = 0, sites_ = 0;
     std::uint64_t lastVtime_ = 0;
@@ -513,10 +558,16 @@ class BinaryDecoder
 
 // ----- BinaryTraceWriter ----------------------------------------------
 
-BinaryTraceWriter::BinaryTraceWriter(std::ostream &out) : out_(out)
+BinaryTraceWriter::BinaryTraceWriter(std::ostream &out, Dialect dialect)
+    : out_(out), dialect_(dialect)
 {
     out_.write(kBinaryMagic, 4);
-    out_.put(static_cast<char>(kBinaryVersion));
+    if (dialect_ == Dialect::Looper) {
+        out_.put(static_cast<char>(kBinaryVersion));
+    } else {
+        out_.put(static_cast<char>(kBinaryVersionDialect));
+        out_.put(static_cast<char>(dialect_));
+    }
 }
 
 BinaryTraceWriter::~BinaryTraceWriter()
@@ -635,7 +686,16 @@ BinaryTraceWriter::emit(const Operation &op)
         putVarint(out_, op.attrs.time);
         break;
       case OpKind::RemoveEvent:
+      case OpKind::TaskAwait:
+      case OpKind::TaskCancel:
         putVarint(out_, op.event);
+        break;
+      case OpKind::TaskSpawn:
+        putVarint(out_, op.event);
+        putVarint(out_, op.target);
+        break;
+      case OpKind::ScopeEnd:
+        putVarint(out_, op.target);
         break;
     }
     putVarint(out_, zigzag(static_cast<std::int64_t>(op.vtime) -
@@ -649,7 +709,7 @@ BinaryTraceWriter::emit(const Operation &op)
 void
 writeBinaryTrace(const Trace &tr, std::ostream &out)
 {
-    BinaryTraceWriter writer(out);
+    BinaryTraceWriter writer(out, tr.dialect());
     replayEntities(tr, writer);
     for (const Operation &op : tr.ops())
         writer.emit(op);
@@ -673,6 +733,7 @@ readBinaryTrace(std::istream &in, Trace &tr, std::string &error)
         error = dec.error();
         return false;
     }
+    tr.setDialect(dec.dialect());
     TraceBuildSink sink(tr);
     bool isOp = false;
     Operation op;
@@ -759,7 +820,8 @@ StreamingBinarySource::StreamingBinarySource(std::istream &in,
                                              SourceErrorPolicy policy)
     : impl_(new Impl(in, policy))
 {
-    impl_->dec.readHeader();
+    if (impl_->dec.readHeader())
+        meta_.setDialect(impl_->dec.dialect());
 }
 
 StreamingBinarySource::~StreamingBinarySource() = default;

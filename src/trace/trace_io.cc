@@ -12,6 +12,8 @@ namespace asyncclock::trace {
 namespace {
 
 constexpr const char *kTextHeader = "asyncclock-trace v1";
+/** Async-dialect header; looper traces keep the v1 header unchanged. */
+constexpr const char *kTextHeaderAsync = "asyncclock-trace v2 async";
 
 const char *
 threadKindName(ThreadKind k)
@@ -89,7 +91,9 @@ parseAttrs(const std::string &tok, SendAttrs &attrs)
 class TextLineParser
 {
   public:
-    explicit TextLineParser(EntitySink &entities) : entities_(entities)
+    explicit TextLineParser(EntitySink &entities,
+                            Dialect dialect = Dialect::Looper)
+        : entities_(entities), dialect_(dialect)
     {
     }
 
@@ -210,7 +214,11 @@ class TextLineParser
                 if (!parseTask(taskTok, op.task))
                     return fail("bad task token", taskTok);
                 bool found = false;
-                for (int k = 0; k <= 11; ++k) {
+                // Async-dialect kinds (12..15) are only words of an
+                // async trace; in a looper trace they stay unknown.
+                const int maxKind =
+                    dialect_ == Dialect::Async ? 15 : 11;
+                for (int k = 0; k <= maxKind; ++k) {
                     if (kindTok == opKindName(static_cast<OpKind>(k))) {
                         op.kind = static_cast<OpKind>(k);
                         found = true;
@@ -247,6 +255,16 @@ class TextLineParser
                   case OpKind::RemoveEvent:
                     ls >> op.event;
                     break;
+                  case OpKind::TaskSpawn:
+                    ls >> op.event >> op.target;
+                    break;
+                  case OpKind::TaskAwait:
+                  case OpKind::TaskCancel:
+                    ls >> op.event;
+                    break;
+                  case OpKind::ScopeEnd:
+                    ls >> op.target;
+                    break;
                 }
                 std::string at;
                 ls >> at;
@@ -266,6 +284,7 @@ class TextLineParser
 
   private:
     EntitySink &entities_;
+    Dialect dialect_;
 };
 
 /** Event ids index the event table on both the materializing and the
@@ -276,7 +295,9 @@ checkOpEventRange(const Operation &op, std::uint64_t numEvents)
 {
     if (op.task.isEvent() && op.task.index() >= numEvents)
         return strf("E%u", op.task.index());
-    if ((op.kind == OpKind::Send || op.kind == OpKind::RemoveEvent) &&
+    if ((op.kind == OpKind::Send || op.kind == OpKind::RemoveEvent ||
+         op.kind == OpKind::TaskSpawn || op.kind == OpKind::TaskAwait ||
+         op.kind == OpKind::TaskCancel) &&
         op.event >= numEvents) {
         return strf("%u", op.event);
     }
@@ -300,7 +321,9 @@ isEntityLine(const std::string &line)
 void
 writeTrace(const Trace &tr, std::ostream &out)
 {
-    out << kTextHeader << '\n';
+    out << (tr.dialect() == Dialect::Async ? kTextHeaderAsync
+                                           : kTextHeader)
+        << '\n';
     for (std::size_t i = 0; i < tr.threads().size(); ++i) {
         const ThreadInfo &t = tr.threads()[i];
         out << "thread " << i << ' ' << threadKindName(t.kind) << ' ';
@@ -373,6 +396,16 @@ writeTrace(const Trace &tr, std::ostream &out)
           case OpKind::RemoveEvent:
             out << ' ' << op.event;
             break;
+          case OpKind::TaskSpawn:
+            out << ' ' << op.event << ' ' << op.target;
+            break;
+          case OpKind::TaskAwait:
+          case OpKind::TaskCancel:
+            out << ' ' << op.event;
+            break;
+          case OpKind::ScopeEnd:
+            out << ' ' << op.target;
+            break;
         }
         out << " @" << op.vtime << '\n';
     }
@@ -391,12 +424,15 @@ readTrace(std::istream &in, Trace &tr, std::string &error)
 {
     tr = Trace();
     std::string line;
-    if (!std::getline(in, line) || line != kTextHeader) {
+    if (!std::getline(in, line) ||
+        (line != kTextHeader && line != kTextHeaderAsync)) {
         error = strf("line 1: bad header ('%s')", line.c_str());
         return false;
     }
+    tr.setDialect(line == kTextHeaderAsync ? Dialect::Async
+                                           : Dialect::Looper);
     TraceBuildSink sink(tr);
-    TextLineParser parser(sink);
+    TextLineParser parser(sink, tr.dialect());
     std::size_t lineNo = 1;
     while (std::getline(in, line)) {
         ++lineNo;
@@ -485,10 +521,14 @@ StreamingTextSource::StreamingTextSource(std::istream &in,
     : in_(in), policy_(policy)
 {
     lineNo_ = 1;
-    if (!std::getline(in_, line_) || line_ != kTextHeader) {
+    if (!std::getline(in_, line_) ||
+        (line_ != kTextHeader && line_ != kTextHeaderAsync)) {
         fail(ErrCode::ParseError,
              strf("line 1: bad header ('%s')", line_.c_str()));
+        return;
     }
+    meta_.setDialect(line_ == kTextHeaderAsync ? Dialect::Async
+                                               : Dialect::Looper);
 }
 
 bool
@@ -533,7 +573,7 @@ StreamingTextSource::next(Operation &op)
 {
     if (!ok_)
         return false;
-    TextLineParser parser(meta_);
+    TextLineParser parser(meta_, meta_.dialect());
     while (std::getline(in_, line_)) {
         ++lineNo_;
         bool isOp = false;

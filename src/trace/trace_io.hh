@@ -101,9 +101,17 @@ class StreamingTextSource : public TraceSource
 
 // ----- binary format --------------------------------------------------
 
-/** Magic bytes opening a binary trace ("ACTB") + format version. */
+/**
+ * Magic bytes opening a binary trace ("ACTB") + format versions.
+ * Version 1 is the original looper-dialect encoding and stays
+ * byte-for-byte unchanged. Version 2 adds a dialect byte after the
+ * version (0 = looper, 1 = async) and, in the async dialect, the four
+ * task-graph op tags 0x0C..0x0F. Looper traces are always written as
+ * version 1 so existing consumers keep working.
+ */
 extern const char kBinaryMagic[4];
 constexpr std::uint8_t kBinaryVersion = 1;
+constexpr std::uint8_t kBinaryVersionDialect = 2;
 
 /**
  * TraceSink streaming the compact binary encoding to @p out as records
@@ -114,8 +122,10 @@ constexpr std::uint8_t kBinaryVersion = 1;
 class BinaryTraceWriter : public TraceSink
 {
   public:
-    /** Writes the magic + version eagerly. */
-    explicit BinaryTraceWriter(std::ostream &out);
+    /** Writes the magic + version (+ dialect byte for async traces)
+     * eagerly. */
+    explicit BinaryTraceWriter(std::ostream &out,
+                               Dialect dialect = Dialect::Looper);
     ~BinaryTraceWriter() override;
 
     ThreadId declThread(ThreadKind kind, std::string name,
@@ -136,6 +146,7 @@ class BinaryTraceWriter : public TraceSink
 
   private:
     std::ostream &out_;
+    Dialect dialect_ = Dialect::Looper;
     std::uint32_t threads_ = 0, queues_ = 0, events_ = 0;
     std::uint32_t vars_ = 0, handles_ = 0, sites_ = 0;
     std::uint64_t ops_ = 0;

@@ -117,6 +117,9 @@ TraceInterpreter::run(const std::vector<OpId> &schedule) const
             out.delivered.push_back(op.task.index());
             break;
           case OpKind::RemoveEvent:
+          case OpKind::TaskCancel:
+            // A cancelled task never runs: same observable effect as
+            // a removed event.
             removed[op.event] = 1;
             break;
           default:
@@ -131,8 +134,9 @@ TraceInterpreter::run(const std::vector<OpId> &schedule) const
         begun[e] = 1;
     for (OpId id : schedule) {
         const Operation &op = tr_.op(id);
-        if (op.kind == OpKind::Send && !begun[op.event] &&
-            !removed[op.event]) {
+        if ((op.kind == OpKind::Send ||
+             op.kind == OpKind::TaskSpawn) &&
+            !begun[op.event] && !removed[op.event]) {
             out.undelivered.push_back(op.event);
         }
     }

@@ -1,0 +1,304 @@
+#include "workload/async_workload.hh"
+
+#include <utility>
+
+#include "runtime/taskgraph.hh"
+#include "support/format.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace asyncclock::workload {
+
+namespace {
+
+using runtime::TaskGraph;
+using trace::SeedLabel;
+using TaskRef = TaskGraph::TaskRef;
+
+struct Ctx
+{
+    const AsyncProfile &p;
+    Rng rng;
+    TaskGraph tg;
+    /** Main-only variables (main is one actor: never racy). */
+    std::vector<trace::VarId> mainVars;
+    std::vector<trace::SiteId> userSites;
+    SeededTruth truth;
+    unsigned taskCount = 0;
+    unsigned varCount = 0;
+
+    explicit Ctx(const AsyncProfile &profile)
+        : p(profile),
+          rng(profile.seed),
+          tg(runtime::TaskGraphConfig{1, profile.executors})
+    {
+    }
+
+    trace::SiteId userSite() { return rng.pick(userSites); }
+
+    /** A confined variable owned by one body. */
+    trace::VarId
+    freshVar(const char *tag)
+    {
+        return tg.var(strf("%s%u", tag, varCount++));
+    }
+};
+
+/** 1..stepsMax reads/writes on this body's confined variable. */
+void
+computeSteps(Ctx &ctx, TaskRef t, trace::VarId local)
+{
+    unsigned steps =
+        1 + static_cast<unsigned>(ctx.rng.below(ctx.p.stepsMax));
+    for (unsigned i = 0; i < steps; ++i) {
+        if (ctx.rng.chance(0.5))
+            ctx.tg.read(t, local, ctx.userSite());
+        else
+            ctx.tg.write(t, local, ctx.userSite());
+    }
+}
+
+/**
+ * Declare one task (plus its subtree) and return its ref. The caller
+ * emits the spawn; children here are spawned/awaited/cancelled by the
+ * task itself. @p inherit (if valid) is a variable the spawner wrote
+ * before the spawn: the child reads it, ordered by the spawn edge —
+ * shared but benign, a precision probe.
+ */
+TaskRef
+buildSubtree(Ctx &ctx, unsigned depth, trace::VarId inherit)
+{
+    TaskRef t = ctx.tg.task(strf("t%u", ctx.taskCount++));
+    trace::VarId local = ctx.freshVar("local");
+    if (inherit != trace::kInvalidId)
+        ctx.tg.read(t, inherit, ctx.userSite());
+    computeSteps(ctx, t, local);
+
+    if (depth < ctx.p.maxDepth && ctx.rng.chance(ctx.p.spawnFrac)) {
+        // Written once before any spawn, read by the children: the
+        // spawn edge orders every pair of accesses.
+        trace::VarId handoff = ctx.freshVar("inherit");
+        ctx.tg.write(t, handoff, ctx.userSite());
+        unsigned n =
+            1 + static_cast<unsigned>(ctx.rng.below(ctx.p.childrenMax));
+        std::vector<TaskRef> kids;
+        for (unsigned i = 0; i < n; ++i) {
+            TaskRef c = buildSubtree(ctx, depth + 1, handoff);
+            ctx.tg.spawn(t, c);
+            kids.push_back(c);
+        }
+        computeSteps(ctx, t, local);
+        for (TaskRef c : kids) {
+            // A cancel attempt only lands while the child is still
+            // pending; otherwise it is a silent no-op (taskgraph.hh).
+            if (ctx.rng.chance(ctx.p.cancelFrac))
+                ctx.tg.cancel(t, c);
+            else if (ctx.rng.chance(ctx.p.awaitFrac))
+                ctx.tg.await(t, c);
+            // The rest are joined by the implicit scope close.
+        }
+    }
+    return t;
+}
+
+/**
+ * One harmful seed: two sibling tasks of main touch a labeled
+ * variable with no ordering edge between them. Even seeds plant a
+ * write/write pair, odd seeds write/read.
+ */
+void
+plantHarmful(Ctx &ctx, unsigned k)
+{
+    trace::VarId v =
+        ctx.tg.var(strf("race%u", k), SeedLabel::Harmful);
+    trace::SiteId sa =
+        ctx.tg.site(strf("race%u.a", k), trace::Frame::User);
+    trace::SiteId sb =
+        ctx.tg.site(strf("race%u.b", k), trace::Frame::User);
+
+    TaskRef a = ctx.tg.task(strf("racer%u.a", k));
+    computeSteps(ctx, a, ctx.freshVar("local"));
+    ctx.tg.write(a, v, sa);
+
+    TaskRef b = ctx.tg.task(strf("racer%u.b", k));
+    computeSteps(ctx, b, ctx.freshVar("local"));
+    if (k % 2 == 0)
+        ctx.tg.write(b, v, sb);
+    else
+        ctx.tg.read(b, v, sb);
+
+    ctx.tg.spawn(TaskGraph::kMain, a);
+    ctx.tg.spawn(TaskGraph::kMain, b);
+    ++ctx.truth.harmful;
+}
+
+/**
+ * One ordered (benign) pair: writer -> await -> writer, so the await
+ * edge orders the two accesses. Reports on these variables are false
+ * positives.
+ */
+void
+plantOrdered(Ctx &ctx, unsigned k)
+{
+    trace::VarId v = ctx.tg.var(strf("ordered%u", k));
+    trace::SiteId sa =
+        ctx.tg.site(strf("ordered%u.a", k), trace::Frame::User);
+    trace::SiteId sb =
+        ctx.tg.site(strf("ordered%u.b", k), trace::Frame::User);
+
+    TaskRef a = ctx.tg.task(strf("writer%u.a", k));
+    computeSteps(ctx, a, ctx.freshVar("local"));
+    ctx.tg.write(a, v, sa);
+
+    TaskRef b = ctx.tg.task(strf("writer%u.b", k));
+    ctx.tg.write(b, v, sb);
+    computeSteps(ctx, b, ctx.freshVar("local"));
+
+    ctx.tg.spawn(TaskGraph::kMain, a);
+    ctx.tg.await(TaskGraph::kMain, a);
+    ctx.tg.spawn(TaskGraph::kMain, b);
+}
+
+/**
+ * Saturate the executor pool with short tasks, then cancel the
+ * overflow: the pool holds `executors` of them, so the last two are
+ * still pending when the cancels arrive and the TaskCancel ops are
+ * guaranteed to appear in the trace.
+ */
+void
+plantCancelCluster(Ctx &ctx)
+{
+    unsigned n = ctx.p.executors + 2;
+    std::vector<TaskRef> burst;
+    for (unsigned i = 0; i < n; ++i) {
+        TaskRef t = ctx.tg.task(strf("burst%u", i));
+        computeSteps(ctx, t, ctx.freshVar("local"));
+        burst.push_back(t);
+    }
+    for (TaskRef t : burst)
+        ctx.tg.spawn(TaskGraph::kMain, t);
+    ctx.tg.cancel(TaskGraph::kMain, burst[n - 1]);
+    ctx.tg.cancel(TaskGraph::kMain, burst[n - 2]);
+}
+
+void
+maybeSleep(Ctx &ctx)
+{
+    if (ctx.p.sleepMaxMs > 0 && ctx.rng.chance(0.5))
+        ctx.tg.sleepFor(TaskGraph::kMain,
+                        1 + ctx.rng.below(ctx.p.sleepMaxMs));
+}
+
+} // namespace
+
+GeneratedAsyncApp
+generateAsyncApp(const AsyncProfile &profile)
+{
+    Ctx ctx(profile);
+
+    for (std::uint32_t i = 0; i < profile.benignVars; ++i)
+        ctx.mainVars.push_back(ctx.tg.var(strf("scratch%u", i)));
+    if (ctx.mainVars.empty())
+        ctx.mainVars.push_back(ctx.tg.var("scratch0"));
+    for (unsigned i = 0; i < 6; ++i)
+        ctx.userSites.push_back(
+            ctx.tg.site(strf("%s.cc:%u", profile.name.c_str(),
+                             100 + 10 * i),
+                        trace::Frame::User));
+
+    // Root subtrees, with harmful/ordered seeds and the cancel
+    // cluster interleaved so seeded accesses spread across the run.
+    std::vector<TaskRef> roots;
+    unsigned harmPlanted = 0, orderedPlanted = 0;
+    for (std::uint32_t r = 0; r < profile.rootTasks; ++r) {
+        maybeSleep(ctx);
+        // Interleave main-confined traffic with the spawns.
+        if (ctx.rng.chance(0.7)) {
+            trace::VarId v = ctx.rng.pick(ctx.mainVars);
+            if (ctx.rng.chance(0.5))
+                ctx.tg.read(TaskGraph::kMain, v, ctx.userSite());
+            else
+                ctx.tg.write(TaskGraph::kMain, v, ctx.userSite());
+        }
+        TaskRef root = buildSubtree(ctx, 1, trace::kInvalidId);
+        ctx.tg.spawn(TaskGraph::kMain, root);
+        roots.push_back(root);
+
+        if (harmPlanted < profile.seededHarmful) {
+            maybeSleep(ctx);
+            plantHarmful(ctx, harmPlanted++);
+        }
+        if (orderedPlanted < profile.seededOrdered) {
+            maybeSleep(ctx);
+            plantOrdered(ctx, orderedPlanted++);
+        }
+        if (r == profile.rootTasks / 2)
+            plantCancelCluster(ctx);
+    }
+    while (harmPlanted < profile.seededHarmful)
+        plantHarmful(ctx, harmPlanted++);
+    while (orderedPlanted < profile.seededOrdered)
+        plantOrdered(ctx, orderedPlanted++);
+
+    // Await a fraction of the roots; the scope close joins the rest.
+    for (TaskRef root : roots) {
+        if (ctx.rng.chance(profile.awaitFrac))
+            ctx.tg.await(TaskGraph::kMain, root);
+    }
+
+    GeneratedAsyncApp app;
+    runtime::TaskGraphRunInfo info;
+    app.trace = ctx.tg.run(&info);
+    app.truth = ctx.truth;
+    app.endTimeMs = info.endTimeMs;
+    app.cancelledTasks = info.cancelled;
+    return app;
+}
+
+std::vector<AsyncProfile>
+asyncProfiles()
+{
+    std::vector<AsyncProfile> out;
+
+    AsyncProfile tree;
+    tree.name = "AsyncTree";
+    tree.seed = 11;
+    out.push_back(tree);
+
+    AsyncProfile pipe;
+    pipe.name = "AsyncPipeline";
+    pipe.seed = 22;
+    pipe.executors = 2;
+    pipe.rootTasks = 6;
+    pipe.maxDepth = 4;
+    pipe.childrenMax = 1;
+    pipe.spawnFrac = 0.9;
+    pipe.awaitFrac = 0.9;
+    pipe.cancelFrac = 0.02;
+    out.push_back(pipe);
+
+    AsyncProfile fan;
+    fan.name = "AsyncFanOut";
+    fan.seed = 33;
+    fan.executors = 4;
+    fan.rootTasks = 24;
+    fan.maxDepth = 2;
+    fan.childrenMax = 5;
+    fan.awaitFrac = 0.3;
+    fan.cancelFrac = 0.12;
+    out.push_back(fan);
+
+    return out;
+}
+
+AsyncProfile
+asyncProfileByName(const std::string &name)
+{
+    for (AsyncProfile &p : asyncProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal(strf("unknown async profile '%s'", name.c_str()));
+}
+
+} // namespace asyncclock::workload

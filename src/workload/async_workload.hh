@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Workload generation for the async/await task-graph dialect.
+ *
+ * The looper generator (workload.hh) models Monkey-driven Android
+ * apps; this one models structured-concurrency coroutine programs on
+ * the TaskGraph runtime (runtime/taskgraph.hh): trees of spawned
+ * tasks on a small executor pool, a configurable mix of awaits and
+ * cancellations, and explicitly planted ground truth —
+ *
+ *  - harmful races: two sibling tasks touch a SeedLabel::Harmful
+ *    variable with no await/scope edge between them (one write/write
+ *    and one write/read pair per seed, alternating);
+ *  - ordered pairs: two tasks touch the same unlabeled variable but
+ *    an await edge orders them — any report on these variables is a
+ *    detector false positive;
+ *  - a cancel cluster sized against the executor pool so that some
+ *    TaskCancel ops are guaranteed to land on still-pending tasks.
+ *
+ * Everything else is confined traffic (each task owns its scratch
+ * variables), so the seeded pairs are the only intended races.
+ * Deterministic in AsyncProfile::seed.
+ */
+
+#ifndef ASYNCCLOCK_WORKLOAD_ASYNC_WORKLOAD_HH
+#define ASYNCCLOCK_WORKLOAD_ASYNC_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "workload/workload.hh"
+
+namespace asyncclock::workload {
+
+/** Structural description of a simulated coroutine program. */
+struct AsyncProfile
+{
+    std::string name = "async";
+    std::uint64_t seed = 1;
+
+    std::uint32_t executors = 3;   ///< executor pool size
+    std::uint32_t rootTasks = 10;  ///< subtrees spawned by main
+    std::uint32_t maxDepth = 3;    ///< task-tree depth limit
+    std::uint32_t childrenMax = 3; ///< children per spawning task
+    std::uint32_t stepsMax = 5;    ///< compute steps per body
+
+    double spawnFrac = 0.6;   ///< odds a non-leaf task spawns children
+    double awaitFrac = 0.6;   ///< odds a child is explicitly awaited
+    double cancelFrac = 0.08; ///< odds a child draws a cancel attempt
+
+    std::uint32_t benignVars = 24;  ///< confined scratch-variable pool
+    std::uint32_t seededHarmful = 4; ///< unordered sibling pairs
+    std::uint32_t seededOrdered = 4; ///< await-ordered pairs (benign)
+
+    /** Occasional main-body sleeps up to this long stretch vtime so
+     * the time-window experiments have something to age. */
+    std::uint64_t sleepMaxMs = 40;
+};
+
+/** A generated coroutine program: trace plus ground truth. */
+struct GeneratedAsyncApp
+{
+    trace::Trace trace;
+    /** Only `harmful` is populated; the harmless taxonomy of the
+     * looper generator has no async counterpart yet. */
+    SeededTruth truth;
+    std::uint64_t endTimeMs = 0;
+    /** Tasks settled by TaskCancel (never ran). */
+    std::uint64_t cancelledTasks = 0;
+};
+
+/** Synthesize a program from a profile (deterministic in seed). */
+GeneratedAsyncApp generateAsyncApp(const AsyncProfile &profile);
+
+/** The stock async profiles: AsyncTree (balanced spawn tree),
+ * AsyncPipeline (deep await chains), AsyncFanOut (wide, rarely
+ * awaited). */
+std::vector<AsyncProfile> asyncProfiles();
+
+/** Stock profile by name; fatal if unknown. */
+AsyncProfile asyncProfileByName(const std::string &name);
+
+} // namespace asyncclock::workload
+
+#endif // ASYNCCLOCK_WORKLOAD_ASYNC_WORKLOAD_HH

@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "clock/dense_clock.hh"
+#include "../bench/dense_clock.hh"
 #include "core/detector.hh"
 #include "report/export.hh"
 #include "report/fasttrack.hh"

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The model/mechanism seam, exercised from the async side: model
+ * selection helpers, AsyncTaskModel recall against the
+ * model-parameterized gold closure, sharded checking over async
+ * traces, and checkpoint/resume identity for an async run (including
+ * the v3 model tag's mismatch refusal).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "core/engine.hh"
+#include "gold/closure.hh"
+#include "report/checkpoint.hh"
+#include "report/fasttrack.hh"
+#include "report/sharded.hh"
+#include "workload/async_workload.hh"
+
+namespace asyncclock {
+namespace {
+
+using core::DetectorEngine;
+using core::ModelKind;
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+// ---------------------------------------------------------------
+// Model selection helpers.
+// ---------------------------------------------------------------
+
+TEST(ModelSeam, NamesParseAndPrint)
+{
+    EXPECT_STREQ(core::modelName(ModelKind::Looper), "looper");
+    EXPECT_STREQ(core::modelName(ModelKind::Async), "async");
+    ModelKind k = ModelKind::Looper;
+    EXPECT_TRUE(core::parseModelName("async", k));
+    EXPECT_EQ(k, ModelKind::Async);
+    EXPECT_TRUE(core::parseModelName("looper", k));
+    EXPECT_EQ(k, ModelKind::Looper);
+    k = ModelKind::Async;
+    EXPECT_FALSE(core::parseModelName("fifo", k));
+    EXPECT_EQ(k, ModelKind::Async) << "failed parse must not clobber";
+}
+
+TEST(ModelSeam, DialectPicksModel)
+{
+    EXPECT_EQ(core::modelForDialect(trace::Dialect::Looper),
+              ModelKind::Looper);
+    EXPECT_EQ(core::modelForDialect(trace::Dialect::Async),
+              ModelKind::Async);
+}
+
+// ---------------------------------------------------------------
+// Recall against the gold closure (the issue's >= 0.95 bar; the
+// generator's confinement discipline makes exact agreement
+// achievable, so that is what we require).
+// ---------------------------------------------------------------
+
+TEST(AsyncModel, MatchesGoldClosureOnEveryProfile)
+{
+    for (const workload::AsyncProfile &p : workload::asyncProfiles()) {
+        workload::GeneratedAsyncApp app =
+            workload::generateAsyncApp(p);
+        ASSERT_EQ(app.trace.validate(true), "") << p.name;
+
+        report::ExactChecker checker;
+        DetectorEngine eng(ModelKind::Async, app.trace, checker, {});
+        eng.runAll();
+        ASSERT_TRUE(eng.runStatus().isOk()) << p.name;
+
+        std::set<std::pair<trace::OpId, trace::OpId>> detected;
+        for (const report::RaceReport &r : checker.races())
+            detected.insert({r.prevOp, r.curOp});
+
+        gold::Closure closure(app.trace);
+        std::size_t hit = 0;
+        for (const gold::GoldRace &g : closure.races())
+            hit += detected.count({g.first, g.second});
+        ASSERT_GT(closure.races().size(), 0u) << p.name;
+        double recall = static_cast<double>(hit) /
+                        static_cast<double>(closure.races().size());
+        EXPECT_GE(recall, 0.95) << p.name;
+        // And no fabricated pairs: everything detected is gold-racy.
+        EXPECT_EQ(detected.size(), hit) << p.name;
+    }
+}
+
+TEST(AsyncModel, SeededRacesFoundAndConfinedVarsQuiet)
+{
+    for (const workload::AsyncProfile &p : workload::asyncProfiles()) {
+        workload::GeneratedAsyncApp app =
+            workload::generateAsyncApp(p);
+        report::ExactChecker checker;
+        DetectorEngine eng(ModelKind::Async, app.trace, checker, {});
+        eng.runAll();
+
+        std::set<trace::VarId> racy;
+        for (const report::RaceReport &r : checker.races())
+            racy.insert(r.var);
+        for (trace::VarId v = 0; v < app.trace.vars().size(); ++v) {
+            const trace::VarInfo &vi = app.trace.var(v);
+            if (vi.seedLabel == trace::SeedLabel::Harmful) {
+                EXPECT_TRUE(racy.count(v))
+                    << p.name << ": seeded race on '" << vi.name
+                    << "' missed";
+            } else {
+                EXPECT_FALSE(racy.count(v))
+                    << p.name << ": false positive on '" << vi.name
+                    << "'";
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// The mechanism underneath is shared: sharded checking and
+// checkpoint/resume must work unchanged for the async model.
+// ---------------------------------------------------------------
+
+TEST(AsyncModel, ShardedCheckerMatchesSequential)
+{
+    workload::GeneratedAsyncApp app = workload::generateAsyncApp(
+        workload::asyncProfileByName("AsyncTree"));
+
+    report::FastTrackChecker seq;
+    DetectorEngine e1(ModelKind::Async, app.trace, seq, {});
+    e1.runAll();
+
+    for (unsigned shards : {2u, 5u}) {
+        report::ShardedConfig scfg;
+        scfg.shards = shards;
+        report::ShardedChecker sharded(scfg);
+        DetectorEngine e2(ModelKind::Async, app.trace, sharded, {});
+        e2.runAll();
+        const auto &got = sharded.races();  // drains
+        ASSERT_EQ(got.size(), seq.races().size()) << shards;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].prevOp, seq.races()[i].prevOp);
+            EXPECT_EQ(got[i].curOp, seq.races()[i].curOp);
+            EXPECT_EQ(got[i].var, seq.races()[i].var);
+        }
+    }
+}
+
+TEST(AsyncModel, ResumeIdenticalToUninterruptedRun)
+{
+    workload::GeneratedAsyncApp app = workload::generateAsyncApp(
+        workload::asyncProfileByName("AsyncPipeline"));
+    const std::string path = tempPath("async_resume.accp");
+
+    report::FastTrackChecker full;
+    {
+        report::ResumeFilter filter(full);
+        DetectorEngine eng(ModelKind::Async, app.trace, filter, {});
+        eng.runAll();
+    }
+    ASSERT_GT(full.races().size(), 0u);
+
+    // Kill mid-run, checkpoint, rebuild everything from the file.
+    std::uint64_t killAt = app.trace.numOps() / 2;
+    {
+        report::FastTrackChecker ft;
+        report::ResumeFilter filter(ft);
+        DetectorEngine eng(ModelKind::Async, app.trace, filter, {});
+        std::uint64_t n = 0;
+        while (n < killAt && eng.processNext())
+            ++n;
+        report::CheckpointMeta meta;
+        meta.opsProcessed = n;
+        meta.accessesChecked = filter.accessesSeen();
+        meta.modelTag = report::kModelTagAsync;
+        ASSERT_TRUE(report::saveCheckpoint(path, meta, ft));
+    }
+    report::FastTrackChecker resumed;
+    auto loaded = report::loadCheckpoint(path, resumed);
+    ASSERT_TRUE(loaded) << loaded.status().toString();
+    EXPECT_EQ(loaded.value().modelTag, report::kModelTagAsync)
+        << "v3 checkpoints must persist the model tag";
+    report::ResumeFilter filter(resumed,
+                                loaded.value().accessesChecked);
+    DetectorEngine eng(ModelKind::Async, app.trace, filter, {});
+    eng.runAll();
+
+    ASSERT_EQ(resumed.races().size(), full.races().size());
+    for (std::size_t i = 0; i < full.races().size(); ++i) {
+        EXPECT_EQ(resumed.races()[i].prevOp, full.races()[i].prevOp);
+        EXPECT_EQ(resumed.races()[i].curOp, full.races()[i].curOp);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(AsyncModel, CheckpointModelTagRoundTrips)
+{
+    const std::string path = tempPath("model_tag.accp");
+    report::FastTrackChecker ft;
+    report::CheckpointMeta meta;
+    meta.modelTag = report::kModelTagAsync;
+    ASSERT_TRUE(report::saveCheckpoint(path, meta, ft));
+    report::FastTrackChecker back;
+    auto loaded = report::loadCheckpoint(path, back);
+    ASSERT_TRUE(loaded);
+    EXPECT_EQ(loaded.value().modelTag, report::kModelTagAsync);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// The generator itself.
+// ---------------------------------------------------------------
+
+TEST(AsyncWorkload, ProfilesAreDeterministic)
+{
+    workload::AsyncProfile p =
+        workload::asyncProfileByName("AsyncFanOut");
+    workload::GeneratedAsyncApp a = workload::generateAsyncApp(p);
+    workload::GeneratedAsyncApp b = workload::generateAsyncApp(p);
+    ASSERT_EQ(a.trace.numOps(), b.trace.numOps());
+    for (trace::OpId i = 0; i < a.trace.numOps(); ++i) {
+        EXPECT_EQ(a.trace.op(i).kind, b.trace.op(i).kind);
+        EXPECT_EQ(a.trace.op(i).vtime, b.trace.op(i).vtime);
+    }
+    EXPECT_EQ(a.endTimeMs, b.endTimeMs);
+    EXPECT_EQ(a.cancelledTasks, b.cancelledTasks);
+}
+
+TEST(AsyncWorkload, CancellationActuallyHappens)
+{
+    for (const workload::AsyncProfile &p : workload::asyncProfiles()) {
+        workload::GeneratedAsyncApp app =
+            workload::generateAsyncApp(p);
+        EXPECT_GT(app.cancelledTasks, 0u)
+            << p.name << ": the cancel cluster should guarantee at "
+            << "least one cancelled task";
+    }
+}
+
+} // namespace
+} // namespace asyncclock
