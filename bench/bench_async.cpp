@@ -12,9 +12,14 @@
  * reach.
  *
  * Usage: bench_async [--scale=1.0] [--json-out=PATH]
+ *                    [--metrics-out=PATH]
  *
  * --json-out writes a machine-readable summary (CI archives it as
- * BENCH_async.json).
+ * BENCH_async.json). --metrics-out attaches a fresh metrics registry
+ * to every profile run (the engine's detector.* and model.* series
+ * plus the generator's taskgraph.* series) and writes the combined
+ * snapshots as one JSON document keyed by profile — the
+ * bench_streaming convention.
  */
 
 #include <algorithm>
@@ -26,7 +31,9 @@
 
 #include "bench_util.hh"
 #include "core/engine.hh"
+#include "obs/metrics.hh"
 #include "support/format.hh"
+#include "support/json.hh"
 #include "workload/async_workload.hh"
 
 using namespace asyncclock;
@@ -44,19 +51,30 @@ struct ProfileResult
     std::uint64_t raceGroups = 0;
     double opsPerSec = 0;
     std::uint64_t peakBytes = 0;
+    std::string metricsJson;  ///< only with --metrics-out
 };
 
 ProfileResult
-runProfile(const workload::AsyncProfile &p, double scale)
+runProfile(const workload::AsyncProfile &p, double scale,
+           bool withMetrics)
 {
     workload::AsyncProfile prof = p;
     prof.rootTasks = std::max<std::uint32_t>(
         1, static_cast<std::uint32_t>(prof.rootTasks * scale + 0.5));
+    // One registry per profile run so the series don't mix. It must
+    // outlive the engine snapshot below.
+    obs::MetricsRegistry registry;
+    obs::ObsContext octx;
+    if (withMetrics) {
+        octx.metrics = &registry;
+        prof.obs = octx;
+    }
     workload::GeneratedAsyncApp app = workload::generateAsyncApp(prof);
 
     report::FastTrackChecker checker;
     core::DetectorEngine eng(core::ModelKind::Async, app.trace,
                              checker, {});
+    eng.attachObs(octx);
     MemStats mem;
     auto start = std::chrono::steady_clock::now();
     eng.runAll(&mem, 4096);
@@ -78,6 +96,10 @@ runProfile(const workload::AsyncProfile &p, double scale)
     for (const report::RaceReport &race : checker.races())
         racyVars.insert(race.var);
     r.raceGroups = racyVars.size();
+    // Snapshot while the engine (the callback metrics' producer) is
+    // still alive.
+    if (withMetrics)
+        r.metricsJson = registry.snapshot().toJson();
     return r;
 }
 
@@ -88,6 +110,8 @@ main(int argc, char **argv)
 {
     double scale = argDouble(argc, argv, "scale", 1.0);
     std::string jsonOut = argString(argc, argv, "json-out", "");
+    std::string metricsOut = argString(argc, argv, "metrics-out", "");
+    bool withMetrics = !metricsOut.empty();
 
     std::printf("Async task-graph model (scale %.2f)\n\n", scale);
     std::printf("%13s | %8s %7s %9s %12s %10s %7s %7s\n", "profile",
@@ -97,7 +121,7 @@ main(int argc, char **argv)
     std::vector<ProfileResult> results;
     bool ok = true;
     for (const workload::AsyncProfile &p : workload::asyncProfiles()) {
-        ProfileResult r = runProfile(p, scale);
+        ProfileResult r = runProfile(p, scale, withMetrics);
         std::printf("%13s | %8llu %7llu %9llu %12.0f %10s %7llu "
                     "%7llu\n",
                     r.name.c_str(), (unsigned long long)r.ops,
@@ -149,6 +173,35 @@ main(int argc, char **argv)
         std::fprintf(f, "  }\n}\n");
         std::fclose(f);
         std::printf("wrote %s\n", jsonOut.c_str());
+    }
+
+    if (withMetrics) {
+        // One document, one complete metrics snapshot per profile
+        // (the bench_streaming convention).
+        JsonWriter w;
+        w.beginObject();
+        w.field("scale", scale);
+        w.key("runs").beginObject();
+        for (const ProfileResult &r : results)
+            w.key(r.name).raw(r.metricsJson);
+        w.endObject();
+        w.endObject();
+        std::FILE *f = std::fopen(metricsOut.c_str(), "wb");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         metricsOut.c_str());
+            return 1;
+        }
+        std::string doc = w.str();
+        doc += "\n";
+        if (std::fwrite(doc.data(), 1, doc.size(), f) != doc.size() ||
+            std::fclose(f) != 0) {
+            std::fprintf(stderr, "short write to %s\n",
+                         metricsOut.c_str());
+            return 1;
+        }
+        std::printf("wrote per-run metrics to %s\n",
+                    metricsOut.c_str());
     }
     return 0;
 }

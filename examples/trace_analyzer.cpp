@@ -34,7 +34,13 @@
  * --progress prints a heartbeat line to stderr every N ops (default
  * 100000); --trace-out writes a Chrome trace-event JSON file of the
  * run's phases (load in Perfetto / chrome://tracing); --metrics-out
- * writes the end-of-run metrics snapshot as JSON.
+ * writes the end-of-run metrics snapshot as JSON; --serve=PORT
+ * scrapes the live run over HTTP (/metrics in Prometheus text
+ * format, /metrics.json, /healthz, /progress); --events-out writes a
+ * structured JSONL log of run lifecycle events (checkpoints,
+ * degradation-ladder rungs, watchdogs, decode skips);
+ * --phase-timing attributes per-op cost to decode / model-apply /
+ * clock-join / race-check / GC-sweep phases.
  *
  * Example:
  *   ./build/examples/trace_analyzer gen Firefox /tmp/firefox.trace 0.02
@@ -49,11 +55,14 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/engine.hh"
 #include "graph/eventracer.hh"
+#include "obs/event_log.hh"
 #include "obs/obs.hh"
 #include "obs/progress.hh"
+#include "obs/telemetry.hh"
 #include "report/checkpoint.hh"
 #include "report/export.hh"
 #include "report/fasttrack.hh"
@@ -108,6 +117,19 @@ usage()
         "                   (default 100000)\n"
         "  --trace-out=PATH write Chrome trace-event JSON (Perfetto)\n"
         "  --metrics-out=PATH write end-of-run metrics JSON\n"
+        "  --serve=PORT     serve live telemetry on 127.0.0.1:PORT\n"
+        "                   (0 = kernel-assigned): /metrics is\n"
+        "                   Prometheus text format, plus\n"
+        "                   /metrics.json /healthz /progress\n"
+        "  --serve-linger-ms=N  keep the telemetry server up N ms\n"
+        "                   after the run finishes (default 0)\n"
+        "  --events-out=PATH  write structured lifecycle events\n"
+        "                   (checkpoints, pressure rungs, watchdogs,\n"
+        "                   decode skips) as JSON lines\n"
+        "  --phase-timing   attribute per-op cost to decode /\n"
+        "                   model-apply / clock-join / race-check /\n"
+        "                   gc-sweep phases (table at end of run;\n"
+        "                   histograms when metrics are on)\n"
         "robustness:\n"
         "  --max-record-errors=N  skip up to N corrupt records before\n"
         "                   failing (default 0: first error fails)\n"
@@ -250,8 +272,11 @@ cmdAnalyze(int argc, char **argv)
     std::uint64_t progressEvery = 0;
     std::uint64_t checkpointEvery = 1000000;
     std::uint64_t watchdogMs = 30000;
+    int servePort = -1;  // -1 = off; 0 = kernel-assigned
+    std::uint64_t serveLingerMs = 0;
     std::string traceOut;
     std::string metricsOut;
+    std::string eventsOut;
     std::string checkpointPath;
     std::string reportOut;
     std::string injectSpec;
@@ -318,6 +343,21 @@ cmdAnalyze(int argc, char **argv)
             traceOut = arg.substr(12);
         } else if (arg.rfind("--metrics-out=", 0) == 0) {
             metricsOut = arg.substr(14);
+        } else if (arg.rfind("--serve=", 0) == 0) {
+            servePort = static_cast<int>(
+                std::strtol(arg.c_str() + 8, nullptr, 10));
+            if (servePort < 0 || servePort > 65535) {
+                std::fprintf(stderr, "--serve: bad port '%s'\n",
+                             arg.c_str() + 8);
+                return 2;
+            }
+        } else if (arg.rfind("--serve-linger-ms=", 0) == 0) {
+            serveLingerMs =
+                std::strtoull(arg.c_str() + 18, nullptr, 10);
+        } else if (arg.rfind("--events-out=", 0) == 0) {
+            eventsOut = arg.substr(13);
+        } else if (arg == "--phase-timing") {
+            cfg.phaseTiming = true;
         } else if (arg.rfind("--max-record-errors=", 0) == 0) {
             policy.maxRecordErrors =
                 std::strtoull(arg.c_str() + 20, nullptr, 10);
@@ -396,14 +436,16 @@ cmdAnalyze(int argc, char **argv)
         return 1;
     }
 
-    // Observability: a registry iff --metrics-out, a tracer iff
-    // --trace-out. Both must outlive the detector and checker (their
-    // snapshot callbacks read into those objects), so they live here
-    // and everything below holds nullable pointers.
+    // Observability: a registry when anything consumes metrics
+    // (--metrics-out, --serve, or --events-out, whose warn tap counts
+    // into the registry), a tracer iff --trace-out. All must outlive
+    // the detector and checker (their snapshot callbacks read into
+    // those objects), so they live here and everything below holds
+    // nullable pointers.
     obs::MetricsRegistry registry;
     obs::Tracer tracer;
     obs::ObsContext octx;
-    if (!metricsOut.empty()) {
+    if (!metricsOut.empty() || servePort >= 0 || !eventsOut.empty()) {
         octx.metrics = &registry;
         // Fresh per-run clock-substrate numbers (join sizes, copies,
         // intern hits) under "clock.*".
@@ -412,6 +454,21 @@ cmdAnalyze(int argc, char **argv)
     }
     if (!traceOut.empty())
         octx.tracer = &tracer;
+    // Structured event log + warn tap. The tap routes every
+    // warn-family call (including rate-limit-suppressed ones) into
+    // log.warnings_* counters and, when --events-out is on, into the
+    // event log; declared after `events` so it detaches first.
+    std::unique_ptr<obs::EventLog> events;
+    if (!eventsOut.empty()) {
+        events = obs::EventLog::open(eventsOut);
+        if (!events)
+            fatal("cannot open " + eventsOut + " for writing");
+        octx.events = events.get();
+    }
+    std::unique_ptr<obs::WarnTap> warnTap;
+    if (octx.metrics)
+        warnTap =
+            std::make_unique<obs::WarnTap>(registry, events.get());
 
     // Checker topology. Three shapes:
     //  - sharded: parallel FastTrack shards (no checkpoint support);
@@ -493,6 +550,16 @@ cmdAnalyze(int argc, char **argv)
                             (unsigned long long)
                                 loaded.value().opsProcessed,
                             (unsigned long long)skip);
+                if (octx.events)
+                    octx.events->log(
+                        obs::EventLog::Severity::Info,
+                        "checkpoint.resumed",
+                        strf("replaying %llu op(s), skipping %llu "
+                             "checked access(es)",
+                             (unsigned long long)
+                                 loaded.value().opsProcessed,
+                             (unsigned long long)skip),
+                        loaded.value().opsProcessed);
             }
         }
         filterOwned =
@@ -626,11 +693,44 @@ cmdAnalyze(int argc, char **argv)
     obs::ProgressMeter meter(progressEvery);
     if (checkpointEvery == 0)
         checkpointEvery = 1000000;
+
+    // Live telemetry endpoint. The publisher runs on this (pipeline)
+    // thread — registry callbacks read detector-owned fields, so
+    // snapshots must come from here; the server thread only ever
+    // serves published (frozen) snapshots.
+    auto makeSample = [&](std::uint64_t ops) {
+        obs::ProgressSample s;
+        s.ops = ops;
+        s.liveBytes = mem.liveTotal();
+        s.peakBytes = mem.peakTotal();
+        s.races = checker->racesFound();
+        if (sharded)
+            s.queueDepths = sharded->queueDepths();
+        return s;
+    };
+    std::unique_ptr<obs::SnapshotPublisher> publisher;
+    std::unique_ptr<obs::TelemetryServer> server;
+    if (servePort >= 0) {
+        publisher = std::make_unique<obs::SnapshotPublisher>(registry);
+        server = std::make_unique<obs::TelemetryServer>(*publisher);
+        if (!server->start(static_cast<std::uint16_t>(servePort)))
+            return 1;
+        std::printf("telemetry: serving on "
+                    "http://127.0.0.1:%u/metrics\n",
+                    unsigned(server->port()));
+        // Publish an initial snapshot so the endpoint is useful
+        // before the first interval elapses.
+        publisher->publish(makeSample(0));
+    }
+
     auto start = std::chrono::steady_clock::now();
     std::uint64_t n = 0;
     while (detector->processNext()) {
-        if ((++n % 1024) == 0)
+        if ((++n % 1024) == 0) {
             detector->sampleMemory(mem);
+            if (publisher)
+                publisher->publishIfDue(makeSample(n));
+        }
         if (filter && (n % checkpointEvery) == 0 &&
             !filter->replaying()) {
             // Don't snapshot while still replaying: the restored
@@ -643,18 +743,17 @@ cmdAnalyze(int argc, char **argv)
                 !st) {
                 std::fprintf(stderr, "checkpoint failed: %s\n",
                              st.toString().c_str());
+            } else if (octx.events) {
+                octx.events->log(
+                    obs::EventLog::Severity::Info, "checkpoint.saved",
+                    strf("%llu access(es) checked",
+                         (unsigned long long)filter->accessesSeen()),
+                    n);
             }
         }
         if (meter.due(n)) {
             detector->sampleMemory(mem);
-            obs::ProgressSample s;
-            s.ops = n;
-            s.liveBytes = mem.liveTotal();
-            s.peakBytes = mem.peakTotal();
-            s.races = checker->racesFound();
-            if (sharded)
-                s.queueDepths = sharded->queueDepths();
-            meter.report(s);
+            meter.report(makeSample(n));
         }
     }
     detector->sampleMemory(mem);
@@ -666,6 +765,20 @@ cmdAnalyze(int argc, char **argv)
     if (octx.metrics)
         octx.metrics->gauge("run.elapsed_us")
             .set(static_cast<std::int64_t>(elapsed * 1e6));
+    if (publisher) {
+        // Final snapshot with the end-of-run numbers, then linger so
+        // a scraper can still collect it before shutdown.
+        publisher->publish(makeSample(n));
+        if (serveLingerMs > 0) {
+            std::printf("telemetry: lingering %llu ms before "
+                        "shutdown...\n",
+                        (unsigned long long)serveLingerMs);
+            std::fflush(stdout);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(serveLingerMs));
+        }
+        server->stop();
+    }
     // Structured post-mortems, most specific first. None of these
     // abort: a damaged trace, a blown error budget, or a failed shard
     // ends the run with a diagnostic and a nonzero exit.
@@ -693,6 +806,23 @@ cmdAnalyze(int argc, char **argv)
                 clock::backendName(clock::defaultBackend()), elapsed,
                 humanBytes(mem.peakTotal()).c_str());
     std::printf("%s", mem.summary().c_str());
+    if (cfg.phaseTiming && acDetector && n > 0) {
+        const std::uint64_t *ph = acDetector->phaseTotalsNs();
+        std::uint64_t totalNs = 0;
+        for (std::size_t i = 0; i < core::kNumPhases; ++i)
+            totalNs += ph[i];
+        std::printf("per-phase latency attribution (%llu ops, "
+                    "%.3f ms measured):\n",
+                    (unsigned long long)n, totalNs / 1e6);
+        for (std::size_t i = 0; i < core::kNumPhases; ++i) {
+            std::printf(
+                "  %-12s %12.3f ms  %5.1f%%  (%7.1f ns/op)\n",
+                core::phaseName(static_cast<core::Phase>(i)),
+                ph[i] / 1e6,
+                totalNs > 0 ? 100.0 * ph[i] / totalNs : 0.0,
+                static_cast<double>(ph[i]) / n);
+        }
+    }
 
     report::RaceAnalyzer analyzer =
         streaming ? report::RaceAnalyzer(source->meta())

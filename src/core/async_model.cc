@@ -264,6 +264,7 @@ AsyncTaskModel::applyOp(const Operation &op, OpId id)
             acc.site = op.site;
             acc.task = op.task;
             acc.isWrite = op.kind == OpKind::Write;
+            PhaseScope timed(engine_, Phase::RaceCheck);
             checker_.onAccess(op.target, acc, chains_[c].vc);
         }
         break;
@@ -285,7 +286,10 @@ AsyncTaskModel::applyOp(const Operation &op, OpId id)
       case OpKind::TaskAwait:
         {
             // Rule AWAIT: settle(C) hb await(C). An aged child's
-            // settle time is covered by the window clock.
+            // settle time is covered by the window clock. Awaits and
+            // scope closes are the join-dominated phase of this
+            // model.
+            PhaseScope timed(engine_, Phase::ClockJoin);
             ChainId c = chainOf(op.task);
             Chain &ch = chains_[c];
             if (aged_[op.event]) {
@@ -314,6 +318,7 @@ AsyncTaskModel::applyOp(const Operation &op, OpId id)
         {
             // Structured concurrency's implicit join: every member
             // task settled before the scope closes.
+            PhaseScope timed(engine_, Phase::ClockJoin);
             ChainId c = chainOf(op.task);
             joinInto(c, scopeJoin_[op.target]);
             tickChain(c);
@@ -463,8 +468,16 @@ AsyncTaskModel::relieveMemoryPressure(std::uint64_t now)
     if (modelBytes() <= cfg_.memBudgetBytes)
         return;
 
+    obs::EventLog *events = engine_.events();
+
     gcSweep();
     ++counters_.pressureGcSweeps;
+    if (events)
+        events->log(obs::EventLog::Severity::Info, "pressure.sweep",
+                    strf("aggressive sweep; %llu bytes live",
+                         static_cast<unsigned long long>(
+                             modelBytes())),
+                    engine_.opsProcessed());
     if (modelBytes() <= cfg_.memBudgetBytes)
         return;
 
@@ -472,6 +485,13 @@ AsyncTaskModel::relieveMemoryPressure(std::uint64_t now)
         cfg_.windowMs = std::max(cfg_.windowMs / 2, cfg_.minWindowMs);
         ageWindow(now);
         ++counters_.pressureWindowShrinks;
+        if (events)
+            events->log(obs::EventLog::Severity::Warn,
+                        "pressure.shrink",
+                        strf("window halved to %llu ms",
+                             static_cast<unsigned long long>(
+                                 cfg_.windowMs)),
+                        engine_.opsProcessed());
         if (modelBytes() <= cfg_.memBudgetBytes)
             return;
     }
@@ -480,6 +500,12 @@ AsyncTaskModel::relieveMemoryPressure(std::uint64_t now)
         drainSettledWindow();
         gcSweep();
         ++counters_.pressureInvalidations;
+        if (events)
+            events->log(obs::EventLog::Severity::Warn,
+                        "pressure.invalidate",
+                        "every settled task invalidated into the "
+                        "window clock",
+                        engine_.opsProcessed());
     }
 }
 

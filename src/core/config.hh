@@ -74,6 +74,16 @@ struct DetectorConfig
     std::uint64_t maxInvalidOps = 64;
 
     /**
+     * Per-phase latency attribution: carve each op's cost into
+     * decode / model-apply / clock-join / race-check / gc-sweep
+     * buckets (engine.hh). Costs a handful of steady_clock reads per
+     * op when on; when off the only residue is one predicted branch
+     * per instrumentation site, keeping the disabled-overhead budget
+     * (<2%) intact.
+     */
+    bool phaseTiming = false;
+
+    /**
      * Vector-clock representation (see clock/policy.hh): sparse (the
      * default), copy-on-write interned, or tree clock. Captured from
      * the process-wide default at config construction; constructing a

@@ -7,6 +7,19 @@ namespace asyncclock::core {
 using trace::OpId;
 using trace::Operation;
 
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+    case Phase::Decode: return "decode";
+    case Phase::ModelApply: return "model_apply";
+    case Phase::ClockJoin: return "clock_join";
+    case Phase::RaceCheck: return "race_check";
+    case Phase::GcSweep: return "gc_sweep";
+    }
+    return "unknown";
+}
+
 DetectorEngine::DetectorEngine(ModelKind model, trace::TraceSource &src,
                                report::AccessChecker &checker,
                                DetectorConfig cfg)
@@ -16,6 +29,7 @@ DetectorEngine::DetectorEngine(ModelKind model, trace::TraceSource &src,
     gcIntervalEff_ = (cfg_.memBudgetBytes > 0 && cfg_.gcIntervalOps > 512)
                          ? 512
                          : cfg_.gcIntervalOps;
+    timing_ = cfg_.phaseTiming;
     model_ = makeModel(model, *this);
     model_->syncEntities();
 }
@@ -30,6 +44,7 @@ DetectorEngine::DetectorEngine(ModelKind model, const trace::Trace &tr,
     gcIntervalEff_ = (cfg_.memBudgetBytes > 0 && cfg_.gcIntervalOps > 512)
                          ? 512
                          : cfg_.gcIntervalOps;
+    timing_ = cfg_.phaseTiming;
     model_ = makeModel(model, *this);
     model_->syncEntities();
 }
@@ -57,6 +72,8 @@ DetectorEngine::processNext()
 {
     if (!runStatus_.isOk()) [[unlikely]]
         return false;
+    if (timing_) [[unlikely]]
+        return processNextTimed();
     if (obs_.tracer) [[unlikely]]
         return processNextTraced();
     Operation op;
@@ -96,6 +113,53 @@ DetectorEngine::processNextTraced()
     return true;
 }
 
+bool
+DetectorEngine::processNextTimed()
+{
+    // Timed pump: Decode is measured here, ClockJoin/RaceCheck by
+    // PhaseScope sites inside the model, GcSweep by processOp, and
+    // ModelApply is the residual — so the buckets sum to the
+    // measured per-op wall time.
+    using SteadyClock = std::chrono::steady_clock;
+    auto nsBetween = [](SteadyClock::time_point a,
+                        SteadyClock::time_point b) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                .count());
+    };
+    Operation op;
+    auto t0 = SteadyClock::now();
+    bool got = source_->next(op);
+    auto t1 = SteadyClock::now();
+    if (!got)
+        return false;
+    for (std::size_t i = 0; i < kNumPhases; ++i)
+        opPhaseNs_[i] = 0;
+    opPhaseNs_[static_cast<std::size_t>(Phase::Decode)] =
+        nsBetween(t0, t1);
+    model_->syncEntities();
+    processOp(op, static_cast<OpId>(cursor_));
+    ++cursor_;
+    auto t2 = SteadyClock::now();
+    std::uint64_t resolveNs = nsBetween(t1, t2);
+    std::uint64_t nested =
+        opPhaseNs_[static_cast<std::size_t>(Phase::ClockJoin)] +
+        opPhaseNs_[static_cast<std::size_t>(Phase::RaceCheck)] +
+        opPhaseNs_[static_cast<std::size_t>(Phase::GcSweep)];
+    opPhaseNs_[static_cast<std::size_t>(Phase::ModelApply)] =
+        resolveNs > nested ? resolveNs - nested : 0;
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+        totalPhaseNs_[i] += opPhaseNs_[i];
+        // Decode and ModelApply happen every op; the nested phases
+        // are recorded only when they ran, so their histogram counts
+        // mean "ops where the phase fired".
+        bool everyOp = i <= static_cast<std::size_t>(Phase::ModelApply);
+        if (phaseHist_[i] && (everyOp || opPhaseNs_[i] > 0))
+            phaseHist_[i]->observe(opPhaseNs_[i]);
+    }
+    return true;
+}
+
 void
 DetectorEngine::processOp(const Operation &op, OpId id)
 {
@@ -107,6 +171,7 @@ DetectorEngine::processOp(const Operation &op, OpId id)
         model_->ageWindow(op.vtime);
     if (++opsSinceGc_ >= gcIntervalEff_) {
         opsSinceGc_ = 0;
+        PhaseScope timed(*this, Phase::GcSweep);
         {
             obs::ScopedSpan span(obs_.tracer, obs::kMainTrack,
                                  "gc_sweep");
@@ -118,6 +183,16 @@ DetectorEngine::processOp(const Operation &op, OpId id)
             model_->relieveMemoryPressure(op.vtime);
     }
     model_->syncDerivedCounters();
+}
+
+void
+DetectorEngine::failRun(Status st)
+{
+    if (obs_.events && runStatus_.isOk() && !st.isOk())
+        obs_.events->log(obs::EventLog::Severity::Error,
+                         "protocol.budget_exhausted", st.message(),
+                         cursor_);
+    runStatus_ = std::move(st);
 }
 
 std::uint64_t
@@ -186,6 +261,29 @@ DetectorEngine::attachObs(const obs::ObsContext &ctx)
     reg.gaugeFn("detector.chains", [this] {
         return static_cast<std::int64_t>(model_->numChains());
     });
+    // Run identity as a labeled constant-1 gauge (the Prometheus
+    // "info" idiom): lets dashboards join per-run series on model
+    // and clock backend without parsing names.
+    reg.gauge("run.info",
+              {{"model", modelName(model_->kind())},
+               {"backend", clock::backendName(cfg_.clockBackend)}})
+        .set(1);
+    if (cfg_.phaseTiming) {
+        // Per-op ns: sub-µs decode/check up to ms-scale GC sweeps.
+        const std::vector<std::uint64_t> bounds = {
+            100,     250,     500,      1000,    2500,
+            5000,    10000,   25000,    50000,   100000,
+            250000,  1000000, 10000000,
+        };
+        for (std::size_t i = 0; i < kNumPhases; ++i) {
+            phaseHist_[i] = &reg.histogram(
+                "detector.phase_ns",
+                {{"phase", phaseName(static_cast<Phase>(i))},
+                 {"model", modelName(model_->kind())},
+                 {"backend", clock::backendName(cfg_.clockBackend)}},
+                bounds);
+        }
+    }
     model_->registerModelMetrics(reg);
 }
 

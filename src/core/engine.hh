@@ -16,6 +16,7 @@
 #ifndef ASYNCCLOCK_CORE_ENGINE_HH
 #define ASYNCCLOCK_CORE_ENGINE_HH
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 
@@ -29,6 +30,26 @@
 #include "trace/trace.hh"
 
 namespace asyncclock::core {
+
+/**
+ * Latency-attribution phases (DetectorConfig::phaseTiming). Each
+ * processed op's wall time is carved into these buckets: Decode and
+ * GcSweep are measured directly by the engine, ClockJoin and
+ * RaceCheck by PhaseScope sites inside the model, and ModelApply is
+ * the residual (total resolve time minus the nested phases), so the
+ * five buckets sum to the measured per-op wall time.
+ */
+enum class Phase : std::uint8_t {
+    Decode = 0,   ///< pulling + decoding the next op from the source
+    ModelApply,   ///< model state updates (residual, see above)
+    ClockJoin,    ///< vector-clock resolution and joins
+    RaceCheck,    ///< access-checker queries
+    GcSweep,      ///< GC sweeps and memory-pressure relief
+};
+constexpr std::size_t kNumPhases = 5;
+
+/** Lower-case phase label ("decode", "model_apply", ...). */
+const char *phaseName(Phase p);
 
 class DetectorEngine : public report::Detector
 {
@@ -87,10 +108,28 @@ class DetectorEngine : public report::Detector
     /** Mutable: the pressure ladder shrinks cfg().windowMs. */
     DetectorConfig &cfg() { return cfg_; }
     DetectorCounters &countersMut() { return counters_; }
-    /** Fail the run with a structured status (budget exhaustion). */
-    void failRun(Status st) { runStatus_ = std::move(st); }
+    /** Fail the run with a structured status (budget exhaustion);
+     * logged to the attached event log, if any. */
+    void failRun(Status st);
     /** Attached tracer, or null (for model-specific spans). */
     obs::Tracer *tracer() const { return obs_.tracer; }
+    /** Attached structured event log, or null. */
+    obs::EventLog *events() const { return obs_.events; }
+
+    // ----- per-phase latency attribution ----------------------------
+    /** True when cfg().phaseTiming is set; PhaseScope sites check
+     * this one bool, so disabled runs pay a single predicted branch
+     * per site. */
+    bool phaseTimingOn() const { return timing_; }
+    /** Attribute @p ns to @p p within the current op (PhaseScope). */
+    void
+    addPhaseNs(Phase p, std::uint64_t ns)
+    {
+        opPhaseNs_[static_cast<std::size_t>(p)] += ns;
+    }
+    /** Cumulative ns attributed per phase (index by Phase), for
+     * end-of-run reporting. All zero unless phaseTiming is on. */
+    const std::uint64_t *phaseTotalsNs() const { return totalPhaseNs_; }
 
   private:
     void processOp(const trace::Operation &op, trace::OpId id);
@@ -99,6 +138,9 @@ class DetectorEngine : public report::Detector
     /** processNext() with per-block span timing; kept out of line so
      * the untraced hot path stays small. */
     bool processNextTraced();
+    /** processNext() with per-phase latency carving (takes precedence
+     * over tracing when both are enabled). */
+    bool processNextTimed();
     /** Emit the accumulated pump span, if any ops are pending. */
     void flushPumpSpan();
 
@@ -128,6 +170,54 @@ class DetectorEngine : public report::Detector
     std::uint64_t pumpStartUs_ = 0;
     std::uint64_t pumpDecodeUs_ = 0;
     std::uint64_t pumpResolveUs_ = 0;
+
+    // ----- phase timing (inactive unless cfg.phaseTiming) -----------
+    bool timing_ = false;
+    /** ns attributed per phase within the op in flight. */
+    std::uint64_t opPhaseNs_[kNumPhases] = {};
+    /** Cumulative ns per phase across the run. */
+    std::uint64_t totalPhaseNs_[kNumPhases] = {};
+    /** detector.phase_ns{phase,model,backend} histograms, or null
+     * when metrics are not attached. */
+    obs::Histogram *phaseHist_[kNumPhases] = {};
+};
+
+/**
+ * RAII timer attributing the enclosed scope's wall time to one
+ * phase. A no-op (one predicted branch, no clock reads) unless the
+ * engine's phaseTiming config is on — cheap enough for model hot
+ * paths like the per-access checker call.
+ */
+class PhaseScope
+{
+  public:
+    PhaseScope(DetectorEngine &engine, Phase p)
+        : engine_(engine), phase_(p), on_(engine.phaseTimingOn())
+    {
+        if (on_) [[unlikely]]
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~PhaseScope()
+    {
+        if (on_) [[unlikely]] {
+            auto ns = std::chrono::duration_cast<
+                          std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+            engine_.addPhaseNs(phase_,
+                               static_cast<std::uint64_t>(ns));
+        }
+    }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+  private:
+    DetectorEngine &engine_;
+    Phase phase_;
+    bool on_;
+    std::chrono::steady_clock::time_point start_{};
 };
 
 } // namespace asyncclock::core

@@ -363,6 +363,7 @@ LooperModel::applyOp(const Operation &op, OpId id)
             acc.site = op.site;
             acc.task = op.task;
             acc.isWrite = op.kind == OpKind::Write;
+            PhaseScope timed(engine_, Phase::RaceCheck);
             checker_.onAccess(op.target, acc, chains_[c].vc);
         }
         break;
@@ -373,7 +374,13 @@ LooperModel::applyOp(const Operation &op, OpId id)
         onRemove(op);
         break;
       case OpKind::EventBegin:
-        onEventBegin(op, id);
+        {
+            // Event-begin clock resolution is the join-dominated
+            // phase of the looper model (window/LOOPBEGIN/multi-path
+            // joins all happen here).
+            PhaseScope timed(engine_, Phase::ClockJoin);
+            onEventBegin(op, id);
+        }
         break;
       case OpKind::EventEnd:
         onEventEnd(op);
@@ -1406,10 +1413,18 @@ LooperModel::relieveMemoryPressure(std::uint64_t now)
     if (modelBytes() <= cfg_.memBudgetBytes)
         return;
 
+    obs::EventLog *events = engine_.events();
+
     // Rung 1: aggressive sweep — reclaim everything reclaimable
     // without any recall impact.
     aggressiveSweep();
     ++counters_.pressureGcSweeps;
+    if (events)
+        events->log(obs::EventLog::Severity::Info, "pressure.sweep",
+                    strf("aggressive sweep; %llu bytes live",
+                         static_cast<unsigned long long>(
+                             modelBytes())),
+                    engine_.opsProcessed());
     if (modelBytes() <= cfg_.memBudgetBytes)
         return;
 
@@ -1422,6 +1437,13 @@ LooperModel::relieveMemoryPressure(std::uint64_t now)
         ageWindow(now);
         gcSweep();
         ++counters_.pressureWindowShrinks;
+        if (events)
+            events->log(obs::EventLog::Severity::Warn,
+                        "pressure.shrink",
+                        strf("window halved to %llu ms",
+                             static_cast<unsigned long long>(
+                                 cfg_.windowMs)),
+                        engine_.opsProcessed());
         if (modelBytes() <= cfg_.memBudgetBytes)
             return;
     }
@@ -1434,6 +1456,12 @@ LooperModel::relieveMemoryPressure(std::uint64_t now)
         drainEndedWindow();
         gcSweep();
         ++counters_.pressureInvalidations;
+        if (events)
+            events->log(obs::EventLog::Severity::Warn,
+                        "pressure.invalidate",
+                        "every ended event invalidated into the "
+                        "window clock",
+                        engine_.opsProcessed());
     }
 }
 

@@ -1,0 +1,87 @@
+#include "obs/event_log.hh"
+
+#include "obs/metrics.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace asyncclock::obs {
+
+std::unique_ptr<EventLog>
+EventLog::open(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return nullptr;
+    return std::unique_ptr<EventLog>(new EventLog(f, true));
+}
+
+EventLog::EventLog(std::FILE *out) : EventLog(out, false) {}
+
+EventLog::EventLog(std::FILE *out, bool owns)
+    : out_(out), owns_(owns), start_(std::chrono::steady_clock::now())
+{
+}
+
+EventLog::~EventLog()
+{
+    if (owns_)
+        std::fclose(out_);
+}
+
+void
+EventLog::log(Severity sev, const std::string &kind,
+              const std::string &msg, std::uint64_t op)
+{
+    const char *sevName = sev == Severity::Info    ? "info"
+                          : sev == Severity::Warn ? "warn"
+                                                  : "error";
+    auto now = std::chrono::steady_clock::now();
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  now - start_)
+                  .count();
+    JsonWriter w;
+    std::lock_guard<std::mutex> lock(mu_);
+    w.beginObject();
+    w.field("seq", seq_++);
+    w.field("ts_us", static_cast<std::uint64_t>(us));
+    w.field("sev", sevName);
+    w.field("kind", kind);
+    w.field("op", op);
+    w.field("msg", msg);
+    w.endObject();
+    std::fprintf(out_, "%s\n", w.str().c_str());
+    std::fflush(out_);
+}
+
+std::uint64_t
+EventLog::eventsLogged() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return seq_;
+}
+
+WarnTap::WarnTap(MetricsRegistry &reg, EventLog *events)
+{
+    Counter *total = &reg.counter("log.warnings_total");
+    Counter *suppressed = &reg.counter("log.warnings_suppressed");
+    setWarnListener([total, suppressed, events](
+                        const std::string &key, const std::string &msg,
+                        bool wasSuppressed) {
+        total->inc();
+        if (wasSuppressed) {
+            suppressed->inc();
+            return;  // counted, not logged — that's the whole point
+        }
+        if (events) {
+            events->log(EventLog::Severity::Warn,
+                        key.empty() ? "log.warn" : "log." + key, msg);
+        }
+    });
+}
+
+WarnTap::~WarnTap()
+{
+    setWarnListener(nullptr);
+}
+
+} // namespace asyncclock::obs

@@ -9,6 +9,76 @@
 
 namespace asyncclock::obs {
 
+namespace {
+
+/** Escape a label value for the canonical '{k="v"}' form. */
+std::string
+escapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+seriesName(const std::string &name, LabelSet labels)
+{
+    if (labels.empty())
+        return name;
+    std::sort(labels.begin(), labels.end());
+    std::string out = name;
+    out += '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i)
+            out += ',';
+        out += labels[i].first;
+        out += "=\"";
+        out += escapeLabelValue(labels[i].second);
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+bool
+splitSeries(const std::string &full, std::string &base,
+            LabelSet &labels)
+{
+    std::size_t brace = full.find('{');
+    if (brace == std::string::npos)
+        return false;
+    acAssert(full.back() == '}', "series name: unterminated labels");
+    base = full.substr(0, brace);
+    labels.clear();
+    std::size_t i = brace + 1;
+    while (i < full.size() && full[i] != '}') {
+        std::size_t eq = full.find('=', i);
+        acAssert(eq != std::string::npos && full[eq + 1] == '"',
+                 "series name: malformed label");
+        std::string key = full.substr(i, eq - i);
+        std::string value;
+        std::size_t j = eq + 2;
+        for (; j < full.size() && full[j] != '"'; ++j) {
+            if (full[j] == '\\' && j + 1 < full.size())
+                ++j;
+            value += full[j];
+        }
+        acAssert(j < full.size(), "series name: unterminated value");
+        labels.emplace_back(std::move(key), std::move(value));
+        i = j + 1;
+        if (i < full.size() && full[i] == ',')
+            ++i;
+    }
+    return true;
+}
+
 Histogram::Histogram(std::vector<std::uint64_t> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
 {
@@ -76,6 +146,27 @@ MetricsRegistry::histogram(const std::string &name,
     return *slot;
 }
 
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const LabelSet &labels)
+{
+    return counter(seriesName(name, labels));
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const LabelSet &labels)
+{
+    return gauge(seriesName(name, labels));
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const LabelSet &labels,
+                           std::vector<std::uint64_t> bounds)
+{
+    return histogram(seriesName(name, labels), std::move(bounds));
+}
+
 void
 MetricsRegistry::counterFn(const std::string &name,
                            std::function<std::uint64_t()> fn)
@@ -125,40 +216,244 @@ MetricsRegistry::snapshot() const
     return out;
 }
 
+bool
+MetricsSnapshot::hasLabels() const
+{
+    auto labeled = [](const std::string &name) {
+        return name.find('{') != std::string::npos;
+    };
+    for (const auto &[name, v] : counters)
+        if (labeled(name))
+            return true;
+    for (const auto &[name, v] : gauges)
+        if (labeled(name))
+            return true;
+    for (const HistogramSnapshot &h : histograms)
+        if (labeled(h.name))
+            return true;
+    return false;
+}
+
+namespace {
+
+void
+writeLabels(JsonWriter &w, const LabelSet &labels)
+{
+    w.key("labels").beginObject();
+    for (const auto &[k, v] : labels)
+        w.field(k, v);
+    w.endObject();
+}
+
+void
+writeHistogramBody(JsonWriter &w, const HistogramSnapshot &h)
+{
+    w.key("bounds").beginArray();
+    for (std::uint64_t b : h.bounds)
+        w.value(b);
+    w.endArray();
+    w.key("counts").beginArray();
+    for (std::uint64_t c : h.counts)
+        w.value(c);
+    w.endArray();
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.field("min", h.min);
+    w.field("max", h.max);
+}
+
+} // namespace
+
 std::string
 MetricsSnapshot::toJson() const
 {
+    // v1 stays byte-stable for label-free registries; labeled series
+    // move to a "series" section so the flat sections keep holding
+    // plain names only.
+    const bool v2 = hasLabels();
+    std::string base;
+    LabelSet labels;
     JsonWriter w;
     w.beginObject();
-    w.field("schema", "asyncclock-metrics-v1");
+    w.field("schema",
+            v2 ? "asyncclock-metrics-v2" : "asyncclock-metrics-v1");
     w.key("counters").beginObject();
     for (const auto &[name, v] : counters)
-        w.field(name, v);
+        if (!splitSeries(name, base, labels))
+            w.field(name, v);
     w.endObject();
     w.key("gauges").beginObject();
     for (const auto &[name, v] : gauges)
-        w.field(name, v);
+        if (!splitSeries(name, base, labels))
+            w.field(name, v);
     w.endObject();
     w.key("histograms").beginObject();
     for (const HistogramSnapshot &h : histograms) {
+        if (splitSeries(h.name, base, labels))
+            continue;
         w.key(h.name).beginObject();
-        w.key("bounds").beginArray();
-        for (std::uint64_t b : h.bounds)
-            w.value(b);
-        w.endArray();
-        w.key("counts").beginArray();
-        for (std::uint64_t c : h.counts)
-            w.value(c);
-        w.endArray();
-        w.field("count", h.count);
-        w.field("sum", h.sum);
-        w.field("min", h.min);
-        w.field("max", h.max);
+        writeHistogramBody(w, h);
         w.endObject();
     }
     w.endObject();
+    if (v2) {
+        w.key("series").beginObject();
+        w.key("counters").beginArray();
+        for (const auto &[name, v] : counters) {
+            if (!splitSeries(name, base, labels))
+                continue;
+            w.beginObject();
+            w.field("name", base);
+            writeLabels(w, labels);
+            w.field("value", v);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("gauges").beginArray();
+        for (const auto &[name, v] : gauges) {
+            if (!splitSeries(name, base, labels))
+                continue;
+            w.beginObject();
+            w.field("name", base);
+            writeLabels(w, labels);
+            w.field("value", v);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("histograms").beginArray();
+        for (const HistogramSnapshot &h : histograms) {
+            if (!splitSeries(h.name, base, labels))
+                continue;
+            w.beginObject();
+            w.field("name", base);
+            writeLabels(w, labels);
+            writeHistogramBody(w, h);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
     w.endObject();
     return w.str();
+}
+
+namespace {
+
+/** Prometheus metric name: "asyncclock_" + base with every character
+ * outside [a-zA-Z0-9_:] replaced by '_'. */
+std::string
+promName(const std::string &base)
+{
+    std::string out = "asyncclock_";
+    for (char c : base) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+/** Render '{k="v",...}' for exposition; @p extra appends one more
+ * label (used for histogram `le`). Label values are escaped per the
+ * 0.0.4 spec (backslash, double-quote, newline). */
+std::string
+promLabels(const LabelSet &labels, const std::string &extraKey = "",
+           const std::string &extraValue = "")
+{
+    if (labels.empty() && extraKey.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    auto append = [&](const std::string &k, const std::string &v) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += k;
+        out += "=\"";
+        for (char c : v) {
+            if (c == '\\')
+                out += "\\\\";
+            else if (c == '"')
+                out += "\\\"";
+            else if (c == '\n')
+                out += "\\n";
+            else
+                out += c;
+        }
+        out += '"';
+    };
+    for (const auto &[k, v] : labels)
+        append(k, v);
+    if (!extraKey.empty())
+        append(extraKey, extraValue);
+    out += '}';
+    return out;
+}
+
+/** Emit "# TYPE name type" once per metric family. Series are sorted
+ * by canonical name, so a family's members are adjacent. */
+void
+promTypeLine(std::string &out, std::string &lastFamily,
+             const std::string &family, const char *type)
+{
+    if (family == lastFamily)
+        return;
+    lastFamily = family;
+    out += "# TYPE ";
+    out += family;
+    out += ' ';
+    out += type;
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+MetricsSnapshot::toPrometheus() const
+{
+    std::string out;
+    std::string lastFamily;
+    std::string base;
+    LabelSet labels;
+    auto split = [&](const std::string &full) {
+        if (!splitSeries(full, base, labels)) {
+            base = full;
+            labels.clear();
+        }
+    };
+    for (const auto &[name, v] : counters) {
+        split(name);
+        std::string family = promName(base);
+        promTypeLine(out, lastFamily, family, "counter");
+        out += family + promLabels(labels) + ' ' + std::to_string(v) +
+               '\n';
+    }
+    for (const auto &[name, v] : gauges) {
+        split(name);
+        std::string family = promName(base);
+        promTypeLine(out, lastFamily, family, "gauge");
+        out += family + promLabels(labels) + ' ' + std::to_string(v) +
+               '\n';
+    }
+    for (const HistogramSnapshot &h : histograms) {
+        split(h.name);
+        std::string family = promName(base);
+        promTypeLine(out, lastFamily, family, "histogram");
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            cum += h.counts[i];
+            std::string le = i < h.bounds.size()
+                                 ? std::to_string(h.bounds[i])
+                                 : "+Inf";
+            out += family + "_bucket" + promLabels(labels, "le", le) +
+                   ' ' + std::to_string(cum) + '\n';
+        }
+        out += family + "_sum" + promLabels(labels) + ' ' +
+               std::to_string(h.sum) + '\n';
+        out += family + "_count" + promLabels(labels) + ' ' +
+               std::to_string(h.count) + '\n';
+    }
+    return out;
 }
 
 std::string

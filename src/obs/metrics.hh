@@ -23,6 +23,18 @@
  * Snapshots serialize to a stable JSON schema
  * ("asyncclock-metrics-v1", names sorted) so end-of-run reports are
  * diffable and machine-readable.
+ *
+ * Metrics may carry *labels* (name{model="async",backend="tree"}) so
+ * per-model / per-backend / per-shard series coexist in one registry.
+ * A labeled series is addressed by its canonical series name — base
+ * name plus a '{k="v",...}' block with keys sorted — built by
+ * seriesName(). Registries that never use labels keep emitting the
+ * byte-stable v1 JSON; the moment one labeled series exists the
+ * snapshot switches to the "asyncclock-metrics-v2" schema, which
+ * keeps the v1 sections for unlabeled names and adds a "series"
+ * section carrying the parsed label sets. toPrometheus() renders any
+ * snapshot in Prometheus text exposition format 0.0.4 for live
+ * scraping (see obs/telemetry.hh).
  */
 
 #ifndef ASYNCCLOCK_OBS_METRICS_HH
@@ -38,6 +50,26 @@
 #include <vector>
 
 namespace asyncclock::obs {
+
+/** One metric dimension set: (key, value) pairs. Order on input is
+ * irrelevant — seriesName() sorts by key. */
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Canonical series name for @p name under @p labels:
+ * `name{k1="v1",k2="v2"}` with keys sorted and '"'/'\\' in values
+ * backslash-escaped. Empty @p labels yields @p name unchanged. The
+ * canonical form is the registry key, so the same (name, labels) pair
+ * always resolves to the same metric object.
+ */
+std::string seriesName(const std::string &name, LabelSet labels);
+
+/** Split a canonical series name into base name and labels. Returns
+ * false (outputs untouched) when @p full carries no label block;
+ * panics on a malformed block (registry keys are always built by
+ * seriesName, so damage means a bug). */
+bool splitSeries(const std::string &full, std::string &base,
+                 LabelSet &labels);
 
 /** Monotonically increasing event count. */
 class Counter
@@ -141,16 +173,31 @@ struct HistogramSnapshot
     std::uint64_t max = 0;
 };
 
-/** Point-in-time copy of a whole registry, names sorted. */
+/** Point-in-time copy of a whole registry, canonical series names
+ * sorted. Labeled series appear under their canonical name
+ * (`name{k="v"}`). */
 struct MetricsSnapshot
 {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, std::int64_t>> gauges;
     std::vector<HistogramSnapshot> histograms;
 
-    /** Stable machine-readable report (schema
-     * "asyncclock-metrics-v1"). */
+    /** True when any series carries labels (selects the v2 JSON
+     * schema). */
+    bool hasLabels() const;
+
+    /** Stable machine-readable report. Schema
+     * "asyncclock-metrics-v1" (byte-stable with pre-label registries)
+     * when no series is labeled; "asyncclock-metrics-v2" — v1's
+     * sections for unlabeled names plus a "series" section with
+     * parsed label sets — as soon as one is. */
     std::string toJson() const;
+
+    /** Prometheus text exposition format 0.0.4: metric names
+     * sanitized ('.' -> '_') under an "asyncclock_" namespace, one
+     * TYPE comment per family, histograms as cumulative _bucket/
+     * _sum/_count series with `le` merged into the label set. */
+    std::string toPrometheus() const;
 
     /** Multi-line human-readable dump (counters and gauges only). */
     std::string summary() const;
@@ -171,6 +218,15 @@ class MetricsRegistry
     Gauge &gauge(const std::string &name);
     /** @p bounds are ignored when the histogram already exists. */
     Histogram &histogram(const std::string &name,
+                         std::vector<std::uint64_t> bounds);
+
+    /** Labeled variants: create-or-get the series
+     * `name{labels...}`. The same (name, labels) pair — in any label
+     * order — yields the same object. */
+    Counter &counter(const std::string &name, const LabelSet &labels);
+    Gauge &gauge(const std::string &name, const LabelSet &labels);
+    Histogram &histogram(const std::string &name,
+                         const LabelSet &labels,
                          std::vector<std::uint64_t> bounds);
 
     /** Register a counter evaluated at snapshot time. */

@@ -13,6 +13,7 @@
 #ifndef ASYNCCLOCK_OBS_OBS_HH
 #define ASYNCCLOCK_OBS_OBS_HH
 
+#include "obs/event_log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_events.hh"
 
@@ -22,8 +23,13 @@ struct ObsContext
 {
     MetricsRegistry *metrics = nullptr;
     Tracer *tracer = nullptr;
+    /** Structured lifecycle event log (event_log.hh), or null. */
+    EventLog *events = nullptr;
 
-    explicit operator bool() const { return metrics || tracer; }
+    explicit operator bool() const
+    {
+        return metrics || tracer || events;
+    }
 };
 
 } // namespace asyncclock::obs

@@ -1,0 +1,305 @@
+#include "obs/telemetry.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/format.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace asyncclock::obs {
+
+// ---------------------------------------------------------------------
+// TelemetrySnapshot rendering
+
+std::string
+TelemetrySnapshot::toJson() const
+{
+    // Splice the metrics document (itself a complete object) and the
+    // publisher's additions into one top-level object.
+    std::string inner = metrics.toJson();
+    acAssert(inner.size() >= 2 && inner.front() == '{' &&
+                 inner.back() == '}',
+             "metrics JSON is not an object");
+    JsonWriter w;
+    w.beginObject();
+    w.field("seq", seq);
+    w.field("uptime_sec", uptimeSec);
+    w.key("rates").beginObject();
+    for (const auto &[name, r] : rates)
+        w.field(name, r);
+    w.endObject();
+    w.endObject();
+    std::string extras = w.str();
+    // {extras...} + {inner...} -> {extras...,inner...}
+    if (inner.size() == 2)
+        return extras;
+    extras.back() = ',';
+    return extras + inner.substr(1);
+}
+
+std::string
+TelemetrySnapshot::progressJson() const
+{
+    double opsPerSec = 0;
+    for (const auto &[name, r] : rates) {
+        if (name == "detector.ops_processed") {
+            opsPerSec = r;
+            break;
+        }
+    }
+    JsonWriter w;
+    w.beginObject();
+    w.field("seq", seq);
+    w.field("uptime_sec", uptimeSec);
+    w.field("ops", progress.ops);
+    w.field("ops_per_sec", opsPerSec);
+    w.field("live_bytes", progress.liveBytes);
+    w.field("peak_bytes", progress.peakBytes);
+    w.field("races", progress.races);
+    w.key("queue_depths").beginArray();
+    for (std::size_t d : progress.queueDepths)
+        w.value(static_cast<std::uint64_t>(d));
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+// ---------------------------------------------------------------------
+// SnapshotPublisher
+
+SnapshotPublisher::SnapshotPublisher(MetricsRegistry &reg,
+                                     std::uint64_t intervalMs)
+    : reg_(reg), interval_(intervalMs),
+      start_(std::chrono::steady_clock::now()),
+      lastPublish_(start_ - interval_)  // first publishIfDue fires
+{
+}
+
+bool
+SnapshotPublisher::due() const
+{
+    return std::chrono::steady_clock::now() - lastPublish_ >=
+           interval_;
+}
+
+void
+SnapshotPublisher::publish(const ProgressSample &progress)
+{
+    auto now = std::chrono::steady_clock::now();
+    double dt = std::chrono::duration<double>(now - lastPublish_)
+                    .count();
+    auto snap = std::make_shared<TelemetrySnapshot>();
+    snap->metrics = reg_.snapshot();
+    snap->progress = progress;
+    snap->seq = ++seq_;
+    snap->uptimeSec =
+        std::chrono::duration<double>(now - start_).count();
+    // Rates: both counter lists are sorted by canonical name, so a
+    // single merge walk pairs current values with previous ones.
+    if (seq_ > 1 && dt > 0) {
+        std::size_t j = 0;
+        for (const auto &[name, v] : snap->metrics.counters) {
+            while (j < prevCounters_.size() &&
+                   prevCounters_[j].first < name)
+                ++j;
+            std::uint64_t prev =
+                (j < prevCounters_.size() &&
+                 prevCounters_[j].first == name)
+                    ? prevCounters_[j].second
+                    : 0;
+            if (v > prev)
+                snap->rates.emplace_back(
+                    name, static_cast<double>(v - prev) / dt);
+        }
+    }
+    prevCounters_ = snap->metrics.counters;
+    lastPublish_ = now;
+    std::lock_guard<std::mutex> lock(mu_);
+    latest_ = std::move(snap);
+}
+
+std::shared_ptr<const TelemetrySnapshot>
+SnapshotPublisher::latest() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return latest_;
+}
+
+// ---------------------------------------------------------------------
+// TelemetryServer
+
+TelemetryServer::TelemetryServer(SnapshotPublisher &pub) : pub_(pub) {}
+
+TelemetryServer::~TelemetryServer()
+{
+    stop();
+}
+
+bool
+TelemetryServer::start(std::uint16_t port)
+{
+    acAssert(listenFd_ < 0, "TelemetryServer started twice");
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn(strf("telemetry: socket() failed: %s",
+                  std::strerror(errno)));
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(fd, 16) < 0) {
+        warn(strf("telemetry: cannot listen on 127.0.0.1:%u: %s",
+                  unsigned(port), std::strerror(errno)));
+        ::close(fd);
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) ==
+        0)
+        port_ = ntohs(addr.sin_port);
+    listenFd_ = fd;
+    stop_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+TelemetryServer::stop()
+{
+    if (listenFd_ < 0)
+        return;
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable())
+        thread_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+void
+TelemetryServer::serveLoop()
+{
+    // Poll with a short timeout instead of blocking in accept(): on
+    // stop() the loop notices the flag within one timeout and exits,
+    // so shutdown never depends on a final connection arriving.
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, 100);
+        if (rc <= 0 || !(pfd.revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        handleConnection(fd);
+        ::close(fd);
+    }
+}
+
+namespace {
+
+/** Read until the request headers end, a 4 KiB cap, or a 2 s stall.
+ * Returns the request bytes read (possibly truncated). */
+std::string
+readRequest(int fd)
+{
+    std::string req;
+    char buf[1024];
+    while (req.size() < 4096 &&
+           req.find("\r\n\r\n") == std::string::npos) {
+        pollfd pfd{fd, POLLIN, 0};
+        if (::poll(&pfd, 1, 2000) <= 0)
+            break;
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        req.append(buf, static_cast<std::size_t>(n));
+    }
+    return req;
+}
+
+void
+sendResponse(int fd, const char *status, const char *contentType,
+             const std::string &body)
+{
+    std::string head = strf(
+        "HTTP/1.1 %s\r\n"
+        "Content-Type: %s\r\n"
+        "Content-Length: %zu\r\n"
+        "Connection: close\r\n"
+        "\r\n",
+        status, contentType, body.size());
+    std::string all = head + body;
+    std::size_t off = 0;
+    while (off < all.size()) {
+        ssize_t n = ::send(fd, all.data() + off, all.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+void
+TelemetryServer::handleConnection(int fd)
+{
+    std::string req = readRequest(fd);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    // "GET <path> HTTP/1.x" — anything else is a 400/405.
+    if (req.rfind("GET ", 0) != 0) {
+        sendResponse(fd, "405 Method Not Allowed", "text/plain",
+                     "only GET is supported\n");
+        return;
+    }
+    std::size_t sp = req.find(' ', 4);
+    std::string path = req.substr(4, sp == std::string::npos
+                                         ? std::string::npos
+                                         : sp - 4);
+    std::shared_ptr<const TelemetrySnapshot> snap = pub_.latest();
+    if (path == "/healthz") {
+        JsonWriter w;
+        w.beginObject();
+        w.field("status", "ok");
+        w.field("snapshots", snap ? snap->seq : std::uint64_t(0));
+        w.endObject();
+        sendResponse(fd, "200 OK", "application/json", w.str());
+        return;
+    }
+    if (!snap) {
+        // Live but nothing published yet: say so instead of serving
+        // an empty document a scraper would ingest as "all zero".
+        sendResponse(fd, "503 Service Unavailable", "text/plain",
+                     "no snapshot published yet\n");
+        return;
+    }
+    if (path == "/metrics") {
+        sendResponse(fd, "200 OK",
+                     "text/plain; version=0.0.4; charset=utf-8",
+                     snap->metrics.toPrometheus());
+    } else if (path == "/metrics.json") {
+        sendResponse(fd, "200 OK", "application/json",
+                     snap->toJson());
+    } else if (path == "/progress") {
+        sendResponse(fd, "200 OK", "application/json",
+                     snap->progressJson());
+    } else {
+        sendResponse(fd, "404 Not Found", "text/plain",
+                     "unknown path; try /metrics /metrics.json "
+                     "/healthz /progress\n");
+    }
+}
+
+} // namespace asyncclock::obs

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Live telemetry plane: periodic snapshot publishing plus an
+ * in-process HTTP scrape endpoint.
+ *
+ * The metrics registry's callback metrics read plain fields owned by
+ * the detector thread, so a scraper must never touch the registry
+ * directly — that would race the hot path (and show up under TSan).
+ * The split here keeps scraping safe by construction:
+ *
+ *  - SnapshotPublisher runs on the *pipeline* thread: the analysis
+ *    loop calls publishIfDue() on its own cadence; when the publish
+ *    interval has elapsed the publisher snapshots the registry (safe:
+ *    same thread that owns the callback-read fields), computes
+ *    per-counter rates against the previous snapshot, and swaps an
+ *    immutable TelemetrySnapshot behind a mutex.
+ *  - TelemetryServer is a small dependency-free blocking-socket HTTP
+ *    listener on a dedicated thread. It serves whatever snapshot is
+ *    latest — scrapes read frozen data, never the live registry:
+ *      /metrics       Prometheus text exposition format 0.0.4
+ *      /metrics.json  the snapshot JSON (v1/v2 schema) + rates
+ *      /healthz       liveness: {"status":"ok",...}
+ *      /progress      the latest ProgressSample as JSON
+ *
+ * The listener handles one request per connection (read request
+ * line, write response, close) and polls its accept socket with a
+ * short timeout so stop() never hangs on a blocking accept. This is
+ * the obs layer "exported as a live endpoint instead of one-shot
+ * JSON" that the daemon-mode roadmap item requires.
+ */
+
+#ifndef ASYNCCLOCK_OBS_TELEMETRY_HH
+#define ASYNCCLOCK_OBS_TELEMETRY_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+
+namespace asyncclock::obs {
+
+/** One published, immutable view of a run's telemetry. */
+struct TelemetrySnapshot
+{
+    MetricsSnapshot metrics;
+    /** Per-second rate of every counter that moved since the
+     * previous publish, keyed by canonical series name. */
+    std::vector<std::pair<std::string, double>> rates;
+    ProgressSample progress;
+    /** Publish sequence number (1 = first). */
+    std::uint64_t seq = 0;
+    /** Seconds since the publisher was created. */
+    double uptimeSec = 0;
+
+    /** /metrics.json body: metrics JSON with "rates", "seq", and
+     * "uptime_sec" spliced into the top-level object. */
+    std::string toJson() const;
+
+    /** /progress body. */
+    std::string progressJson() const;
+};
+
+class SnapshotPublisher
+{
+  public:
+    /** Snapshots @p reg at most every @p intervalMs (when asked).
+     * @p reg must outlive the publisher. */
+    explicit SnapshotPublisher(MetricsRegistry &reg,
+                               std::uint64_t intervalMs = 250);
+
+    /** Cheap time check: has the publish interval elapsed? Call from
+     * the pipeline loop on a coarse op cadence. */
+    bool due() const;
+
+    /** Unconditionally snapshot, compute rates, and swap the
+     * published snapshot. Must be called from the thread that owns
+     * the registry's callback-read state. */
+    void publish(const ProgressSample &progress);
+
+    /** publish() iff due(). True when a publish happened. */
+    bool
+    publishIfDue(const ProgressSample &progress)
+    {
+        if (!due())
+            return false;
+        publish(progress);
+        return true;
+    }
+
+    /** Latest published snapshot; null before the first publish.
+     * Immutable and safe to read from any thread. */
+    std::shared_ptr<const TelemetrySnapshot> latest() const;
+
+  private:
+    MetricsRegistry &reg_;
+    std::chrono::milliseconds interval_;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point lastPublish_;
+    /** Counter values at the previous publish (for rates). */
+    std::vector<std::pair<std::string, std::uint64_t>> prevCounters_;
+    std::uint64_t seq_ = 0;
+
+    mutable std::mutex mu_;
+    std::shared_ptr<const TelemetrySnapshot> latest_;
+};
+
+class TelemetryServer
+{
+  public:
+    /** Serves @p pub's latest snapshot. @p pub must outlive the
+     * server. */
+    explicit TelemetryServer(SnapshotPublisher &pub);
+    ~TelemetryServer();
+
+    TelemetryServer(const TelemetryServer &) = delete;
+    TelemetryServer &operator=(const TelemetryServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = kernel-assigned), start the
+     * listener thread. False (with a warn) when the bind fails — the
+     * run proceeds unobservable rather than dying.
+     */
+    bool start(std::uint16_t port);
+
+    /** The bound port (valid after a successful start()). */
+    std::uint16_t port() const { return port_; }
+
+    /** Requests served so far (any status). */
+    std::uint64_t requestsServed() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /** Stop the listener and join its thread. Idempotent; the
+     * destructor calls it. */
+    void stop();
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    SnapshotPublisher &pub_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> requests_{0};
+};
+
+} // namespace asyncclock::obs
+
+#endif // ASYNCCLOCK_OBS_TELEMETRY_HH

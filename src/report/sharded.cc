@@ -40,7 +40,9 @@ ShardedChecker::ShardedChecker(Config cfg)
         if (obs_.metrics) {
             Shard *s = &shard;
             obs_.metrics->gaugeFn(
-                strf("sharded.shard%u.queue_depth", i), [s] {
+                obs::seriesName("sharded.queue_depth",
+                                {{"shard", strf("%u", i)}}),
+                [s] {
                     return static_cast<std::int64_t>(s->queue.size());
                 });
         }
@@ -166,14 +168,15 @@ ShardedChecker::flushShard(Shard &shard)
                          shard.index,
                          static_cast<unsigned long long>(waitedMs),
                          static_cast<unsigned long long>(racesFound()),
-                         depths.c_str()));
+                         depths.c_str()),
+                    "shard.watchdog");
             return;
         }
     }
 }
 
 void
-ShardedChecker::failRun(const std::string &msg)
+ShardedChecker::failRun(const std::string &msg, const char *kind)
 {
     {
         std::lock_guard<std::mutex> lock(failMu_);
@@ -183,6 +186,8 @@ ShardedChecker::failRun(const std::string &msg)
     }
     failed_.store(true, std::memory_order_release);
     warn(strf("sharded checker failed: %s", msg.c_str()));
+    if (obs_.events)
+        obs_.events->log(obs::EventLog::Severity::Error, kind, msg);
     // Close every queue: blocked producers wake with Closed, workers
     // drain what's left and exit, drain()'s joins complete.
     for (auto &shard : shards_)
@@ -254,7 +259,8 @@ ShardedChecker::drain()
                                  "%llu ms (stuck shard(s):%s)",
                                  static_cast<unsigned long long>(
                                      waitedMs),
-                                 stuck.c_str()));
+                                 stuck.c_str()),
+                            "shard.watchdog");
                 }
                 break;
             }

@@ -178,7 +178,11 @@ class ShardedChecker : public AccessChecker
     void flushShard(Shard &shard);
     /** Record a structural failure and close every queue so both
      * sides unwind; first caller wins. */
-    void failRun(const std::string &msg);
+    /** Fail the run (first caller wins): record @p msg, close every
+     * queue, and log a structured event of @p kind ("shard.failed",
+     * or "shard.watchdog" from the watchdog paths). */
+    void failRun(const std::string &msg,
+                 const char *kind = "shard.failed");
 
     std::size_t batchOps_;
     std::uint64_t pushTimeoutMs_;

@@ -114,12 +114,31 @@ TaskGraph::releaseExecutor(TaskRef actor, std::uint64_t now)
 }
 
 void
+TaskGraph::noteReadyDepth()
+{
+    if (ready_.size() > readyPeak_)
+        readyPeak_ = ready_.size();
+}
+
+void
+TaskGraph::obsSync()
+{
+    if (!obsParked_)
+        return;
+    obsParked_->set(parkedNow_);
+    obsExecFree_->set(
+        static_cast<std::int64_t>(freeExecutors_.size()));
+    obsReadyPeak_->set(static_cast<std::int64_t>(readyPeak_));
+}
+
+void
 TaskGraph::parkOnChild(TaskRef actor, TaskRef child)
 {
     Body &b = body(actor);
     b.phase = Phase::AwaitParked;
     b.awaitedChild = child;
     nodes_[child].waiters.push_back(actor);
+    ++parkedNow_;
 }
 
 void
@@ -127,6 +146,8 @@ TaskGraph::settle(TaskRef actor, std::uint64_t now)
 {
     Body &b = nodes_[actor];
     b.phase = Phase::Settled;
+    if (obsSettled_)
+        obsSettled_->inc();
 
     Body &parent = body(b.parent);
     acAssert(parent.openChildren > 0,
@@ -146,6 +167,7 @@ TaskGraph::settle(TaskRef actor, std::uint64_t now)
             ready_.push_back({w, Resume::AfterAwait, actor});
     }
     b.waiters.clear();
+    noteReadyDepth();
 }
 
 void
@@ -174,6 +196,7 @@ TaskGraph::finishBody(TaskRef actor, std::uint64_t now)
         // Structured concurrency: the body implicitly waits for its
         // unsettled children before the scope can close.
         b.phase = Phase::ScopeParked;
+        ++parkedNow_;
         if (actor != kMain) {
             releaseExecutor(actor, now);
             tryDispatch(now);
@@ -205,10 +228,12 @@ TaskGraph::tryDispatch(std::uint64_t now)
             tr_->taskAwait(trace::Task::event(b.event),
                            nodes_[e.child].event, now);
             b.phase = Phase::Running;
+            --parkedNow_;
             ++b.pc;
             schedule(e.task, now + cfg_.stepCostMs);
             break;
           case Resume::CloseScope:
+            --parkedNow_;
             closeOut(e.task, now);
             break;
         }
@@ -227,11 +252,13 @@ TaskGraph::stepActor(TaskRef actor, std::uint64_t now)
         tr_->taskAwait(actorTask(actor),
                        nodes_[b.awaitedChild].event, now);
         b.phase = Phase::Running;
+        --parkedNow_;
         ++b.pc;
         schedule(actor, now + cfg_.stepCostMs);
         return;
     }
     if (b.phase == Phase::ScopeParked) {
+        --parkedNow_;
         closeOut(actor, now);
         return;
     }
@@ -269,7 +296,10 @@ TaskGraph::stepActor(TaskRef actor, std::uint64_t now)
             c.phase = Phase::Pending;
             c.parent = actor;
             ++b.openChildren;
+            if (obsSpawned_)
+                obsSpawned_->inc();
             ready_.push_back({st.a, Resume::Start, kMain});
+            noteReadyDepth();
             ++b.pc;
             schedule(actor, now + cfg_.stepCostMs);
             tryDispatch(now);
@@ -303,6 +333,8 @@ TaskGraph::stepActor(TaskRef actor, std::uint64_t now)
             if (c.phase == Phase::Pending) {
                 tr_->taskCancel(actorTask(actor), c.event, now);
                 ++cancelled_;
+                if (obsCancelled_)
+                    obsCancelled_->inc();
                 settle(st.a, now);
             }
             // Started or settled: cooperative cancellation no-op.
@@ -318,6 +350,16 @@ TaskGraph::run(TaskGraphRunInfo *info)
 {
     acAssert(!ran_, "TaskGraph: run() called twice");
     ran_ = true;
+
+    if (cfg_.obs.metrics) {
+        obs::MetricsRegistry &reg = *cfg_.obs.metrics;
+        obsSpawned_ = &reg.counter("taskgraph.tasks_spawned");
+        obsSettled_ = &reg.counter("taskgraph.tasks_settled");
+        obsCancelled_ = &reg.counter("taskgraph.tasks_cancelled");
+        obsParked_ = &reg.gauge("taskgraph.parked");
+        obsExecFree_ = &reg.gauge("taskgraph.executors_free");
+        obsReadyPeak_ = &reg.gauge("taskgraph.ready_peak");
+    }
 
     trace::Trace tr;
     tr.setDialect(trace::Dialect::Async);
@@ -355,6 +397,7 @@ TaskGraph::run(TaskGraphRunInfo *info)
         SchedEntry e = sched_.top();
         sched_.pop();
         stepActor(e.actor, e.time);
+        obsSync();
     }
 
     if (main_.phase != Phase::Settled)

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "trace/trace.hh"
 
 namespace asyncclock::runtime {
@@ -46,6 +47,11 @@ struct TaskGraphConfig
     std::uint64_t stepCostMs = 1;
     /** Executor pool size. Tasks wait for a free executor to start. */
     std::uint32_t executors = 2;
+    /** With metrics: taskgraph.* counters (tasks spawned / settled /
+     * cancelled) and gauges (parked actors, free executors, peak
+     * ready-queue depth). Plain atomic metrics, so their values
+     * outlive the graph. */
+    obs::ObsContext obs{};
 };
 
 /** Summary of one task-graph run. */
@@ -199,6 +205,10 @@ class TaskGraph
     void parkOnChild(TaskRef actor, TaskRef child);
     void releaseExecutor(TaskRef actor, std::uint64_t now);
     trace::Task actorTask(TaskRef actor) const;
+    /** Track the peak ready-queue depth (call after a push). */
+    void noteReadyDepth();
+    /** Push the pool/park gauges into the registry, if attached. */
+    void obsSync();
 
     TaskGraphConfig cfg_;
     std::vector<VarSpec> varSpecs_;
@@ -222,6 +232,18 @@ class TaskGraph
 
     std::uint64_t cancelled_ = 0;
     std::uint64_t endTime_ = 0;
+
+    // Observability (null unless cfg_.obs.metrics; resolved once in
+    // run()).
+    obs::Counter *obsSpawned_ = nullptr;
+    obs::Counter *obsSettled_ = nullptr;
+    obs::Counter *obsCancelled_ = nullptr;
+    obs::Gauge *obsParked_ = nullptr;
+    obs::Gauge *obsExecFree_ = nullptr;
+    obs::Gauge *obsReadyPeak_ = nullptr;
+    /** Actors currently parked (await- or scope-parked). */
+    std::int64_t parkedNow_ = 0;
+    std::size_t readyPeak_ = 0;
 };
 
 } // namespace asyncclock::runtime

@@ -21,30 +21,63 @@ fatal(const std::string &msg)
     std::exit(1);
 }
 
+namespace {
+
+std::mutex listenerMu;
+WarnListener listener;
+
+/** Copy the listener under its lock; invoking the copy outside the
+ * lock keeps warn() reentrant-safe against setWarnListener() from
+ * another thread. */
+WarnListener
+currentListener()
+{
+    std::lock_guard<std::mutex> lock(listenerMu);
+    return listener;
+}
+
+} // namespace
+
+void
+setWarnListener(WarnListener l)
+{
+    std::lock_guard<std::mutex> lock(listenerMu);
+    listener = std::move(l);
+}
+
 void
 warn(const std::string &msg)
 {
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (WarnListener l = currentListener())
+        l("", msg, false);
 }
 
 void
 warnRateLimited(const std::string &key, const std::string &msg,
                 unsigned limit)
 {
-    static std::mutex mu;
-    static std::map<std::string, unsigned> seen;
-    std::lock_guard<std::mutex> lock(mu);
-    unsigned &count = seen[key];
-    if (count < limit) {
-        warn(msg);
-    } else if (count == limit) {
-        std::fprintf(stderr,
-                     "warn: [%s] further warnings suppressed\n",
-                     key.c_str());
+    bool suppressed;
+    {
+        static std::mutex mu;
+        static std::map<std::string, unsigned> seen;
+        std::lock_guard<std::mutex> lock(mu);
+        unsigned &count = seen[key];
+        suppressed = count >= limit;
+        if (count < limit) {
+            std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        } else if (count == limit) {
+            std::fprintf(stderr,
+                         "warn: [%s] further warnings suppressed\n",
+                         key.c_str());
+        }
+        // Saturate so a long-running process can't overflow the
+        // counter.
+        if (count <= limit)
+            ++count;
     }
-    // Saturate so a long-running process can't overflow the counter.
-    if (count <= limit)
-        ++count;
+    if (WarnListener l = currentListener())
+        l(key, msg, suppressed);
 }
 
 } // namespace asyncclock

@@ -9,6 +9,7 @@
 #ifndef ASYNCCLOCK_SUPPORT_LOGGING_HH
 #define ASYNCCLOCK_SUPPORT_LOGGING_HH
 
+#include <functional>
 #include <string>
 
 namespace asyncclock {
@@ -37,6 +38,21 @@ warnOnce(const std::string &key, const std::string &msg)
 {
     warnRateLimited(key, msg, 1);
 }
+
+/**
+ * Observer of the warn family. Invoked for *every* warn()/
+ * warnRateLimited()/warnOnce() call — including the ones the rate
+ * limiter swallowed (@p suppressed true, nothing printed) — so the
+ * observability layer can count warnings that never reached stderr
+ * (obs::WarnTap). @p key is the rate-limit key ("" for plain
+ * warn()). Called outside the rate-limit lock from whichever thread
+ * warned; the listener must be thread-safe and must not warn.
+ */
+using WarnListener = std::function<void(
+    const std::string &key, const std::string &msg, bool suppressed)>;
+
+/** Install (or, with nullptr, clear) the process-wide listener. */
+void setWarnListener(WarnListener listener);
 
 /**
  * Internal invariant check. Unlike assert(), stays on in release builds:

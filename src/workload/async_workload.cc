@@ -30,7 +30,8 @@ struct Ctx
     explicit Ctx(const AsyncProfile &profile)
         : p(profile),
           rng(profile.seed),
-          tg(runtime::TaskGraphConfig{1, profile.executors})
+          tg(runtime::TaskGraphConfig{1, profile.executors,
+                                      profile.obs})
     {
     }
 

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "trace/trace.hh"
 #include "workload/workload.hh"
 
@@ -57,6 +58,11 @@ struct AsyncProfile
     /** Occasional main-body sleeps up to this long stretch vtime so
      * the time-window experiments have something to age. */
     std::uint64_t sleepMaxMs = 40;
+
+    /** Handed to the underlying TaskGraph: with metrics, generation
+     * records taskgraph.* counters/gauges (tasks spawned/settled/
+     * cancelled, parked actors, pool/queue stats). */
+    obs::ObsContext obs{};
 };
 
 /** A generated coroutine program: trace plus ground truth. */

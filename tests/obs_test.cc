@@ -465,7 +465,8 @@ TEST(ShardedObs, MetricsAndSpansEndToEnd)
     counter("sharded.enqueue_blocked");  // must exist (any value)
     bool sawShardGauge = false, sawShardCount = false;
     for (const auto &[n, v] : snap.gauges) {
-        if (n == "sharded.shard0.queue_depth")
+        if (n == obs::seriesName("sharded.queue_depth",
+                                 {{"shard", "0"}}))
             sawShardGauge = true;
         if (n == "sharded.shards") {
             sawShardCount = true;
