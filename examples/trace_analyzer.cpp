@@ -57,7 +57,13 @@
 #include <string>
 #include <thread>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "core/engine.hh"
+#include "daemon/daemon.hh"
 #include "graph/eventracer.hh"
 #include "obs/event_log.hh"
 #include "obs/obs.hh"
@@ -69,6 +75,7 @@
 #include "report/races.hh"
 #include "report/sharded.hh"
 #include "support/format.hh"
+#include "support/signal.hh"
 #include "trace/fault.hh"
 #include "trace/trace_io.hh"
 #include "verify/verifier.hh"
@@ -87,6 +94,10 @@ usage()
         "usage:\n"
         "  trace_analyzer gen <AppName> <out.trace> [scale] [--binary]\n"
         "  trace_analyzer analyze <in.trace> [options]\n"
+        "  trace_analyzer daemon [daemon options]   (alias:\n"
+        "                   trace_analyzer --daemon=PORT ...)\n"
+        "  trace_analyzer feed <in.trace> --port=P --session=ID\n"
+        "                   [feed options]\n"
         "gen: AppName is a Table 2 looper profile (e.g. Firefox) or an\n"
         "  async task-graph profile (AsyncTree|AsyncPipeline|\n"
         "  AsyncFanOut); async profiles write async-dialect traces\n"
@@ -144,7 +155,36 @@ usage()
         "                   0 = off)\n"
         "  --inject=SPEC    deterministic fault injection;\n"
         "                   SPEC is comma-separated key=value:\n"
-        "%s",
+        "%s"
+        "daemon options (always-on multi-session analysis service):\n"
+        "  --port=N         listen on 127.0.0.1:N (default 0 =\n"
+        "                   kernel-assigned; printed at startup)\n"
+        "  --state-dir=PATH session spools/checkpoints/reports\n"
+        "                   (default ./asyncclockd-state)\n"
+        "  --workers=N      analysis worker threads (default 2)\n"
+        "  --http-threads=N HTTP handler threads (default 4)\n"
+        "  --max-sessions=N admission cap (default 64)\n"
+        "  --mem-budget=N[K|M|G]  global resident-state budget; the\n"
+        "                   LRU ladder checkpoints cold sessions to\n"
+        "                   disk to stay under it (default: uncapped)\n"
+        "  --idle-timeout-ms=N  evict sessions idle this long\n"
+        "                   (default 0 = never)\n"
+        "  --watchdog-ms=N  poison a session whose pump slice stalls\n"
+        "                   this long (default 30000, 0 = off)\n"
+        "  --queue-chunks=N per-session ingest queue depth (default 8)\n"
+        "  --admission-timeout-ms=N  ingest wait before 429\n"
+        "                   (default 250)\n"
+        "  --clock=B --window-ms=N --all-races --events-out=PATH\n"
+        "                   as for analyze (clock is pinned\n"
+        "                   process-wide; mismatched creates get 409)\n"
+        "feed options (daemon client; drives one session):\n"
+        "  --port=P --session=ID  daemon endpoint + session id\n"
+        "  --chunk-bytes=N  ingest chunk size (default 65536)\n"
+        "  --report-out=PATH  write the fetched report here\n"
+        "  --no-finish      leave the session unfinished (drain tests)\n"
+        "  --interleave-file=PATH  bytes for sess-interleave faults\n"
+        "  --inject=SPEC    session-level faults (sess-disconnect=N,\n"
+        "                   sess-dup=N, sess-interleave=N)\n",
         trace::faultSpecHelp());
     return 2;
 }
@@ -721,15 +761,24 @@ cmdAnalyze(int argc, char **argv)
         // Publish an initial snapshot so the endpoint is useful
         // before the first interval elapses.
         publisher->publish(makeSample(0));
+        // A served run is a long-lived process: SIGINT/SIGTERM must
+        // drain it (same exit path the daemon uses), not kill it
+        // mid-write.
+        support::installShutdownHandlers();
     }
 
     auto start = std::chrono::steady_clock::now();
     std::uint64_t n = 0;
+    bool interrupted = false;
     while (detector->processNext()) {
         if ((++n % 1024) == 0) {
             detector->sampleMemory(mem);
             if (publisher)
                 publisher->publishIfDue(makeSample(n));
+            if (server && support::shutdownRequested()) {
+                interrupted = true;
+                break;
+            }
         }
         if (filter && (n % checkpointEvery) == 0 &&
             !filter->replaying()) {
@@ -759,6 +808,21 @@ cmdAnalyze(int argc, char **argv)
     detector->sampleMemory(mem);
     if (sharded)
         sharded->drain();
+    if (interrupted) {
+        // Signal-driven drain: publish the last numbers, stop the
+        // listener promptly (self-pipe wakeup, no poll race), and
+        // leave with the conventional interrupted status. The partial
+        // analysis is discarded — a report from a half-read trace
+        // would be misleading.
+        publisher->publish(makeSample(n));
+        server->stop();
+        std::fprintf(stderr,
+                     "interrupted by signal %d after %llu op(s); "
+                     "partial analysis discarded\n",
+                     support::shutdownSignal(),
+                     (unsigned long long)n);
+        return 130;
+    }
     auto elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
@@ -834,29 +898,13 @@ cmdAnalyze(int argc, char **argv)
     }();
 
     // Caveat notes: anything that makes this report less than
-    // authoritative is stated in the report itself.
-    if (std::uint64_t skipped = source ? source->recordsSkipped() : 0)
-        summary.notes.push_back(
-            strf("%llu corrupt record(s) skipped during decode",
-                 (unsigned long long)skipped));
-    if (acDetector) {
-        const core::DetectorCounters &dc = acDetector->counters();
-        if (dc.invalidOpsDropped > 0 || dc.causalAnomalies > 0)
-            summary.notes.push_back(strf(
-                "%llu protocol-invalid op(s) dropped, %llu causal "
-                "anomal(ies) tolerated",
-                (unsigned long long)dc.invalidOpsDropped,
-                (unsigned long long)dc.causalAnomalies));
-        if (dc.pressureGcSweeps > 0 || dc.pressureWindowShrinks > 0 ||
-            dc.pressureInvalidations > 0)
-            summary.notes.push_back(strf(
-                "memory-pressure ladder fired: %llu aggressive "
-                "sweep(s), %llu window shrink(s), %llu "
-                "invalidation(s); recall may be reduced",
-                (unsigned long long)dc.pressureGcSweeps,
-                (unsigned long long)dc.pressureWindowShrinks,
-                (unsigned long long)dc.pressureInvalidations));
-    }
+    // authoritative is stated in the report itself. The wording lives
+    // in core::appendRunNotes, shared with the daemon so both render
+    // byte-identical degraded-run reports.
+    core::appendRunNotes(summary.notes,
+                         source ? source->recordsSkipped() : 0,
+                         acDetector ? &acDetector->counters()
+                                    : nullptr);
     if (!injectSpec.empty())
         summary.notes.push_back("fault injection active: " +
                                 injectSpec);
@@ -924,9 +972,8 @@ cmdAnalyze(int argc, char **argv)
         }
         return 0;
     }
-    std::string reportText = summary.summary() + "\n";
-    for (const auto &group : summary.reported)
-        reportText += "  " + analyzer.describe(group) + "\n";
+    std::string reportText =
+        report::renderReportText(analyzer, summary);
     if (verify) {
         // Verdict lines carry no timings, so two runs over the same
         // trace produce byte-identical reports (CI diffs them).
@@ -946,6 +993,395 @@ cmdAnalyze(int argc, char **argv)
     return 0;
 }
 
+// ----- daemon mode ----------------------------------------------------
+
+int
+cmdDaemon(int argc, char **argv, int firstArg, int port)
+{
+    daemon::DaemonConfig dcfg;
+    dcfg.stateDir = "./asyncclockd-state";
+    std::string eventsOut;
+    for (int i = firstArg; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--port=", 0) == 0) {
+            port = static_cast<int>(
+                std::strtol(arg.c_str() + 7, nullptr, 10));
+        } else if (arg.rfind("--state-dir=", 0) == 0) {
+            dcfg.stateDir = arg.substr(12);
+        } else if (arg.rfind("--workers=", 0) == 0) {
+            dcfg.workers = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 10, nullptr, 10));
+        } else if (arg.rfind("--http-threads=", 0) == 0) {
+            dcfg.httpThreads = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 15, nullptr, 10));
+        } else if (arg.rfind("--max-sessions=", 0) == 0) {
+            dcfg.maxSessions =
+                std::strtoull(arg.c_str() + 15, nullptr, 10);
+        } else if (arg.rfind("--mem-budget=", 0) == 0) {
+            dcfg.memBudgetBytes = parseBytes(arg.c_str() + 13);
+        } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
+            dcfg.idleTimeoutMs =
+                std::strtoull(arg.c_str() + 18, nullptr, 10);
+        } else if (arg.rfind("--watchdog-ms=", 0) == 0) {
+            dcfg.watchdogMs =
+                std::strtoull(arg.c_str() + 14, nullptr, 10);
+        } else if (arg.rfind("--queue-chunks=", 0) == 0) {
+            dcfg.queueChunks =
+                std::strtoull(arg.c_str() + 15, nullptr, 10);
+        } else if (arg.rfind("--admission-timeout-ms=", 0) == 0) {
+            dcfg.admissionTimeoutMs =
+                std::strtoull(arg.c_str() + 23, nullptr, 10);
+        } else if (arg.rfind("--window-ms=", 0) == 0) {
+            dcfg.detector.windowMs =
+                std::strtoull(arg.c_str() + 12, nullptr, 10);
+        } else if (arg == "--all-races") {
+            dcfg.filters.userInducedOnly = false;
+            dcfg.filters.commutativityFilter = false;
+        } else if (arg.rfind("--clock=", 0) == 0) {
+            clock::Backend b;
+            if (!clock::parseBackend(arg.c_str() + 8, b)) {
+                std::fprintf(stderr,
+                             "--clock: unknown backend '%s'\n",
+                             arg.c_str() + 8);
+                return 2;
+            }
+            clock::setDefaultBackend(b);
+            dcfg.detector.clockBackend = b;
+        } else if (arg.rfind("--events-out=", 0) == 0) {
+            eventsOut = arg.substr(13);
+        } else {
+            std::fprintf(stderr, "daemon: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+    if (port < 0 || port > 65535) {
+        std::fprintf(stderr, "daemon: bad port %d\n", port);
+        return 2;
+    }
+    std::unique_ptr<obs::EventLog> events;
+    if (!eventsOut.empty()) {
+        events = obs::EventLog::open(eventsOut);
+        if (!events)
+            fatal("cannot open " + eventsOut + " for writing");
+        dcfg.events = events.get();
+    }
+
+    support::installShutdownHandlers();
+    daemon::Daemon d(dcfg);
+    if (Status st = d.init(); !st) {
+        std::fprintf(stderr, "daemon: %s\n", st.toString().c_str());
+        return 1;
+    }
+    if (!d.start(static_cast<std::uint16_t>(port)))
+        return 1;
+    std::printf("asyncclockd: serving on http://127.0.0.1:%u "
+                "(state dir %s, %zu session(s) recovered)\n",
+                unsigned(d.port()), dcfg.stateDir.c_str(),
+                d.sessionCount());
+    std::fflush(stdout);
+
+    support::waitForShutdown();
+    std::fprintf(stderr,
+                 "asyncclockd: signal %d received; draining...\n",
+                 support::shutdownSignal());
+    d.drain();
+    std::fprintf(stderr, "asyncclockd: drained; exiting\n");
+    return 0;
+}
+
+// ----- feed: the daemon's command-line client -------------------------
+
+struct HttpClientResponse
+{
+    int status = 0;
+    std::string body;
+};
+
+/**
+ * One HTTP/1.1 request against the local daemon. When
+ * truncateBodyTo < body.size(), only that prefix is written and the
+ * socket is closed mid-body — the sess-disconnect fault. Returns
+ * false on connect/short-response failure (always, for truncated
+ * sends).
+ */
+bool
+httpRequest(std::uint16_t port, const std::string &method,
+            const std::string &target, const std::string &body,
+            HttpClientResponse &out,
+            std::size_t truncateBodyTo = ~std::size_t(0))
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return false;
+    }
+    std::string head = method + " " + target + " HTTP/1.1\r\n" +
+                       "Host: 127.0.0.1\r\n" +
+                       strf("Content-Length: %zu\r\n", body.size()) +
+                       "Connection: close\r\n\r\n";
+    std::string payload =
+        head + body.substr(0, std::min(truncateBodyTo, body.size()));
+    std::size_t sent = 0;
+    while (sent < payload.size()) {
+        ssize_t n = ::send(fd, payload.data() + sent,
+                           payload.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        sent += static_cast<std::size_t>(n);
+    }
+    if (truncateBodyTo < body.size()) {
+        ::close(fd);  // deliberate mid-body disconnect
+        return false;
+    }
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        raw.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    if (raw.rfind("HTTP/1.1 ", 0) != 0 || raw.size() < 12)
+        return false;
+    out.status =
+        static_cast<int>(std::strtol(raw.c_str() + 9, nullptr, 10));
+    std::size_t split = raw.find("\r\n\r\n");
+    out.body = split == std::string::npos ? "" : raw.substr(split + 4);
+    return true;
+}
+
+/** Extract "key":NUMBER from a flat JSON object (the daemon's info
+ * bodies; no nesting, no escapes in numeric fields). */
+std::uint64_t
+jsonUint(const std::string &json, const std::string &key)
+{
+    std::size_t at = json.find("\"" + key + "\":");
+    if (at == std::string::npos)
+        return 0;
+    return std::strtoull(json.c_str() + at + key.size() + 3, nullptr,
+                         10);
+}
+
+int
+cmdFeed(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string tracePath = argv[2];
+    int port = 0;
+    std::string sessionId;
+    std::size_t chunkBytes = 64 * 1024;
+    std::string reportOut;
+    std::string interleavePath;
+    std::string injectSpec;
+    bool doFinish = true;
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--port=", 0) == 0) {
+            port = static_cast<int>(
+                std::strtol(arg.c_str() + 7, nullptr, 10));
+        } else if (arg.rfind("--session=", 0) == 0) {
+            sessionId = arg.substr(10);
+        } else if (arg.rfind("--chunk-bytes=", 0) == 0) {
+            chunkBytes = std::strtoull(arg.c_str() + 14, nullptr, 10);
+        } else if (arg.rfind("--report-out=", 0) == 0) {
+            reportOut = arg.substr(13);
+        } else if (arg.rfind("--interleave-file=", 0) == 0) {
+            interleavePath = arg.substr(18);
+        } else if (arg.rfind("--inject=", 0) == 0) {
+            injectSpec = arg.substr(9);
+        } else if (arg == "--no-finish") {
+            doFinish = false;
+        } else {
+            std::fprintf(stderr, "feed: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+    if (port <= 0 || sessionId.empty() || chunkBytes == 0) {
+        std::fprintf(stderr,
+                     "feed: --port=P and --session=ID required\n");
+        return 2;
+    }
+    trace::FaultConfig faults;
+    if (!injectSpec.empty()) {
+        Expected<trace::FaultConfig> parsed =
+            trace::parseFaultSpec(injectSpec);
+        if (!parsed) {
+            std::fprintf(stderr, "--inject: %s\n",
+                         parsed.status().toString().c_str());
+            return 2;
+        }
+        faults = parsed.value();
+    }
+    if (faults.sessInterleaveAtChunk > 0 && interleavePath.empty()) {
+        std::fprintf(stderr, "feed: sess-interleave needs "
+                             "--interleave-file=PATH\n");
+        return 2;
+    }
+
+    auto slurp = [](const std::string &path, std::string &out) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return false;
+        out.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+        return true;
+    };
+    std::string data;
+    if (!slurp(tracePath, data))
+        fatal("cannot read " + tracePath);
+    std::string interleave;
+    if (!interleavePath.empty() && !slurp(interleavePath, interleave))
+        fatal("cannot read " + interleavePath);
+
+    const std::uint16_t p = static_cast<std::uint16_t>(port);
+    const std::string base = "/v1/sessions/" + sessionId;
+    HttpClientResponse resp;
+
+    // Create — or, after a daemon restart, rejoin: a 409 duplicate
+    // means the daemon already holds our spool, so resync the offset
+    // from its info instead of starting over.
+    std::uint64_t offset = 0;
+    if (!httpRequest(p, "POST", "/v1/sessions?id=" + sessionId, "",
+                     resp))
+        fatal("feed: cannot reach daemon on port " +
+              std::to_string(port));
+    if (resp.status == 409) {
+        if (!httpRequest(p, "GET", base, "", resp) ||
+            resp.status != 200)
+            fatal("feed: session exists but info failed");
+        offset = jsonUint(resp.body, "spooled_bytes");
+        std::fprintf(stderr,
+                     "feed: rejoining %s at offset %llu\n",
+                     sessionId.c_str(), (unsigned long long)offset);
+    } else if (resp.status != 201) {
+        std::fprintf(stderr, "feed: create failed (%d): %s",
+                     resp.status, resp.body.c_str());
+        return 1;
+    }
+
+    std::uint64_t chunkIndex = 0;
+    while (offset < data.size()) {
+        ++chunkIndex;
+        std::string chunk = data.substr(
+            offset, std::min<std::size_t>(chunkBytes,
+                                          data.size() - offset));
+        const std::string target =
+            base + "/trace?offset=" + std::to_string(offset);
+
+        if (faults.sessDupCreateAt == chunkIndex) {
+            // Session fault: duplicate create mid-stream. The daemon
+            // must answer 409 and leave the live session untouched.
+            HttpClientResponse dup;
+            if (!httpRequest(p, "POST",
+                             "/v1/sessions?id=" + sessionId, "", dup) ||
+                dup.status != 409) {
+                std::fprintf(stderr,
+                             "feed: duplicate create got %d, want "
+                             "409\n",
+                             dup.status);
+                return 1;
+            }
+            std::fprintf(stderr,
+                         "feed: duplicate create correctly refused\n");
+        }
+        if (faults.sessDisconnectAtChunk == chunkIndex) {
+            // Session fault: drop the connection mid-body, then
+            // retransmit from the same offset — the daemon must not
+            // have spooled the torn bytes.
+            httpRequest(p, "POST", target, chunk, resp,
+                        chunk.size() / 2);
+            std::fprintf(stderr,
+                         "feed: disconnected mid-chunk %llu; "
+                         "retransmitting\n",
+                         (unsigned long long)chunkIndex);
+        }
+        std::string payload = chunk;
+        if (faults.sessInterleaveAtChunk == chunkIndex) {
+            // Session fault: splice in bytes from the other dialect.
+            // The daemon must quarantine this session only.
+            payload = interleave.substr(
+                0, std::min(interleave.size(), chunkBytes));
+            std::fprintf(stderr,
+                         "feed: interleaving %zu foreign byte(s) at "
+                         "chunk %llu\n",
+                         payload.size(),
+                         (unsigned long long)chunkIndex);
+        }
+
+        if (!httpRequest(p, "POST", target, payload, resp))
+            fatal("feed: daemon connection lost");
+        if (resp.status == 429) {
+            // Backpressure: honor it and retry the same chunk.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+            --chunkIndex;
+            continue;
+        }
+        if (resp.status == 410) {
+            std::fprintf(stderr, "feed: session quarantined: %s",
+                         resp.body.c_str());
+            return 3;
+        }
+        if (resp.status != 200) {
+            std::fprintf(stderr, "feed: ingest failed (%d): %s",
+                         resp.status, resp.body.c_str());
+            return 1;
+        }
+        offset += payload.size();
+    }
+
+    if (!doFinish) {
+        std::printf("feed: %s: %llu byte(s) sent, left unfinished\n",
+                    sessionId.c_str(), (unsigned long long)offset);
+        return 0;
+    }
+    if (!httpRequest(p, "POST", base + "/finish", "", resp) ||
+        resp.status != 200) {
+        std::fprintf(stderr, "feed: finish failed (%d): %s",
+                     resp.status, resp.body.c_str());
+        return resp.status == 410 ? 3 : 1;
+    }
+
+    // Poll for the report; 202 means the workers are still pumping.
+    for (int attempt = 0; attempt < 600; ++attempt) {
+        if (!httpRequest(p, "GET", base + "/report", "", resp))
+            fatal("feed: daemon connection lost");
+        if (resp.status == 202) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+            continue;
+        }
+        if (resp.status == 410) {
+            std::fprintf(stderr, "feed: session quarantined: %s",
+                         resp.body.c_str());
+            return 3;
+        }
+        if (resp.status != 200) {
+            std::fprintf(stderr, "feed: report failed (%d): %s",
+                         resp.status, resp.body.c_str());
+            return 1;
+        }
+        if (!reportOut.empty())
+            writeTextFile(reportOut, resp.body);
+        else
+            std::printf("%s", resp.body.c_str());
+        return 0;
+    }
+    std::fprintf(stderr, "feed: report still pending after 60s\n");
+    return 1;
+}
+
 } // namespace
 
 int
@@ -957,5 +1393,14 @@ main(int argc, char **argv)
         return cmdGen(argc, argv);
     if (std::strcmp(argv[1], "analyze") == 0)
         return cmdAnalyze(argc, argv);
+    if (std::strcmp(argv[1], "daemon") == 0)
+        return cmdDaemon(argc, argv, 2, 0);
+    if (std::strncmp(argv[1], "--daemon=", 9) == 0) {
+        int port = static_cast<int>(
+            std::strtol(argv[1] + 9, nullptr, 10));
+        return cmdDaemon(argc, argv, 2, port);
+    }
+    if (std::strcmp(argv[1], "feed") == 0)
+        return cmdFeed(argc, argv);
     return usage();
 }

@@ -287,4 +287,33 @@ DetectorEngine::attachObs(const obs::ObsContext &ctx)
     model_->registerModelMetrics(reg);
 }
 
+void
+appendRunNotes(std::vector<std::string> &notes,
+               std::uint64_t recordsSkipped,
+               const DetectorCounters *counters)
+{
+    if (recordsSkipped > 0)
+        notes.push_back(
+            strf("%llu corrupt record(s) skipped during decode",
+                 (unsigned long long)recordsSkipped));
+    if (!counters)
+        return;
+    const DetectorCounters &dc = *counters;
+    if (dc.invalidOpsDropped > 0 || dc.causalAnomalies > 0)
+        notes.push_back(strf(
+            "%llu protocol-invalid op(s) dropped, %llu causal "
+            "anomal(ies) tolerated",
+            (unsigned long long)dc.invalidOpsDropped,
+            (unsigned long long)dc.causalAnomalies));
+    if (dc.pressureGcSweeps > 0 || dc.pressureWindowShrinks > 0 ||
+        dc.pressureInvalidations > 0)
+        notes.push_back(strf(
+            "memory-pressure ladder fired: %llu aggressive "
+            "sweep(s), %llu window shrink(s), %llu "
+            "invalidation(s); recall may be reduced",
+            (unsigned long long)dc.pressureGcSweeps,
+            (unsigned long long)dc.pressureWindowShrinks,
+            (unsigned long long)dc.pressureInvalidations));
+}
+
 } // namespace asyncclock::core

@@ -19,6 +19,8 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/config.hh"
 #include "core/model.hh"
@@ -50,6 +52,18 @@ constexpr std::size_t kNumPhases = 5;
 
 /** Lower-case phase label ("decode", "model_apply", ...). */
 const char *phaseName(Phase p);
+
+/**
+ * Append the standard completeness caveats to a report's notes:
+ * corrupt records skipped during decode, protocol-invalid ops
+ * dropped / causal anomalies tolerated, and degradation-ladder rungs
+ * fired. @p counters may be null (non-AsyncClock detectors have no
+ * counters; only the skip note applies). Shared by trace_analyzer and
+ * the daemon so both render byte-identical degraded-run reports.
+ */
+void appendRunNotes(std::vector<std::string> &notes,
+                    std::uint64_t recordsSkipped,
+                    const DetectorCounters *counters);
 
 class DetectorEngine : public report::Detector
 {

@@ -1,6 +1,8 @@
 #include "obs/telemetry.hh"
 
+#include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -133,19 +135,142 @@ SnapshotPublisher::latest() const
 }
 
 // ---------------------------------------------------------------------
-// TelemetryServer
+// HttpListener
 
-TelemetryServer::TelemetryServer(SnapshotPublisher &pub) : pub_(pub) {}
+namespace {
 
-TelemetryServer::~TelemetryServer()
+/** Reason phrase for the status codes this codebase emits. */
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 201: return "Created";
+      case 202: return "Accepted";
+      case 204: return "No Content";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 409: return "Conflict";
+      case 410: return "Gone";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+      default: return "Status";
+    }
+}
+
+/** Append whatever is readable within a 2 s stall budget; false on
+ * peer close/stall. */
+bool
+recvSome(int fd, std::string &buf)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 2000) <= 0)
+        return false;
+    char tmp[4096];
+    ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+    if (n <= 0)
+        return false;
+    buf.append(tmp, static_cast<std::size_t>(n));
+    return true;
+}
+
+void
+sendAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void
+sendResponse(int fd, const HttpResponse &resp)
+{
+    std::string head = strf("HTTP/1.1 %d %s\r\n"
+                            "Content-Type: %s\r\n"
+                            "Content-Length: %zu\r\n"
+                            "Connection: close\r\n",
+                            resp.status, statusText(resp.status),
+                            resp.contentType.c_str(),
+                            resp.body.size());
+    for (const auto &[k, v] : resp.headers)
+        head += k + ": " + v + "\r\n";
+    head += "\r\n";
+    sendAll(fd, head + resp.body);
+}
+
+/** Case-insensitive header lookup in the raw header block; false
+ * when absent. */
+bool
+findHeader(const std::string &headers, const char *name,
+           std::string &value)
+{
+    std::string lower;
+    lower.reserve(headers.size());
+    for (char c : headers)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    std::string needle = std::string("\r\n") + name + ":";
+    for (char &c : needle)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    std::size_t p = lower.find(needle);
+    if (p == std::string::npos)
+        return false;
+    std::size_t vstart = p + needle.size();
+    std::size_t vend = headers.find("\r\n", vstart);
+    value = headers.substr(vstart, vend - vstart);
+    while (!value.empty() && value.front() == ' ')
+        value.erase(value.begin());
+    while (!value.empty() &&
+           (value.back() == ' ' || value.back() == '\r'))
+        value.pop_back();
+    return true;
+}
+
+} // namespace
+
+std::string
+HttpRequest::queryParam(const std::string &key) const
+{
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+        std::size_t amp = query.find('&', pos);
+        if (amp == std::string::npos)
+            amp = query.size();
+        std::size_t eq = query.find('=', pos);
+        if (eq != std::string::npos && eq < amp &&
+            query.compare(pos, eq - pos, key) == 0)
+            return query.substr(eq + 1, amp - eq - 1);
+        pos = amp + 1;
+    }
+    return "";
+}
+
+HttpListener::HttpListener(Handler handler, unsigned handlerThreads,
+                           std::size_t maxBodyBytes)
+    : handler_(std::move(handler)),
+      handlerThreads_(handlerThreads == 0 ? 1 : handlerThreads),
+      maxBodyBytes_(maxBodyBytes)
+{
+}
+
+HttpListener::~HttpListener()
 {
     stop();
 }
 
 bool
-TelemetryServer::start(std::uint16_t port)
+HttpListener::start(std::uint16_t port)
 {
-    acAssert(listenFd_ < 0, "TelemetryServer started twice");
+    acAssert(listenFd_ < 0, "HttpListener started twice");
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
         warn(strf("telemetry: socket() failed: %s",
@@ -160,9 +285,15 @@ TelemetryServer::start(std::uint16_t port)
     addr.sin_port = htons(port);
     if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) < 0 ||
-        ::listen(fd, 16) < 0) {
+        ::listen(fd, 64) < 0) {
         warn(strf("telemetry: cannot listen on 127.0.0.1:%u: %s",
                   unsigned(port), std::strerror(errno)));
+        ::close(fd);
+        return false;
+    }
+    if (::pipe(wakeFds_) != 0) {
+        warn(strf("telemetry: pipe() failed: %s",
+                  std::strerror(errno)));
         ::close(fd);
         return false;
     }
@@ -172,134 +303,197 @@ TelemetryServer::start(std::uint16_t port)
         port_ = ntohs(addr.sin_port);
     listenFd_ = fd;
     stop_.store(false, std::memory_order_relaxed);
-    thread_ = std::thread([this] { serveLoop(); });
+    conns_ = std::make_unique<support::BoundedQueue<int>>(64);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    for (unsigned i = 0; i < handlerThreads_; ++i)
+        workers_.emplace_back([this] { handlerLoop(); });
     return true;
 }
 
 void
-TelemetryServer::stop()
+HttpListener::stop()
 {
     if (listenFd_ < 0)
         return;
     stop_.store(true, std::memory_order_relaxed);
-    if (thread_.joinable())
-        thread_.join();
+    // Signal-driven shutdown: one byte on the self-pipe wakes the
+    // accept poll immediately — no timeout lap, no sacrificial
+    // connection.
+    char b = 1;
+    [[maybe_unused]] ssize_t n = ::write(wakeFds_[1], &b, 1);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // Closing the queue wakes handler threads; queued connections
+    // are drained (answered) before the pop loop exits.
+    conns_->close();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+    workers_.clear();
     ::close(listenFd_);
     listenFd_ = -1;
+    ::close(wakeFds_[0]);
+    ::close(wakeFds_[1]);
+    wakeFds_[0] = wakeFds_[1] = -1;
 }
 
 void
-TelemetryServer::serveLoop()
+HttpListener::acceptLoop()
 {
-    // Poll with a short timeout instead of blocking in accept(): on
-    // stop() the loop notices the flag within one timeout and exits,
-    // so shutdown never depends on a final connection arriving.
     while (!stop_.load(std::memory_order_relaxed)) {
-        pollfd pfd{listenFd_, POLLIN, 0};
-        int rc = ::poll(&pfd, 1, 100);
-        if (rc <= 0 || !(pfd.revents & POLLIN))
+        pollfd pfds[2] = {{listenFd_, POLLIN, 0},
+                          {wakeFds_[0], POLLIN, 0}};
+        int rc = ::poll(pfds, 2, -1);
+        if (rc <= 0)
+            continue;
+        if (pfds[1].revents & POLLIN)
+            break;  // stop() wrote the wake byte
+        if (!(pfds[0].revents & POLLIN))
             continue;
         int fd = ::accept(listenFd_, nullptr, nullptr);
         if (fd < 0)
             continue;
+        if (!conns_->push(fd))
+            ::close(fd);
+    }
+}
+
+void
+HttpListener::handlerLoop()
+{
+    int fd = -1;
+    while (conns_->pop(fd)) {
         handleConnection(fd);
         ::close(fd);
     }
 }
 
-namespace {
-
-/** Read until the request headers end, a 4 KiB cap, or a 2 s stall.
- * Returns the request bytes read (possibly truncated). */
-std::string
-readRequest(int fd)
-{
-    std::string req;
-    char buf[1024];
-    while (req.size() < 4096 &&
-           req.find("\r\n\r\n") == std::string::npos) {
-        pollfd pfd{fd, POLLIN, 0};
-        if (::poll(&pfd, 1, 2000) <= 0)
-            break;
-        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n <= 0)
-            break;
-        req.append(buf, static_cast<std::size_t>(n));
-    }
-    return req;
-}
-
 void
-sendResponse(int fd, const char *status, const char *contentType,
-             const std::string &body)
+HttpListener::handleConnection(int fd)
 {
-    std::string head = strf(
-        "HTTP/1.1 %s\r\n"
-        "Content-Type: %s\r\n"
-        "Content-Length: %zu\r\n"
-        "Connection: close\r\n"
-        "\r\n",
-        status, contentType, body.size());
-    std::string all = head + body;
-    std::size_t off = 0;
-    while (off < all.size()) {
-        ssize_t n = ::send(fd, all.data() + off, all.size() - off,
-                           MSG_NOSIGNAL);
-        if (n <= 0)
-            break;
-        off += static_cast<std::size_t>(n);
+    // Read the request head (request line + headers).
+    std::string raw;
+    std::size_t headEnd;
+    while ((headEnd = raw.find("\r\n\r\n")) == std::string::npos) {
+        if (raw.size() > 64 * 1024 || !recvSome(fd, raw)) {
+            requests_.fetch_add(1, std::memory_order_relaxed);
+            sendResponse(fd, HttpResponse::text(
+                                 400, "malformed request head\n"));
+            return;
+        }
     }
-}
-
-} // namespace
-
-void
-TelemetryServer::handleConnection(int fd)
-{
-    std::string req = readRequest(fd);
     requests_.fetch_add(1, std::memory_order_relaxed);
-    // "GET <path> HTTP/1.x" — anything else is a 400/405.
-    if (req.rfind("GET ", 0) != 0) {
-        sendResponse(fd, "405 Method Not Allowed", "text/plain",
-                     "only GET is supported\n");
+    std::string headers = raw.substr(0, headEnd + 2);
+
+    HttpRequest req;
+    std::size_t sp1 = headers.find(' ');
+    std::size_t sp2 = sp1 == std::string::npos
+                          ? std::string::npos
+                          : headers.find(' ', sp1 + 1);
+    std::size_t eol = headers.find("\r\n");
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        sp2 > eol) {
+        sendResponse(fd,
+                     HttpResponse::text(400, "bad request line\n"));
         return;
     }
-    std::size_t sp = req.find(' ', 4);
-    std::string path = req.substr(4, sp == std::string::npos
-                                         ? std::string::npos
-                                         : sp - 4);
-    std::shared_ptr<const TelemetrySnapshot> snap = pub_.latest();
-    if (path == "/healthz") {
+    req.method = headers.substr(0, sp1);
+    std::string target = headers.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::size_t qmark = target.find('?');
+    req.path = target.substr(0, qmark);
+    if (qmark != std::string::npos)
+        req.query = target.substr(qmark + 1);
+
+    // Body, when declared. curl sends "Expect: 100-continue" for
+    // non-trivial uploads and stalls ~1 s without the interim
+    // response, so answer it before reading.
+    std::string value;
+    std::uint64_t contentLength = 0;
+    if (findHeader(headers, "Content-Length", value))
+        contentLength = std::strtoull(value.c_str(), nullptr, 10);
+    if (contentLength > maxBodyBytes_) {
+        sendResponse(fd,
+                     HttpResponse::text(413, "body too large\n"));
+        return;
+    }
+    if (findHeader(headers, "Expect", value) &&
+        value.find("100-continue") != std::string::npos)
+        sendAll(fd, "HTTP/1.1 100 Continue\r\n\r\n");
+    req.body = raw.substr(headEnd + 4);
+    while (req.body.size() < contentLength) {
+        std::string more;
+        if (!recvSome(fd, more)) {
+            // Mid-stream disconnect: the declared body never fully
+            // arrived. No response target left — just drop it.
+            return;
+        }
+        req.body += more;
+    }
+    req.body.resize(contentLength);
+
+    sendResponse(fd, handler_(req));
+}
+
+// ---------------------------------------------------------------------
+// TelemetryServer
+
+TelemetryServer::TelemetryServer(SnapshotPublisher &pub)
+    : pub_(pub),
+      listener_([this](const HttpRequest &req) {
+          return route(pub_, req);
+      })
+{
+}
+
+TelemetryServer::~TelemetryServer()
+{
+    stop();
+}
+
+bool
+TelemetryServer::start(std::uint16_t port)
+{
+    return listener_.start(port);
+}
+
+void
+TelemetryServer::stop()
+{
+    listener_.stop();
+}
+
+HttpResponse
+TelemetryServer::route(SnapshotPublisher &pub, const HttpRequest &req)
+{
+    if (req.method != "GET")
+        return HttpResponse::text(405, "only GET is supported\n");
+    std::shared_ptr<const TelemetrySnapshot> snap = pub.latest();
+    if (req.path == "/healthz") {
         JsonWriter w;
         w.beginObject();
         w.field("status", "ok");
         w.field("snapshots", snap ? snap->seq : std::uint64_t(0));
         w.endObject();
-        sendResponse(fd, "200 OK", "application/json", w.str());
-        return;
+        return HttpResponse::json(200, w.str());
     }
     if (!snap) {
         // Live but nothing published yet: say so instead of serving
         // an empty document a scraper would ingest as "all zero".
-        sendResponse(fd, "503 Service Unavailable", "text/plain",
-                     "no snapshot published yet\n");
-        return;
+        return HttpResponse::text(503, "no snapshot published yet\n");
     }
-    if (path == "/metrics") {
-        sendResponse(fd, "200 OK",
-                     "text/plain; version=0.0.4; charset=utf-8",
-                     snap->metrics.toPrometheus());
-    } else if (path == "/metrics.json") {
-        sendResponse(fd, "200 OK", "application/json",
-                     snap->toJson());
-    } else if (path == "/progress") {
-        sendResponse(fd, "200 OK", "application/json",
-                     snap->progressJson());
-    } else {
-        sendResponse(fd, "404 Not Found", "text/plain",
-                     "unknown path; try /metrics /metrics.json "
-                     "/healthz /progress\n");
+    if (req.path == "/metrics") {
+        HttpResponse r;
+        r.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        r.body = snap->metrics.toPrometheus();
+        return r;
     }
+    if (req.path == "/metrics.json")
+        return HttpResponse::json(200, snap->toJson());
+    if (req.path == "/progress")
+        return HttpResponse::json(200, snap->progressJson());
+    return HttpResponse::text(404,
+                              "unknown path; try /metrics "
+                              "/metrics.json /healthz /progress\n");
 }
 
 } // namespace asyncclock::obs

@@ -1,7 +1,8 @@
 /**
  * @file
  * Live telemetry plane: periodic snapshot publishing plus an
- * in-process HTTP scrape endpoint.
+ * in-process HTTP scrape endpoint — and the dependency-free HTTP
+ * plumbing (HttpListener) the daemon builds its session API on.
  *
  * The metrics registry's callback metrics read plain fields owned by
  * the detector thread, so a scraper must never touch the registry
@@ -14,19 +15,23 @@
  *    same thread that owns the callback-read fields), computes
  *    per-counter rates against the previous snapshot, and swaps an
  *    immutable TelemetrySnapshot behind a mutex.
- *  - TelemetryServer is a small dependency-free blocking-socket HTTP
- *    listener on a dedicated thread. It serves whatever snapshot is
- *    latest — scrapes read frozen data, never the live registry:
+ *  - TelemetryServer is a thin routing layer over HttpListener. It
+ *    serves whatever snapshot is latest — scrapes read frozen data,
+ *    never the live registry:
  *      /metrics       Prometheus text exposition format 0.0.4
  *      /metrics.json  the snapshot JSON (v1/v2 schema) + rates
  *      /healthz       liveness: {"status":"ok",...}
  *      /progress      the latest ProgressSample as JSON
  *
- * The listener handles one request per connection (read request
- * line, write response, close) and polls its accept socket with a
- * short timeout so stop() never hangs on a blocking accept. This is
- * the obs layer "exported as a live endpoint instead of one-shot
- * JSON" that the daemon-mode roadmap item requires.
+ * HttpListener is a blocking-socket HTTP/1.1 server: an accept
+ * thread feeds accepted connections through a BoundedQueue to a
+ * small pool of handler threads, each serving one request per
+ * connection (request line + headers + optional Content-Length body,
+ * then close). Shutdown is signal-driven, not poll-based: the accept
+ * loop polls {listen fd, wake pipe} with no timeout, and stop()
+ * writes one byte to the pipe — the listener exits within one
+ * scheduling quantum regardless of traffic, which is what the
+ * SIGTERM drain path (trace_analyzer --serve / --daemon) requires.
  */
 
 #ifndef ASYNCCLOCK_OBS_TELEMETRY_HH
@@ -35,6 +40,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -43,8 +49,116 @@
 
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
+#include "support/bounded_queue.hh"
 
 namespace asyncclock::obs {
+
+// ---------------------------------------------------------------------
+// Dependency-free HTTP plumbing
+
+/** One parsed HTTP request. */
+struct HttpRequest
+{
+    std::string method;  ///< "GET", "POST", "DELETE", ...
+    std::string path;    ///< target up to '?' (e.g. "/v1/sessions")
+    std::string query;   ///< raw query string after '?' ("" if none)
+    std::string body;    ///< Content-Length bytes ("" if none)
+
+    /** Value of @p key in the query string, "" when absent.
+     * (Values are used verbatim; the daemon's ids/params need no
+     * percent-decoding.) */
+    std::string queryParam(const std::string &key) const;
+};
+
+/** One HTTP response; the listener renders status line + headers. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "text/plain";
+    std::string body;
+    /** Extra headers (e.g. {"Retry-After", "1"}). */
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    static HttpResponse
+    json(int status, std::string body)
+    {
+        HttpResponse r;
+        r.status = status;
+        r.contentType = "application/json";
+        r.body = std::move(body);
+        return r;
+    }
+    static HttpResponse
+    text(int status, std::string body)
+    {
+        HttpResponse r;
+        r.status = status;
+        r.body = std::move(body);
+        return r;
+    }
+};
+
+/**
+ * Blocking-socket HTTP/1.1 listener on 127.0.0.1. The handler runs
+ * on the listener's handler threads — it must be thread-safe when
+ * `handlerThreads > 1` and must not block unboundedly (a stuck
+ * handler occupies one thread; the admission timeouts the daemon
+ * uses bound every wait). Requests with bodies are read up to
+ * maxBodyBytes (413 beyond that); `Expect: 100-continue` is honored
+ * so curl uploads don't stall.
+ */
+class HttpListener
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    explicit HttpListener(Handler handler,
+                          unsigned handlerThreads = 1,
+                          std::size_t maxBodyBytes = 8u << 20);
+    ~HttpListener();
+
+    HttpListener(const HttpListener &) = delete;
+    HttpListener &operator=(const HttpListener &) = delete;
+
+    /** Bind 127.0.0.1:@p port (0 = kernel-assigned) and start the
+     * accept + handler threads. False (with a warn) when the bind
+     * fails. */
+    bool start(std::uint16_t port);
+
+    /** The bound port (valid after a successful start()). */
+    std::uint16_t port() const { return port_; }
+
+    /** Requests served so far (any status). */
+    std::uint64_t requestsServed() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /** Stop accepting, drain in-flight handlers, join all threads.
+     * Signal-driven (self-pipe wakeup): returns promptly even when
+     * no connection ever arrives. Idempotent; the destructor calls
+     * it. */
+    void stop();
+
+  private:
+    void acceptLoop();
+    void handlerLoop();
+    void handleConnection(int fd);
+
+    Handler handler_;
+    unsigned handlerThreads_;
+    std::size_t maxBodyBytes_;
+    int listenFd_ = -1;
+    int wakeFds_[2] = {-1, -1};  ///< self-pipe: [read, write]
+    std::uint16_t port_ = 0;
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+    /** Accepted connections awaiting a handler thread; recreated on
+     * every start() (close() is terminal for a BoundedQueue). */
+    std::unique_ptr<support::BoundedQueue<int>> conns_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> requests_{0};
+};
 
 /** One published, immutable view of a run's telemetry. */
 struct TelemetrySnapshot
@@ -124,34 +238,34 @@ class TelemetryServer
 
     /**
      * Bind 127.0.0.1:@p port (0 = kernel-assigned), start the
-     * listener thread. False (with a warn) when the bind fails — the
-     * run proceeds unobservable rather than dying.
+     * listener. False (with a warn) when the bind fails — the run
+     * proceeds unobservable rather than dying.
      */
     bool start(std::uint16_t port);
 
     /** The bound port (valid after a successful start()). */
-    std::uint16_t port() const { return port_; }
+    std::uint16_t port() const { return listener_.port(); }
 
     /** Requests served so far (any status). */
     std::uint64_t requestsServed() const
     {
-        return requests_.load(std::memory_order_relaxed);
+        return listener_.requestsServed();
     }
 
-    /** Stop the listener and join its thread. Idempotent; the
-     * destructor calls it. */
+    /** Stop the listener and join its threads. Signal-driven and
+     * prompt (see HttpListener::stop). Idempotent; the destructor
+     * calls it. */
     void stop();
 
-  private:
-    void serveLoop();
-    void handleConnection(int fd);
+    /** Route one telemetry request ("/metrics", "/healthz", ...)
+     * against @p pub — shared with the daemon, whose endpoint mixes
+     * these paths into its session API. */
+    static HttpResponse route(SnapshotPublisher &pub,
+                              const HttpRequest &req);
 
+  private:
     SnapshotPublisher &pub_;
-    int listenFd_ = -1;
-    std::uint16_t port_ = 0;
-    std::thread thread_;
-    std::atomic<bool> stop_{false};
-    std::atomic<std::uint64_t> requests_{0};
+    HttpListener listener_;
 };
 
 } // namespace asyncclock::obs

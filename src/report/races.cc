@@ -145,4 +145,14 @@ ReportSummary::summary() const
     return text;
 }
 
+std::string
+renderReportText(const RaceAnalyzer &analyzer,
+                 const ReportSummary &summary)
+{
+    std::string text = summary.summary() + "\n";
+    for (const RaceGroup &group : summary.reported)
+        text += "  " + analyzer.describe(group) + "\n";
+    return text;
+}
+
 } // namespace asyncclock::report

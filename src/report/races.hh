@@ -129,6 +129,17 @@ class RaceAnalyzer
     trace::TraceMeta meta_;
 };
 
+/**
+ * The canonical text race report: the summary line (with notes), then
+ * one indented describe() line per reported group, newline-terminated
+ * throughout. Every consumer that promises byte-identical reports
+ * across runs (trace_analyzer's --report-out, the daemon's per-session
+ * reports) renders through this one function, so "identical" can never
+ * drift into "identical except for formatting".
+ */
+std::string renderReportText(const RaceAnalyzer &analyzer,
+                             const ReportSummary &summary);
+
 } // namespace asyncclock::report
 
 #endif // ASYNCCLOCK_REPORT_RACES_HH

@@ -61,6 +61,14 @@ class BoundedQueue
      * Timeout caller can retry (or give up) without losing the item.
      * Unlike push(), this can never hang on a stalled consumer — the
      * sharded checker's watchdog is built on it.
+     *
+     * Close-while-pushing contract: a close() issued while callers
+     * are blocked in here wakes every one of them *immediately* (not
+     * at their timeout) and they return Closed with the item
+     * untouched. The daemon's drain path relies on this: closing a
+     * session's ingest queue releases any admission-throttled
+     * producer within a scheduling quantum, never after a full
+     * admission timeout.
      */
     PushResult
     tryPushFor(T &item, std::chrono::milliseconds timeout)
@@ -114,7 +122,13 @@ class BoundedQueue
         return blockedPushes_;
     }
 
-    /** Stop the queue: pending items remain poppable, new pushes fail. */
+    /**
+     * Stop the queue: pending items remain poppable, new pushes
+     * fail. Wakes *all* waiters at once — blocked push()/tryPushFor()
+     * callers return false/Closed immediately (see the
+     * close-while-pushing contract on tryPushFor), and blocked pop()
+     * callers drain the remaining items then fail. Idempotent.
+     */
     void
     close()
     {
@@ -124,6 +138,15 @@ class BoundedQueue
         }
         notFull_.notify_all();
         notEmpty_.notify_all();
+    }
+
+    /** Has close() been called? (Pending items may still be
+     * poppable.) */
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
     }
 
   private:

@@ -1,0 +1,126 @@
+#include "support/signal.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "support/format.hh"
+#include "support/logging.hh"
+
+namespace asyncclock::support {
+
+namespace {
+
+std::atomic<int> gSignal{0};
+std::atomic<bool> gRequested{false};
+// Self-pipe. Written once by the handler; the byte is intentionally
+// never read back, so the read end stays level-triggered readable for
+// every poller. -1 until installed.
+int gPipeRead = -1;
+int gPipeWrite = -1;
+std::atomic<bool> gInstalled{false};
+
+extern "C" void
+shutdownHandler(int sig)
+{
+    // Async-signal-safe: two atomic stores and one write(2).
+    gSignal.store(sig, std::memory_order_relaxed);
+    gRequested.store(true, std::memory_order_release);
+    if (gPipeWrite >= 0) {
+        char b = 1;
+        // Best effort; a full pipe already means "readable".
+        [[maybe_unused]] ssize_t n = ::write(gPipeWrite, &b, 1);
+    }
+}
+
+} // namespace
+
+bool
+installShutdownHandlers()
+{
+    if (gInstalled.load(std::memory_order_acquire))
+        return true;
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        warn(strf("signal: pipe() failed: %s", std::strerror(errno)));
+        return false;
+    }
+    gPipeRead = fds[0];
+    gPipeWrite = fds[1];
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = shutdownHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    if (::sigaction(SIGINT, &sa, nullptr) != 0 ||
+        ::sigaction(SIGTERM, &sa, nullptr) != 0) {
+        warn(strf("signal: sigaction failed: %s",
+                  std::strerror(errno)));
+        return false;
+    }
+    gInstalled.store(true, std::memory_order_release);
+    return true;
+}
+
+bool
+shutdownRequested()
+{
+    return gRequested.load(std::memory_order_acquire);
+}
+
+int
+shutdownSignal()
+{
+    return gSignal.load(std::memory_order_relaxed);
+}
+
+int
+shutdownFd()
+{
+    return gPipeRead;
+}
+
+void
+waitForShutdown()
+{
+    while (!shutdownRequested()) {
+        if (gPipeRead >= 0) {
+            pollfd pfd{gPipeRead, POLLIN, 0};
+            ::poll(&pfd, 1, 500);
+        } else {
+            // No pipe (install failed): degrade to coarse polling.
+            pollfd none{-1, 0, 0};
+            ::poll(&none, 1, 100);
+        }
+    }
+}
+
+void
+requestShutdown(int sig)
+{
+    shutdownHandler(sig);
+}
+
+void
+resetShutdownForTest()
+{
+    gRequested.store(false, std::memory_order_release);
+    gSignal.store(0, std::memory_order_relaxed);
+    if (gPipeRead >= 0) {
+        // Drain any pending wakeup bytes so shutdownFd() goes quiet.
+        char buf[16];
+        ssize_t n;
+        do {
+            pollfd pfd{gPipeRead, POLLIN, 0};
+            if (::poll(&pfd, 1, 0) <= 0 || !(pfd.revents & POLLIN))
+                break;
+            n = ::read(gPipeRead, buf, sizeof(buf));
+        } while (n > 0);
+    }
+}
+
+} // namespace asyncclock::support

@@ -24,7 +24,10 @@ faultSpecHelp()
            "  reorder=RATE      swap-with-successor probability\n"
            "  drop=RATE         drop-op probability\n"
            "  shard-stall=S:MS  shard S's worker sleeps MS ms/batch\n"
-           "  poison=S          shard S's worker dies on first batch\n";
+           "  poison=S          shard S's worker dies on first batch\n"
+           "  sess-disconnect=N client drops mid-body on chunk N\n"
+           "  sess-dup=N        client re-creates its id on chunk N\n"
+           "  sess-interleave=N client mixes dialects on chunk N\n";
 }
 
 namespace {
@@ -117,6 +120,15 @@ parseFaultSpec(const std::string &spec)
             if (!parseU64(val, shard))
                 return bad();
             cfg.poisonShard = static_cast<unsigned>(shard);
+        } else if (key == "sess-disconnect") {
+            if (!parseU64(val, cfg.sessDisconnectAtChunk))
+                return bad();
+        } else if (key == "sess-dup") {
+            if (!parseU64(val, cfg.sessDupCreateAt))
+                return bad();
+        } else if (key == "sess-interleave") {
+            if (!parseU64(val, cfg.sessInterleaveAtChunk))
+                return bad();
         } else {
             return Status::error(ErrCode::ParseError,
                                  "unknown fault spec key: '" + key +

@@ -71,6 +71,20 @@ struct FaultConfig
     /** Worker of this shard dies on its first batch. */
     unsigned poisonShard = kNoShard;
 
+    // ----- session level (daemon clients; see ci/daemon_soak.sh) ----
+    /** Client drops the connection mid-body on this 1-based ingest
+     * chunk (0 = off): the daemon must keep the session live with the
+     * bytes it has and accept a retransmit from the spooled offset. */
+    std::uint64_t sessDisconnectAtChunk = 0;
+    /** Client re-sends the session create on this 1-based chunk
+     * (0 = off): the daemon must answer 409 for a duplicate id
+     * without disturbing the existing session. */
+    std::uint64_t sessDupCreateAt = 0;
+    /** Client switches trace dialect mid-stream on this 1-based chunk
+     * (0 = off): bytes from the *other* dialect are interleaved into
+     * the ingest, which must quarantine only this session. */
+    std::uint64_t sessInterleaveAtChunk = 0;
+
     bool
     anyByteFaults() const
     {
@@ -81,6 +95,12 @@ struct FaultConfig
     anyOpFaults() const
     {
         return dupRate > 0 || reorderRate > 0 || dropRate > 0;
+    }
+    bool
+    anySessionFaults() const
+    {
+        return sessDisconnectAtChunk > 0 || sessDupCreateAt > 0 ||
+               sessInterleaveAtChunk > 0;
     }
 };
 
@@ -96,6 +116,9 @@ struct FaultConfig
  *   drop=RATE         drop-op probability
  *   shard-stall=S:MS  shard S's worker sleeps MS ms per batch
  *   poison=S          shard S's worker dies on its first batch
+ *   sess-disconnect=N client disconnects mid-body on ingest chunk N
+ *   sess-dup=N        client re-creates its session id on chunk N
+ *   sess-interleave=N client mixes the other dialect in on chunk N
  */
 Expected<FaultConfig> parseFaultSpec(const std::string &spec);
 

@@ -68,6 +68,26 @@ TEST(FaultSpec, ParsesEveryKey)
     EXPECT_TRUE(cfg.anyOpFaults());
 }
 
+TEST(FaultSpec, ParsesSessionLevelKeys)
+{
+    auto parsed = trace::parseFaultSpec(
+        "sess-disconnect=3,sess-dup=5,sess-interleave=2");
+    ASSERT_TRUE(parsed);
+    const FaultConfig &cfg = parsed.value();
+    EXPECT_EQ(cfg.sessDisconnectAtChunk, 3u);
+    EXPECT_EQ(cfg.sessDupCreateAt, 5u);
+    EXPECT_EQ(cfg.sessInterleaveAtChunk, 2u);
+    EXPECT_TRUE(cfg.anySessionFaults());
+    // Session faults live in the client; the stream/op layers stay
+    // clean.
+    EXPECT_FALSE(cfg.anyByteFaults());
+    EXPECT_FALSE(cfg.anyOpFaults());
+
+    auto empty = trace::parseFaultSpec("seed=3");
+    ASSERT_TRUE(empty);
+    EXPECT_FALSE(empty.value().anySessionFaults());
+}
+
 TEST(FaultSpec, RejectsMalformedSpecs)
 {
     EXPECT_FALSE(trace::parseFaultSpec("flip"));

@@ -303,6 +303,34 @@ TEST(BoundedQueue, CloseWakesBlockedTimedPusher)
     EXPECT_EQ(result, PushResult::Closed);
 }
 
+TEST(BoundedQueue, CloseWakesEveryBlockedTimedPusherImmediately)
+{
+    // The daemon's drain path relies on close() releasing ALL
+    // admission-blocked producers at once, long before their
+    // timeouts expire.
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(0));
+    constexpr int kPushers = 8;
+    std::vector<PushResult> results(kPushers, PushResult::Pushed);
+    std::vector<std::thread> pushers;
+    pushers.reserve(kPushers);
+    for (int i = 0; i < kPushers; ++i) {
+        pushers.emplace_back([&q, &results, i] {
+            int item = i;
+            results[i] = q.tryPushFor(item, 60000ms);
+        });
+    }
+    std::this_thread::sleep_for(30ms);
+    const auto t0 = std::chrono::steady_clock::now();
+    q.close();
+    for (auto &t : pushers)
+        t.join();
+    const auto waited = std::chrono::steady_clock::now() - t0;
+    EXPECT_LT(waited, 5000ms);  // far below the 60 s timeouts
+    for (int i = 0; i < kPushers; ++i)
+        EXPECT_EQ(results[i], PushResult::Closed) << "pusher " << i;
+}
+
 TEST(BoundedQueue, PopDrainsRemainingItemsAfterClose)
 {
     BoundedQueue<int> q(4);
