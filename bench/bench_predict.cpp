@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Predictive-tier overhead benchmark: what does keeping the second,
+ * weakened-ordering clock set cost on top of plain HB detection?
+ *
+ * Two costs with very different shapes:
+ *
+ *  - the *clock-pass* overhead — ShbEngine + CandidateWindow over the
+ *    same trace the detector consumed. This is the always-on, per-op
+ *    cost of --predict and scales linearly like the detector itself,
+ *    so it is the number the guard pins: the combined pass must stay
+ *    under 25% over HB-only on the AppSim workload (exit 1 when it
+ *    does not; CI enforces the ratio from the JSON too).
+ *  - the *funnel* cost — two gold closures plus replay per candidate
+ *    class. That is quadratic machinery, explicitly bounded by
+ *    --verify-max-ops and the candidate caps, and skipped entirely on
+ *    large traces; it is measured on a small AppSim variant and
+ *    reported, not gated.
+ *
+ * Usage: bench_predict [--scale=1.0] [--json-out=PATH]
+ *
+ * --json-out writes a machine-readable summary (CI archives it as
+ * BENCH_predict.json).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+#include "predict/candidates.hh"
+#include "predict/predict.hh"
+#include "predict/shb.hh"
+#include "report/fasttrack.hh"
+#include "workload/workload.hh"
+
+using namespace asyncclock;
+using namespace asyncclock::bench;
+
+namespace {
+
+/** The benchmark workload: a mid-size simulated app exercising every
+ * looper feature (the Table 2 profiles' shape, one fixed parameter
+ * set so the guard compares like with like across runs). */
+workload::AppProfile
+appSimProfile(double scale, unsigned events)
+{
+    workload::AppProfile p;
+    p.name = "AppSim";
+    p.seed = 20260808;
+    p.loopers = 4;
+    p.workers = 6;
+    p.looperEvents = std::max(
+        1u, static_cast<unsigned>(events * scale + 0.5));
+    p.binderEvents = p.looperEvents / 10;
+    p.handles = 8;
+    return p;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One timed HB detector pass. */
+double
+hbPass(const trace::Trace &tr)
+{
+    report::FastTrackChecker checker;
+    core::AsyncClockDetector det(tr, checker);
+    auto start = std::chrono::steady_clock::now();
+    det.runAll();
+    return secondsSince(start);
+}
+
+/** One timed HB + weak-clock pass (what --predict adds before the
+ * replay funnel). */
+double
+predictPass(const trace::Trace &tr, std::uint64_t *candidates,
+            std::uint64_t *windowDrops)
+{
+    report::FastTrackChecker checker;
+    core::AsyncClockDetector det(tr, checker);
+    predict::ShbEngine eng(tr);
+    predict::CandidateWindow window;
+    auto start = std::chrono::steady_clock::now();
+    det.runAll();
+    eng.run(window);
+    double sec = secondsSince(start);
+    *candidates = window.races().size();
+    *windowDrops = window.windowDrops();
+    return sec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = argDouble(argc, argv, "scale", 1.0);
+    std::string jsonOut = argString(argc, argv, "json-out", "");
+
+    workload::GeneratedApp app =
+        workload::generateApp(appSimProfile(scale, 2000));
+    const trace::Trace &tr = app.trace;
+    std::printf("AppSim (scale %.2f): %s\n\n", scale,
+                tr.stats().summary().c_str());
+
+    // Best-of-3 per pass: the guard is a ratio, so timer noise on
+    // either side would flake CI.
+    double hbSec = 1e9, predictSec = 1e9;
+    std::uint64_t candidates = 0, windowDrops = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        hbSec = std::min(hbSec, hbPass(tr));
+        predictSec = std::min(
+            predictSec, predictPass(tr, &candidates, &windowDrops));
+    }
+    double ratio = hbSec > 0 ? predictSec / hbSec : 1.0;
+    std::printf("HB-only pass:        %8.3fs\n", hbSec);
+    std::printf("HB + weak clocks:    %8.3fs  (%llu candidate(s), "
+                "%llu window drop(s))\n",
+                predictSec, (unsigned long long)candidates,
+                (unsigned long long)windowDrops);
+    std::printf("clock-pass overhead: %7.1f%%  (guard: <25%%)\n",
+                (ratio - 1.0) * 100.0);
+
+    // The funnel, end to end, on a small AppSim variant that stays
+    // under the default --verify-max-ops cap (reported, not gated).
+    workload::GeneratedApp small =
+        workload::generateApp(appSimProfile(1.0, 200));
+    report::FastTrackChecker checker;
+    core::AsyncClockDetector det(small.trace, checker);
+    det.runAll();
+    auto start = std::chrono::steady_clock::now();
+    predict::PredictResult funnel =
+        predict::runPrediction(small.trace, checker.races(), {});
+    double funnelSec = secondsSince(start);
+    std::printf("\nfunnel (small AppSim, %llu ops): %.3fs\n",
+                (unsigned long long)small.trace.numOps(), funnelSec);
+    std::printf("%s\n", funnel.summary.summary().c_str());
+    std::string recall = funnel.summary.recallLine();
+    if (!recall.empty())
+        std::printf("%s\n", recall.c_str());
+
+    if (!jsonOut.empty()) {
+        FILE *f = std::fopen(jsonOut.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", jsonOut.c_str());
+            return 1;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"workload\": \"AppSim\",\n"
+            "  \"scale\": %.3f,\n"
+            "  \"ops\": %llu,\n"
+            "  \"hb_sec\": %.6f,\n"
+            "  \"predict_sec\": %.6f,\n"
+            "  \"overhead_ratio\": %.4f,\n"
+            "  \"guard_ratio\": 1.25,\n"
+            "  \"candidates\": %llu,\n"
+            "  \"window_drops\": %llu,\n"
+            "  \"funnel\": {\n"
+            "    \"ops\": %llu,\n"
+            "    \"sec\": %.6f,\n"
+            "    \"candidates\": %llu,\n"
+            "    \"hidden\": %llu,\n"
+            "    \"shadowed\": %llu,\n"
+            "    \"confirmed\": %llu,\n"
+            "    \"infeasible\": %llu,\n"
+            "    \"replays\": %llu\n"
+            "  }\n"
+            "}\n",
+            scale, (unsigned long long)tr.numOps(), hbSec, predictSec,
+            ratio, (unsigned long long)candidates,
+            (unsigned long long)windowDrops,
+            (unsigned long long)small.trace.numOps(), funnelSec,
+            (unsigned long long)funnel.summary.candidates,
+            (unsigned long long)funnel.summary.hidden,
+            (unsigned long long)funnel.summary.shadowed,
+            (unsigned long long)funnel.summary.confirmed,
+            (unsigned long long)funnel.summary.infeasible,
+            (unsigned long long)funnel.summary.replays);
+        std::fclose(f);
+        std::printf("wrote %s\n", jsonOut.c_str());
+    }
+
+    if (ratio > 1.25) {
+        std::fprintf(stderr,
+                     "FAIL: weak-clock pass overhead %.1f%% exceeds "
+                     "the 25%% guard\n",
+                     (ratio - 1.0) * 100.0);
+        return 1;
+    }
+    std::printf("\nclock-pass overhead within the 25%% guard\n");
+    return 0;
+}

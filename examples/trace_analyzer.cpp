@@ -69,6 +69,7 @@
 #include "obs/obs.hh"
 #include "obs/progress.hh"
 #include "obs/telemetry.hh"
+#include "predict/predict.hh"
 #include "report/checkpoint.hh"
 #include "report/export.hh"
 #include "report/fasttrack.hh"
@@ -124,6 +125,16 @@ usage()
         "                   representative's order and diff the state\n"
         "  --verify-max-ops=N  skip verification above N trace ops\n"
         "                   (the closure is quadratic; default 50000)\n"
+        "  --predict[=N]    infer races the observed schedule hid:\n"
+        "                   re-run the clocks under the weakened\n"
+        "                   (schedule-independent) ordering, then\n"
+        "                   replay-verify every candidate before it\n"
+        "                   reaches the report (at most N classes;\n"
+        "                   default all); implies --verify\n"
+        "  --predict-window=N  per-variable candidate window (default\n"
+        "                   64, 0 = unbounded); evictions counted\n"
+        "  --predict-max-candidates=N  global candidate cap (default\n"
+        "                   256, 0 = unbounded); drops counted\n"
         "  --progress[=N]   heartbeat line on stderr every N ops\n"
         "                   (default 100000)\n"
         "  --trace-out=PATH write Chrome trace-event JSON (Perfetto)\n"
@@ -275,6 +286,36 @@ cmdGen(int argc, char **argv)
                     app.trace.stats().summary().c_str());
         return 0;
     }
+    // Seeded predictive-tier shapes (DESIGN.md section 16): fixed
+    // patterns, so they ignore the scale argument.
+    struct NamedPattern
+    {
+        const char *name;
+        trace::Trace (*make)();
+    };
+    static const NamedPattern kPredictPatterns[] = {
+        {"PredictLockShadow", workload::lockShadowedPattern},
+        {"PredictQueueSiblings", workload::queueSiblingsPattern},
+        {"PredictFifoForced", workload::fifoForcedPattern},
+    };
+    for (const NamedPattern &pat : kPredictPatterns) {
+        if (std::string(pat.name) != argv[2])
+            continue;
+        std::printf("generating %s (predictive-tier pattern)...\n",
+                    pat.name);
+        trace::Trace ptr_ = pat.make();
+        std::string problem = ptr_.validate(true);
+        if (!problem.empty())
+            fatal("generated trace invalid: " + problem);
+        if (binary)
+            trace::saveBinaryTraceFile(ptr_, argv[3]);
+        else
+            trace::saveTraceFile(ptr_, argv[3]);
+        std::printf("wrote %s (%s): %s\n", argv[3],
+                    binary ? "binary" : "text",
+                    ptr_.stats().summary().c_str());
+        return 0;
+    }
     workload::AppProfile profile =
         workload::profileByName(argv[2], scale);
     std::printf("generating %s at scale %.3f (~%u looper events)...\n",
@@ -308,6 +349,10 @@ cmdAnalyze(int argc, char **argv)
     bool verify = false;
     std::uint32_t verifyMaxClasses = 0;
     std::uint32_t verifyMaxOps = 50000;
+    bool predict = false;
+    std::uint32_t predictMaxClasses = 0;
+    std::uint32_t predictWindow = 64;
+    std::uint32_t predictMaxCandidates = 256;
     unsigned shards = 0;
     std::uint64_t progressEvery = 0;
     std::uint64_t checkpointEvery = 1000000;
@@ -374,6 +419,18 @@ cmdAnalyze(int argc, char **argv)
         } else if (arg.rfind("--verify-max-ops=", 0) == 0) {
             verifyMaxOps = static_cast<std::uint32_t>(
                 std::strtoul(arg.c_str() + 17, nullptr, 10));
+        } else if (arg == "--predict") {
+            predict = true;
+        } else if (arg.rfind("--predict=", 0) == 0) {
+            predict = true;
+            predictMaxClasses = static_cast<std::uint32_t>(
+                std::strtoul(arg.c_str() + 10, nullptr, 10));
+        } else if (arg.rfind("--predict-window=", 0) == 0) {
+            predictWindow = static_cast<std::uint32_t>(
+                std::strtoul(arg.c_str() + 17, nullptr, 10));
+        } else if (arg.rfind("--predict-max-candidates=", 0) == 0) {
+            predictMaxCandidates = static_cast<std::uint32_t>(
+                std::strtoul(arg.c_str() + 25, nullptr, 10));
         } else if (arg == "--progress") {
             progressEvery = 100000;
         } else if (arg.rfind("--progress=", 0) == 0) {
@@ -426,6 +483,16 @@ cmdAnalyze(int argc, char **argv)
         std::fprintf(stderr,
                      "--json requires materialized mode\n");
         return 2;
+    }
+    if (predict && !verify) {
+        // Prediction without verification would be unsound (a weak-
+        // order candidate is only a hypothesis until replay confirms
+        // it), so the flag is an implication, not an error.
+        std::fprintf(stderr,
+                     "--predict implies --verify (predicted "
+                     "candidates are always replay-verified); "
+                     "enabling\n");
+        verify = true;
     }
 
     trace::FaultConfig faults;
@@ -912,19 +979,19 @@ cmdAnalyze(int argc, char **argv)
     // ----- replay verification (--verify) ---------------------------
     report::TriageReport triage;
     verify::VerifySummary vsum;
+    // Verification and prediction both need a materialized trace. In
+    // streaming mode (including fault injection, which damages the
+    // in-memory stream, never the file) reload the file cleanly;
+    // flipping orders inside a half-decoded op vector would verify a
+    // program that never ran.
+    trace::Trace replayTrStorage;
+    const trace::Trace *replayTr = &tr;
+    if ((verify || predict) && streaming) {
+        replayTrStorage = binary ? trace::loadBinaryTraceFile(argv[2])
+                                 : trace::loadTraceFile(argv[2]);
+        replayTr = &replayTrStorage;
+    }
     if (verify) {
-        // Verification needs a materialized trace. In streaming mode
-        // (including fault injection, which damages the in-memory
-        // stream, never the file) reload the file cleanly; flipping
-        // orders inside a half-decoded op vector would verify a
-        // program that never ran.
-        trace::Trace verifyTr;
-        const trace::Trace *vtr = &tr;
-        if (streaming) {
-            verifyTr = binary ? trace::loadBinaryTraceFile(argv[2])
-                              : trace::loadTraceFile(argv[2]);
-            vtr = &verifyTr;
-        }
         // Candidates are the checker's races under the same
         // user-induced filter as the report; commutativity-filtered
         // pairs stay in, so replay cross-checks the whitelist.
@@ -942,11 +1009,32 @@ cmdAnalyze(int argc, char **argv)
         vcfg.maxClasses = verifyMaxClasses;
         vcfg.maxOps = verifyMaxOps;
         vcfg.obs = octx;
-        vsum = verify::verifyTriage(triage, *vtr, vcfg);
+        vsum = verify::verifyTriage(triage, *replayTr, vcfg);
         std::printf("\nverification: %llu replay(s) in %.3fs\n",
                     (unsigned long long)vsum.replays, vsum.wallSec);
         for (const std::string &note : vsum.notes)
             std::fprintf(stderr, "verify note: %s\n", note.c_str());
+    }
+
+    // ----- predictive race inference (--predict) --------------------
+    predict::PredictResult pres;
+    if (predict) {
+        predict::PredictConfig pcfg;
+        pcfg.bounds.window = predictWindow;
+        pcfg.bounds.maxCandidates = predictMaxCandidates;
+        pcfg.maxClasses = predictMaxClasses;
+        pcfg.maxOps = verifyMaxOps;
+        pcfg.obs = octx;
+        // The funnel subtracts everything the detector observed, so
+        // it gets the unfiltered race list: a framework-noise race is
+        // still an observed pair, not a prediction.
+        pres = predict::runPrediction(*replayTr, checker->races(),
+                                      pcfg);
+        std::printf("\nprediction: %llu replay(s) in %.3fs\n",
+                    (unsigned long long)pres.summary.replays,
+                    pres.summary.wallSec);
+        for (const std::string &note : pres.summary.notes)
+            std::fprintf(stderr, "predict note: %s\n", note.c_str());
     }
 
     if (!traceOut.empty()) {
@@ -959,9 +1047,28 @@ cmdAnalyze(int argc, char **argv)
     }
 
     if (json) {
-        std::string jsonText =
-            verify ? report::toJson(summary, triage, tr)
-                   : report::toJson(summary, tr);
+        std::string jsonText;
+        if (predict) {
+            report::PredictionExport pe;
+            pe.triage = &pres.triage;
+            pe.candidates = pres.summary.candidates;
+            pe.observed = pres.summary.observed;
+            pe.hidden = pres.summary.hidden;
+            pe.shadowed = pres.summary.shadowed;
+            pe.windowDrops = pres.summary.windowDrops;
+            pe.capDrops = pres.summary.capDrops;
+            pe.malformedDropped = pres.summary.malformedDropped;
+            pe.recallScored = pres.summary.recallScored;
+            pe.weakRaces = pres.summary.weakRaces;
+            pe.observedHits = pres.summary.observedHits;
+            pe.combinedHits = pres.summary.combinedHits;
+            pe.observedRecall = pres.summary.observedRecall;
+            pe.combinedRecall = pres.summary.combinedRecall;
+            jsonText = report::toJson(summary, triage, pe, tr);
+        } else {
+            jsonText = verify ? report::toJson(summary, triage, tr)
+                              : report::toJson(summary, tr);
+        }
         std::printf("%s\n", jsonText.c_str());
         if (!reportOut.empty()) {
             // Same machine-diffable copy the text path writes; the
@@ -982,6 +1089,20 @@ cmdAnalyze(int argc, char **argv)
         reportText += triage.summary() + "\n";
         for (const report::TriageClass &cls : triage.classes)
             reportText += "  " + report::describeClass(vmeta, cls) + "\n";
+        if (predict) {
+            // Distinct "predicted" section, same deterministic
+            // contract: classes ranked, no timings, byte-identical
+            // across runs and clock backends.
+            reportText += pres.summary.summary() + "\n";
+            for (const report::TriageClass &cls :
+                 pres.triage.classes) {
+                reportText +=
+                    "  " + report::describeClass(vmeta, cls) + "\n";
+            }
+            std::string recall = pres.summary.recallLine();
+            if (!recall.empty())
+                reportText += recall + "\n";
+        }
     }
     std::printf("\n%s", reportText.c_str());
     if (!reportOut.empty()) {
@@ -1049,6 +1170,18 @@ cmdDaemon(int argc, char **argv, int firstArg, int port)
             dcfg.detector.clockBackend = b;
         } else if (arg.rfind("--events-out=", 0) == 0) {
             eventsOut = arg.substr(13);
+        } else if (arg == "--predict" ||
+                   arg.rfind("--predict", 0) == 0) {
+            // Prediction replays flipped schedules against a
+            // materialized trace; daemon sessions stream and evict,
+            // so there is no trace to replay. Explicit refusal beats
+            // a generic unknown-option error.
+            std::fprintf(stderr,
+                         "daemon: --predict is not supported in "
+                         "daemon sessions (prediction needs a "
+                         "materialized trace to replay); use "
+                         "'trace_analyzer analyze --predict'\n");
+            return 2;
         } else {
             std::fprintf(stderr, "daemon: unknown option '%s'\n",
                          arg.c_str());

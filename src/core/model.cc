@@ -37,6 +37,17 @@ modelForDialect(trace::Dialect d)
                                       : ModelKind::Looper;
 }
 
+WeakOrderingSpec
+weakOrderingFor(ModelKind kind)
+{
+    WeakOrderingSpec spec;
+    if (kind == ModelKind::Looper) {
+        spec.dropQueueOrderEdges = true;
+        spec.dropNonReleasingSignalEdges = true;
+    }
+    return spec;
+}
+
 std::unique_ptr<CausalityModel>
 makeModel(ModelKind kind, DetectorEngine &engine)
 {

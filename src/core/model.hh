@@ -55,6 +55,41 @@ bool parseModelName(const std::string &name, ModelKind &out);
 ModelKind modelForDialect(trace::Dialect d);
 
 /**
+ * Which happens-before edges a model treats as *schedule-dependent* —
+ * orderings the observed execution forced but a different feasible
+ * schedule could flip. The predictive tier (src/predict/) builds its
+ * weakened ordering by dropping exactly these from the model's rule
+ * set; everything else is programmatic (fork/join, post -> begin,
+ * structured await/scope) and holds in every execution.
+ */
+struct WeakOrderingSpec
+{
+    /** Drop the queue-derived rules (PRIORITY/FIFO, ATFRONT, ATOMIC,
+     * binder): which event dequeues first depends on the schedule of
+     * the racing sends. */
+    bool dropQueueOrderEdges = false;
+    /** Drop signal -> wait edges beyond the first (releasing) signal
+     * per handle: latch semantics only require *some* prior signal,
+     * so later signals are schedule-dependent predecessors. */
+    bool dropNonReleasingSignalEdges = false;
+
+    /** True when the weakened ordering differs from the model's full
+     * happens-before (i.e. prediction can surface candidates). */
+    bool
+    weakerThanStrong() const
+    {
+        return dropQueueOrderEdges || dropNonReleasingSignalEdges;
+    }
+};
+
+/** The weakened-ordering spec for @p kind. The looper model drops
+ * queue-order and non-releasing signal edges; the async model's edges
+ * are all programmatic, so its weak ordering equals its strong one
+ * (prediction still runs, but can only surface detector misses, not
+ * schedule-hidden pairs). */
+WeakOrderingSpec weakOrderingFor(ModelKind kind);
+
+/**
  * One causality model plugged into a DetectorEngine.
  *
  * Call protocol (driven by the engine, in this order per operation):

@@ -61,6 +61,14 @@ Daemon::~Daemon()
 Status
 Daemon::init()
 {
+    // Pre-register the predictive-tier counters at zero so the
+    // /metrics scrape always exports the full verdict family, even
+    // though daemon sessions cannot run --predict themselves yet
+    // (dashboards alert on absent series; a future in-daemon predict
+    // pass will increment these).
+    for (const char *verdict : {"confirmed", "infeasible", "dropped"})
+        reg_.counter("predicted_candidates_total",
+                     {{"verdict", verdict}});
     namespace fs = std::filesystem;
     std::error_code ec;
     fs::create_directories(cfg_.stateDir, ec);

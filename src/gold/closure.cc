@@ -70,8 +70,12 @@ Closure::Closure(const trace::Trace &tr, GoldConfig cfg)
             signalsByHandle[op.target].push_back(i);
             break;
           case OpKind::Wait:
-            for (OpId s : signalsByHandle[op.target])
-                addEdge(s, i);
+            if (cfg_.extraSignalEdges) {
+                for (OpId s : signalsByHandle[op.target])
+                    addEdge(s, i);
+            } else if (!signalsByHandle[op.target].empty()) {
+                addEdge(signalsByHandle[op.target].front(), i);
+            }
             break;
           case OpKind::Fork:
             // begin(T) comes later in the trace; handled below.

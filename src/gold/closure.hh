@@ -52,6 +52,13 @@ struct GoldConfig
     bool binderRule = true;
     bool loopRules = true;      ///< LOOPBEGIN + LOOPEND
     bool removedRelay = true;
+    /** SIGNAL edges from every prior signal to a wait. When false,
+     * only the first (releasing) signal per handle contributes an
+     * edge — latch semantics order the wait after the release, but
+     * any later signal could have been the releasing one under a
+     * different schedule. The predictive tier (src/predict/) drops
+     * the extras to expose schedule-dependent orderings. */
+    bool extraSignalEdges = true;
 };
 
 /** A race: two conflicting unordered accesses, by operation id.

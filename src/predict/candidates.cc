@@ -1,0 +1,45 @@
+#include "predict/candidates.hh"
+
+namespace asyncclock::predict {
+
+using report::Access;
+using report::RaceReport;
+
+void
+CandidateWindow::onAccess(trace::VarId var, const Access &access,
+                          const clock::VectorClock &vc)
+{
+    if (history_.size() <= var)
+        history_.resize(var + 1);
+    std::deque<Access> &hist = history_[var];
+    for (const Access &prev : hist) {
+        if (!prev.isWrite && !access.isWrite)
+            continue;
+        if (vc.knows(prev.epoch))
+            continue;
+        if (cfg_.maxCandidates != 0 &&
+            candidates_.size() >= cfg_.maxCandidates) {
+            ++capDrops_;
+            continue;
+        }
+        candidates_.push_back({var, prev.op, access.op, prev.site,
+                               access.site, prev.task, access.task,
+                               prev.isWrite, access.isWrite});
+    }
+    hist.push_back(access);
+    if (cfg_.window != 0 && hist.size() > cfg_.window) {
+        hist.pop_front();
+        ++windowDrops_;
+    }
+}
+
+std::uint64_t
+CandidateWindow::byteSize() const
+{
+    std::uint64_t total = candidates_.capacity() * sizeof(RaceReport);
+    for (const auto &h : history_)
+        total += h.size() * sizeof(Access);
+    return total;
+}
+
+} // namespace asyncclock::predict

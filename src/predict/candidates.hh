@@ -1,0 +1,76 @@
+/**
+ * @file
+ * CandidateWindow: the bounded per-variable candidate enumerator of
+ * the predictive tier (DESIGN.md section 16).
+ *
+ * Plugged behind the ShbEngine as an AccessChecker, it proposes every
+ * conflicting access pair that is unordered under the *weak* relation
+ * — a superset of what the HB detector reports, since the weak
+ * relation has strictly fewer edges. The funnel downstream
+ * (predict/predict.hh) subtracts the detector's own findings and
+ * replay-filters the rest.
+ *
+ * Two explicit bounds keep the pass linear in practice, each with its
+ * own drop counter so a capped run never silently reads as complete:
+ *
+ *  - window (--predict-window): per variable, only the most recent N
+ *    accesses are candidate partners; evicting an access bumps
+ *    windowDrops(). This is the classic bounded-history compromise —
+ *    a race against an access older than the window is invisible.
+ *  - maxCandidates (--predict-max-candidates): total candidate pairs
+ *    kept, first-come in trace order (deterministic); pairs beyond
+ *    the cap bump capDrops().
+ */
+
+#ifndef ASYNCCLOCK_PREDICT_CANDIDATES_HH
+#define ASYNCCLOCK_PREDICT_CANDIDATES_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "report/checker.hh"
+
+namespace asyncclock::predict {
+
+struct CandidateConfig
+{
+    /** Per-variable access-history bound (0 = unbounded). */
+    std::uint32_t window = 64;
+    /** Total candidate-pair bound (0 = unbounded). */
+    std::uint32_t maxCandidates = 256;
+};
+
+class CandidateWindow : public report::AccessChecker
+{
+  public:
+    explicit CandidateWindow(CandidateConfig cfg = {}) : cfg_(cfg) {}
+
+    void onAccess(trace::VarId var, const report::Access &access,
+                  const clock::VectorClock &vc) override;
+
+    /** The candidate pairs, in trace order of their second access. */
+    const std::vector<report::RaceReport> &races() const override
+    {
+        return candidates_;
+    }
+
+    std::uint64_t byteSize() const override;
+
+    /** Accesses evicted from a full per-variable window. */
+    std::uint64_t windowDrops() const { return windowDrops_; }
+
+    /** Candidate pairs discarded over the global cap. */
+    std::uint64_t capDrops() const { return capDrops_; }
+
+  private:
+    CandidateConfig cfg_;
+    std::vector<std::deque<report::Access>> history_;
+    std::vector<report::RaceReport> candidates_;
+    std::uint64_t windowDrops_ = 0;
+    std::uint64_t capDrops_ = 0;
+};
+
+} // namespace asyncclock::predict
+
+#endif // ASYNCCLOCK_PREDICT_CANDIDATES_HH

@@ -1,0 +1,367 @@
+#include "predict/predict.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "core/model.hh"
+#include "gold/closure.hh"
+#include "predict/shb.hh"
+#include "support/format.hh"
+#include "verify/replay.hh"
+
+namespace asyncclock::predict {
+
+using report::RaceReport;
+using report::ReplayVerdict;
+using report::TriageClass;
+using trace::EventId;
+using trace::EventInfo;
+using trace::kInvalidId;
+using trace::Operation;
+using trace::OpId;
+using trace::OpKind;
+using trace::QueueKind;
+
+namespace {
+
+/** Mirror of the verifier's substrate check: trust a candidate's op
+ * ids only if every field it asserts holds in the trace we replay. */
+bool
+matchesSubstrate(const trace::Trace &tr, const RaceReport &r)
+{
+    if (r.prevOp >= tr.numOps() || r.curOp >= tr.numOps() ||
+        r.prevOp >= r.curOp) {
+        return false;
+    }
+    const Operation &prev = tr.op(r.prevOp);
+    const Operation &cur = tr.op(r.curOp);
+    auto accessOk = [&](const Operation &op, trace::SiteId site,
+                        trace::Task task, bool isWrite) {
+        return op.kind == (isWrite ? OpKind::Write : OpKind::Read) &&
+               op.target == r.var && op.site == site && op.task == task;
+    };
+    return accessOk(prev, r.prevSite, r.prevTask, r.prevWrite) &&
+           accessOk(cur, r.curSite, r.curTask, r.curWrite);
+}
+
+void
+tally(PredictSummary &sum, ReplayVerdict verdict)
+{
+    switch (verdict) {
+      case ReplayVerdict::Confirmed:  ++sum.confirmed; break;
+      case ReplayVerdict::Benign:     ++sum.benign; break;
+      case ReplayVerdict::Infeasible: ++sum.infeasible; break;
+      case ReplayVerdict::Unverified: ++sum.unverified; break;
+    }
+}
+
+/**
+ * Queue-discipline pre-check for hidden candidates. The trace-level
+ * interpreter does not model dequeue order, so a flip the FIFO
+ * discipline forbids would happily "execute" and could confirm an
+ * impossible schedule. When both accesses run in events of one
+ * looper queue, the sends are ordered even under the weak relation
+ * (i.e. in every execution), and Table 1 orders their dequeues, the
+ * recorded order is forced — the candidate is Infeasible without
+ * replaying.
+ */
+bool
+fifoForced(const trace::Trace &tr, const gold::Closure &weak,
+           const RaceReport &r, std::string &detail)
+{
+    const Operation &a = tr.op(r.prevOp);
+    const Operation &b = tr.op(r.curOp);
+    if (!a.task.isEvent() || !b.task.isEvent())
+        return false;
+    EventId ea = a.task.index(), eb = b.task.index();
+    if (ea == eb)
+        return false;
+    const EventInfo &ia = tr.event(ea);
+    const EventInfo &ib = tr.event(eb);
+    if (ia.queue == kInvalidId || ia.queue != ib.queue)
+        return false;
+    if (tr.queue(ia.queue).kind != QueueKind::Looper)
+        return false;
+    if (ia.sendOp == kInvalidId || ib.sendOp == kInvalidId)
+        return false;
+    if (!weak.happensBefore(ia.sendOp, ib.sendOp))
+        return false;
+    if (!trace::priorityOrders(ia.attrs, ib.attrs))
+        return false;
+    detail = strf("queue discipline forces the recorded order: "
+                  "send (op %u) precedes send (op %u) in every "
+                  "schedule and Table 1 orders their dequeues",
+                  ia.sendOp, ib.sendOp);
+    return true;
+}
+
+} // namespace
+
+std::string
+PredictSummary::summary() const
+{
+    return strf("predict: %llu candidate(s) (%llu observed, "
+                "%llu hidden, %llu shadowed): %llu confirmed, "
+                "%llu unverified, %llu benign, %llu infeasible; "
+                "drops: %llu window, %llu cap, %llu malformed",
+                static_cast<unsigned long long>(candidates),
+                static_cast<unsigned long long>(observed),
+                static_cast<unsigned long long>(hidden),
+                static_cast<unsigned long long>(shadowed),
+                static_cast<unsigned long long>(confirmed),
+                static_cast<unsigned long long>(unverified),
+                static_cast<unsigned long long>(benign),
+                static_cast<unsigned long long>(infeasible),
+                static_cast<unsigned long long>(windowDrops),
+                static_cast<unsigned long long>(capDrops),
+                static_cast<unsigned long long>(malformedDropped));
+}
+
+std::string
+PredictSummary::recallLine() const
+{
+    if (!recallScored)
+        return {};
+    return strf("predict recall: observed %llu/%llu (%.3f), "
+                "predicted+observed %llu/%llu (%.3f), delta +%.3f",
+                static_cast<unsigned long long>(observedHits),
+                static_cast<unsigned long long>(weakRaces),
+                observedRecall,
+                static_cast<unsigned long long>(combinedHits),
+                static_cast<unsigned long long>(weakRaces),
+                combinedRecall, combinedRecall - observedRecall);
+}
+
+PredictResult
+runPrediction(const trace::Trace &tr,
+              const std::vector<RaceReport> &detected,
+              const PredictConfig &cfg)
+{
+    const auto wallStart = std::chrono::steady_clock::now();
+    PredictResult res;
+    PredictSummary &sum = res.summary;
+    obs::Tracer *tracer = cfg.obs.tracer;
+    obs::MetricsRegistry *metrics = cfg.obs.metrics;
+
+    auto finish = [&]() -> PredictResult & {
+        report::rankTriage(res.triage);
+        res.triage.recount();
+        sum.wallSec =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wallStart)
+                .count();
+        if (metrics) {
+            metrics->counter("predict.candidates").inc(sum.candidates);
+            metrics->counter("predict.observed").inc(sum.observed);
+            metrics->counter("predict.hidden").inc(sum.hidden);
+            metrics->counter("predict.shadowed").inc(sum.shadowed);
+            metrics->counter("predict.drops.window")
+                .inc(sum.windowDrops);
+            metrics->counter("predict.drops.cap").inc(sum.capDrops);
+            metrics->counter("predict.drops.malformed")
+                .inc(sum.malformedDropped);
+            metrics->counter("predict.replays").inc(sum.replays);
+            metrics->counter("predict.verdict.confirmed")
+                .inc(sum.confirmed);
+            metrics->counter("predict.verdict.benign").inc(sum.benign);
+            metrics->counter("predict.verdict.infeasible")
+                .inc(sum.infeasible);
+            metrics->counter("predict.verdict.unverified")
+                .inc(sum.unverified);
+            metrics
+                ->counter("predicted_candidates_total",
+                          {{"verdict", "confirmed"}})
+                .inc(sum.confirmed);
+            metrics
+                ->counter("predicted_candidates_total",
+                          {{"verdict", "infeasible"}})
+                .inc(sum.infeasible);
+            metrics
+                ->counter("predicted_candidates_total",
+                          {{"verdict", "dropped"}})
+                .inc(sum.windowDrops + sum.capDrops);
+            metrics->gauge("predict.elapsed_us")
+                .set(static_cast<std::int64_t>(sum.wallSec * 1e6));
+        }
+        return res;
+    };
+
+    // ----- weakened-ordering pass + bounded enumeration -------------
+    const core::WeakOrderingSpec spec =
+        core::weakOrderingFor(core::modelForDialect(tr.dialect()));
+    CandidateWindow window(cfg.bounds);
+    {
+        obs::ScopedSpan span(tracer, obs::kMainTrack, "predict.shb");
+        ShbEngine shb(tr, ShbConfig{spec});
+        shb.run(window);
+        sum.malformedDropped = shb.malformedDropped();
+    }
+    sum.windowDrops = window.windowDrops();
+    sum.capDrops = window.capDrops();
+    sum.candidates = window.races().size();
+    if (!spec.weakerThanStrong()) {
+        sum.notes.push_back(
+            strf("%s model: every edge is programmatic, so the weak "
+                 "ordering equals happens-before; prediction can only "
+                 "surface detector misses",
+                 core::modelName(core::modelForDialect(tr.dialect()))));
+    }
+
+    // ----- subtract the detector's own findings ---------------------
+    std::set<std::pair<OpId, OpId>> detectedSet;
+    for (const RaceReport &r : detected)
+        detectedSet.emplace(r.prevOp, r.curOp);
+    std::vector<RaceReport> predictedPairs;
+    for (const RaceReport &r : window.races()) {
+        if (detectedSet.count({r.prevOp, r.curOp}))
+            ++sum.observed;
+        else
+            predictedPairs.push_back(r);
+    }
+    res.triage = report::buildTriage(predictedPairs);
+
+    // ----- degradation: closures are quadratic ----------------------
+    if (cfg.maxOps != 0 && tr.numOps() > cfg.maxOps) {
+        std::string note =
+            strf("trace has %u ops, above the verification cap of %u "
+                 "(the closures are quadratic); all predicted classes "
+                 "left UNVERIFIED and recall unscored",
+                 tr.numOps(), cfg.maxOps);
+        for (TriageClass &cls : res.triage.classes) {
+            cls.verdict = ReplayVerdict::Unverified;
+            cls.detail = "trace above --verify-max-ops cap";
+            ++sum.unverified;
+        }
+        sum.notes.push_back(std::move(note));
+        return finish();
+    }
+
+    // ----- soundness funnel -----------------------------------------
+    gold::Closure strong = [&] {
+        obs::ScopedSpan span(tracer, obs::kMainTrack,
+                             "predict.closure.strong");
+        return gold::Closure(tr);
+    }();
+    gold::Closure weak = [&] {
+        obs::ScopedSpan span(tracer, obs::kMainTrack,
+                             "predict.closure.weak");
+        return gold::Closure(tr, weakGoldConfig(spec));
+    }();
+    verify::ReplayController strongReplay(tr, strong);
+    verify::ReplayController weakReplay(tr, weak);
+
+    std::uint32_t budget = cfg.maxClasses;
+    for (TriageClass &cls : res.triage.classes) {
+        if (cfg.maxClasses != 0 && budget == 0) {
+            cls.verdict = ReplayVerdict::Unverified;
+            cls.detail = "class budget exhausted (--predict=N)";
+            tally(sum, cls.verdict);
+            continue;
+        }
+        if (!matchesSubstrate(tr, cls.representative)) {
+            cls.verdict = ReplayVerdict::Unverified;
+            cls.detail = "candidate does not match the replay "
+                         "substrate (stale or foreign op ids)";
+            tally(sum, cls.verdict);
+            continue;
+        }
+        if (cfg.maxClasses != 0)
+            --budget;
+
+        const RaceReport &rep = cls.representative;
+        const bool hiddenClass =
+            strong.happensBefore(rep.prevOp, rep.curOp) ||
+            strong.happensBefore(rep.curOp, rep.prevOp);
+        if (hiddenClass)
+            ++sum.hidden;
+        else
+            ++sum.shadowed;
+
+        std::string fifoDetail;
+        if (hiddenClass && fifoForced(tr, weak, rep, fifoDetail)) {
+            cls.verdict = ReplayVerdict::Infeasible;
+            cls.detail = std::move(fifoDetail);
+            tally(sum, cls.verdict);
+            continue;
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        verify::FlipOutcome out;
+        {
+            obs::ScopedSpan span(tracer, obs::kMainTrack,
+                                 "predict.replay");
+            // Hidden candidates flip against the weakened closure —
+            // the full closure orders them, so it would refuse every
+            // flip; shadowed candidates are ordinary detector-miss
+            // pairs and flip against the full closure like --verify.
+            const verify::ReplayController &controller =
+                hiddenClass ? weakReplay : strongReplay;
+            out = controller.verifyPair(rep.prevOp, rep.curOp);
+        }
+        ++sum.replays;
+        cls.verdict = out.verdict;
+        cls.detail = std::move(out.detail);
+        tally(sum, cls.verdict);
+        if (metrics) {
+            const auto us =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            metrics
+                ->histogram("predict.replay_us",
+                            {100, 1000, 10000, 100000, 1000000})
+                .observe(static_cast<std::uint64_t>(us));
+        }
+    }
+
+    // ----- recall vs the weakened oracle ----------------------------
+    {
+        obs::ScopedSpan span(tracer, obs::kMainTrack,
+                             "predict.recall");
+        std::vector<gold::GoldRace> weakRaces = weak.races();
+        sum.weakRaces = weakRaces.size();
+        std::set<std::pair<OpId, OpId>> oracle;
+        for (const gold::GoldRace &r : weakRaces)
+            oracle.emplace(r.first, r.second);
+        for (const auto &p : detectedSet) {
+            if (oracle.count(p))
+                ++sum.observedHits;
+        }
+        // Per-pair verdict lookup through the class key, so every
+        // pair of a Confirmed class counts, not just the replayed
+        // representative.
+        auto classVerdict = [&](const RaceReport &r) {
+            for (const TriageClass &cls : res.triage.classes) {
+                if (cls.var == r.var && cls.firstSite == r.prevSite &&
+                    cls.secondSite == r.curSite) {
+                    return cls.verdict;
+                }
+            }
+            return ReplayVerdict::Unverified;
+        };
+        sum.combinedHits = sum.observedHits;
+        for (const RaceReport &r : predictedPairs) {
+            if (oracle.count({r.prevOp, r.curOp}) &&
+                classVerdict(r) == ReplayVerdict::Confirmed) {
+                ++sum.combinedHits;
+            }
+        }
+        sum.recallScored = true;
+        sum.observedRecall =
+            sum.weakRaces == 0
+                ? 1.0
+                : static_cast<double>(sum.observedHits) /
+                      static_cast<double>(sum.weakRaces);
+        sum.combinedRecall =
+            sum.weakRaces == 0
+                ? 1.0
+                : static_cast<double>(sum.combinedHits) /
+                      static_cast<double>(sum.weakRaces);
+    }
+
+    return finish();
+}
+
+} // namespace asyncclock::predict

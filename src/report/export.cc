@@ -37,26 +37,13 @@ writeSummary(JsonWriter &w, const ReportSummary &summary,
     w.endArray();
 }
 
-} // namespace
-
-std::string
-toJson(const ReportSummary &summary, const trace::Trace &tr)
+/** Verdict tallies + per-class verdict array of the open object
+ * (caller owns beginObject/endObject). Shared by the "verification"
+ * and "prediction" sections. */
+void
+writeTriage(JsonWriter &w, const TriageReport &triage,
+            const trace::Trace &tr)
 {
-    JsonWriter w;
-    w.beginObject();
-    writeSummary(w, summary, tr);
-    w.endObject();
-    return w.str();
-}
-
-std::string
-toJson(const ReportSummary &summary, const TriageReport &triage,
-       const trace::Trace &tr)
-{
-    JsonWriter w;
-    w.beginObject();
-    writeSummary(w, summary, tr);
-    w.key("verification").beginObject();
     w.field("classes",
             static_cast<std::uint64_t>(triage.classes.size()));
     w.field("confirmed", triage.confirmed);
@@ -85,6 +72,63 @@ toJson(const ReportSummary &summary, const TriageReport &triage,
         w.endObject();
     }
     w.endArray();
+}
+
+} // namespace
+
+std::string
+toJson(const ReportSummary &summary, const trace::Trace &tr)
+{
+    JsonWriter w;
+    w.beginObject();
+    writeSummary(w, summary, tr);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+toJson(const ReportSummary &summary, const TriageReport &triage,
+       const trace::Trace &tr)
+{
+    JsonWriter w;
+    w.beginObject();
+    writeSummary(w, summary, tr);
+    w.key("verification").beginObject();
+    writeTriage(w, triage, tr);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+toJson(const ReportSummary &summary, const TriageReport &triage,
+       const PredictionExport &prediction, const trace::Trace &tr)
+{
+    JsonWriter w;
+    w.beginObject();
+    writeSummary(w, summary, tr);
+    w.key("verification").beginObject();
+    writeTriage(w, triage, tr);
+    w.endObject();
+    w.key("prediction").beginObject();
+    w.field("candidates", prediction.candidates);
+    w.field("observed", prediction.observed);
+    w.field("hidden", prediction.hidden);
+    w.field("shadowed", prediction.shadowed);
+    w.field("windowDrops", prediction.windowDrops);
+    w.field("capDrops", prediction.capDrops);
+    w.field("malformedDropped", prediction.malformedDropped);
+    if (prediction.triage)
+        writeTriage(w, *prediction.triage, tr);
+    if (prediction.recallScored) {
+        w.key("recall").beginObject();
+        w.field("weakRaces", prediction.weakRaces);
+        w.field("observedHits", prediction.observedHits);
+        w.field("combinedHits", prediction.combinedHits);
+        w.field("observedRecall", prediction.observedRecall);
+        w.field("combinedRecall", prediction.combinedRecall);
+        w.endObject();
+    }
     w.endObject();
     w.endObject();
     return w.str();

@@ -28,6 +28,38 @@ std::string toJson(const ReportSummary &summary,
 std::string toJson(const ReportSummary &summary,
                    const TriageReport &triage, const trace::Trace &tr);
 
+/**
+ * Data for the "prediction" section. The predictive tier lives above
+ * this library (src/predict/ links ac_report), so the analyzer copies
+ * its counters into this layering-neutral struct before export.
+ */
+struct PredictionExport
+{
+    /** Triage classes of predicted candidates with replay verdicts. */
+    const TriageReport *triage = nullptr;
+
+    std::uint64_t candidates = 0;  ///< weak-order candidate pairs
+    std::uint64_t observed = 0;    ///< already found by the detector
+    std::uint64_t hidden = 0;      ///< HB-ordered, weak-unordered
+    std::uint64_t shadowed = 0;    ///< HB-unordered, undetected
+    std::uint64_t windowDrops = 0;
+    std::uint64_t capDrops = 0;
+    std::uint64_t malformedDropped = 0;
+
+    bool recallScored = false;
+    std::uint64_t weakRaces = 0;
+    std::uint64_t observedHits = 0;
+    std::uint64_t combinedHits = 0;
+    double observedRecall = 0.0;
+    double combinedRecall = 0.0;
+};
+
+/** As the verification overload, plus a "prediction" section. */
+std::string toJson(const ReportSummary &summary,
+                   const TriageReport &triage,
+                   const PredictionExport &prediction,
+                   const trace::Trace &tr);
+
 /** Render trace statistics as a JSON object. */
 std::string toJson(const trace::TraceStats &stats);
 

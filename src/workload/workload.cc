@@ -507,6 +507,62 @@ multiPathPattern(unsigned rounds)
 }
 
 trace::Trace
+lockShadowedPattern()
+{
+    Runtime rt;
+    HandleId h = rt.handle("latch");
+    VarId x = rt.var("shadowed.state", SeedLabel::Harmful);
+    SiteId sa = rt.site("Shadowed.java:11", Frame::User);
+    SiteId sb = rt.site("Shadowed.java:29", Frame::User);
+    // The fast signaler releases the latch long before the slow
+    // worker's write+signal; the waiter's HB predecessor set still
+    // contains the slow signal, hiding the write/write race.
+    rt.spawnWorker("fast", Script().signal(h));
+    rt.spawnWorker("slow",
+                   Script().sleep(5).write(x, sa).signal(h));
+    rt.spawnWorker("waiter",
+                   Script().sleep(20).await(h).write(x, sb));
+    return rt.run();
+}
+
+trace::Trace
+queueSiblingsPattern()
+{
+    Runtime rt;
+    QueueId q = rt.addLooper("main");
+    HandleId h = rt.handle("ready");
+    VarId y = rt.var("sibling.slot", SeedLabel::Harmful);
+    SiteId s1 = rt.site("Sibling.java:5", Frame::User);
+    SiteId s2 = rt.site("Sibling.java:9", Frame::User);
+    // The waiter's post is ordered after the poster's only through
+    // the poster's non-releasing signal; under the fast release the
+    // two posts race and FIFO could dequeue them either way.
+    rt.spawnWorker("fast", Script().signal(h));
+    rt.spawnWorker("poster", Script().sleep(2)
+                                 .post(q, Script().write(y, s1))
+                                 .signal(h));
+    rt.spawnWorker("waiter", Script().sleep(10).await(h).post(
+                                 q, Script().write(y, s2)));
+    return rt.run();
+}
+
+trace::Trace
+fifoForcedPattern()
+{
+    Runtime rt;
+    QueueId q = rt.addLooper("main");
+    VarId z = rt.var("fifo.cell");
+    SiteId s1 = rt.site("Fifo.java:3", Frame::User);
+    SiteId s2 = rt.site("Fifo.java:8", Frame::User);
+    // Same sender, same queue: every execution dequeues E1 before
+    // E2, so the weak-unordered pair is a false candidate.
+    rt.spawnWorker("poster",
+                   Script().post(q, Script().write(z, s1))
+                       .post(q, Script().write(z, s2)));
+    return rt.run();
+}
+
+trace::Trace
 chaosTrace(std::uint64_t seed, unsigned events)
 {
     Rng rng(seed ^ 0xc4a05);

@@ -150,6 +150,36 @@ trace::Trace multiPathPattern(unsigned rounds);
  */
 trace::Trace chaosTrace(std::uint64_t seed, unsigned events = 60);
 
+/**
+ * Seeded shapes for the predictive tier (DESIGN.md section 16): each
+ * plants an access pair the HB detector cannot report because the
+ * observed schedule ordered it, exercising one weak-ordering rule.
+ *
+ * lockShadowedPattern — a latch released by a fast signaler while a
+ * slow worker writes and then signals the same handle; the waiter's
+ * write is HB-ordered after the slow write only through the slow
+ * (non-releasing) signal, so the pair is hidden but feasible: a
+ * schedule where the fast signal releases the waiter first races the
+ * two writes. Prediction must Confirm it.
+ */
+trace::Trace lockShadowedPattern();
+
+/**
+ * queueSiblingsPattern — two events posted to one looper queue from
+ * racing senders whose only ordering is a non-releasing signal; FIFO
+ * ordered their bodies in the observed run, but the opposite dequeue
+ * order is reachable. Prediction must Confirm the sibling writes.
+ */
+trace::Trace queueSiblingsPattern();
+
+/**
+ * fifoForcedPattern — the soundness negative: one worker posts two
+ * events to one looper queue, so their dequeue order is forced in
+ * every execution. The pair is weak-unordered (queue rules dropped)
+ * and must be classified Infeasible, never Confirmed.
+ */
+trace::Trace fifoForcedPattern();
+
 /** The 20 Table 2 app profiles, event counts scaled by @p scale
  * (1.0 = the paper's looper/binder event counts). */
 std::vector<AppProfile> table2Profiles(double scale = 0.1);

@@ -563,6 +563,15 @@ TEST(Daemon, HealthAndMetricsEndpointsServe)
     EXPECT_EQ(m.status, 200);
     EXPECT_NE(m.body.find("daemon_sessions"), std::string::npos)
         << m.body;
+    // The predictive-tier verdict family is pre-registered at zero so
+    // scrapers always see the full series set.
+    for (const char *verdict : {"confirmed", "infeasible", "dropped"}) {
+        EXPECT_NE(m.body.find(std::string("predicted_candidates_total"
+                                          "{verdict=\"") +
+                              verdict + "\"} 0"),
+                  std::string::npos)
+            << m.body;
+    }
 }
 
 // ----- session ids ----------------------------------------------------

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "core/detector.hh"
+#include "predict/candidates.hh"
+#include "predict/shb.hh"
 #include "report/fasttrack.hh"
 #include "report/sharded.hh"
 #include "trace/fault.hh"
@@ -344,6 +346,109 @@ TEST(CorruptionCorpus, CleanStreamThroughFaultLayersIsUnchanged)
         EXPECT_EQ(plain.races()[i].prevOp, wrapped.races()[i].prevOp);
         EXPECT_EQ(plain.races()[i].curOp, wrapped.races()[i].curOp);
         EXPECT_EQ(plain.races()[i].var, wrapped.races()[i].var);
+    }
+}
+
+/**
+ * The predictive tier's leg of the corpus invariant: feeding the
+ * weakened-ordering pass from a decode-damaged stream must never
+ * yield a *phantom* candidate — one whose variable, sites, or op ids
+ * fall outside the trace's tables / the ops actually pumped. Damaged
+ * ops are either absorbed (in-range ids, wrong but harmless) or
+ * counted by ShbEngine::malformedDropped(), never applied.
+ */
+TEST(CorruptionCorpus, PredictSeesNoPhantomCandidates)
+{
+    auto app = workload::generateApp(profile(3, 100));
+    std::string bin = trace::writeBinaryTraceToString(app.trace);
+
+    struct Case
+    {
+        const char *name;
+        FaultConfig cfg;
+    };
+    std::vector<Case> corpus;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        FaultConfig flip;
+        flip.seed = seed;
+        flip.bitFlipRate = 2e-4;
+        corpus.push_back({"flip", flip});
+        FaultConfig truncate;
+        truncate.seed = seed;
+        truncate.truncateAfterBytes = (bin.size() * seed) / 7;
+        corpus.push_back({"truncate", truncate});
+        FaultConfig ops;
+        ops.seed = seed;
+        ops.dupRate = 0.01;
+        ops.reorderRate = 0.01;
+        ops.dropRate = 0.01;
+        corpus.push_back({"ops", ops});
+    }
+
+    for (const Case &c : corpus) {
+        SCOPED_TRACE(c.name);
+        SCOPED_TRACE(c.cfg.seed);
+        std::istringstream file(bin);
+        FaultyStreamBuf buf(file, c.cfg);
+        std::istream faulted(&buf);
+        trace::SourceErrorPolicy policy;
+        policy.maxRecordErrors = 50;
+        trace::StreamingBinarySource inner(
+            c.cfg.anyByteFaults() ? faulted : file, policy);
+        std::unique_ptr<FaultInjectingSource> injector;
+        trace::TraceSource *src = &inner;
+        if (c.cfg.anyOpFaults()) {
+            injector =
+                std::make_unique<FaultInjectingSource>(inner, c.cfg);
+            src = injector.get();
+        }
+
+        // The engine binds the clean entity tables; whatever survives
+        // decoding is stepped through it, like the analyzer would
+        // after a damaged streaming run.
+        predict::ShbEngine eng(app.trace);
+        predict::CandidateWindow window;
+        Operation op;
+        trace::OpId pumped = 0;
+        std::uint64_t ceiling = app.trace.numOps() * 4 + 1000;
+        while (src->next(op)) {
+            eng.step(op, pumped++, window);
+            ASSERT_LT(pumped, ceiling) << "pump did not terminate";
+        }
+        if (!src->ok()) {
+            Status st = src->status();
+            EXPECT_NE(st.code(), ErrCode::Ok);
+        }
+
+        for (const report::RaceReport &r : window.races()) {
+            EXPECT_LT(r.var, app.trace.vars().size());
+            EXPECT_LT(r.prevSite, app.trace.sites().size());
+            EXPECT_LT(r.curSite, app.trace.sites().size());
+            EXPECT_LT(r.prevOp, pumped);
+            EXPECT_LT(r.curOp, pumped);
+        }
+    }
+
+    // Clean stream through the same plumbing: candidate list must be
+    // identical to a direct in-memory run (no drift from the layers).
+    predict::CandidateWindow direct;
+    predict::ShbEngine(app.trace).run(direct);
+
+    std::istringstream file(bin);
+    trace::StreamingBinarySource src(file);
+    predict::ShbEngine eng(app.trace);
+    predict::CandidateWindow streamed;
+    Operation op;
+    trace::OpId id = 0;
+    while (src.next(op))
+        eng.step(op, id++, streamed);
+    ASSERT_TRUE(src.ok()) << src.error();
+    EXPECT_EQ(eng.malformedDropped(), 0u);
+    ASSERT_EQ(direct.races().size(), streamed.races().size());
+    for (std::size_t i = 0; i < direct.races().size(); ++i) {
+        EXPECT_EQ(direct.races()[i].prevOp, streamed.races()[i].prevOp);
+        EXPECT_EQ(direct.races()[i].curOp, streamed.races()[i].curOp);
+        EXPECT_EQ(direct.races()[i].var, streamed.races()[i].var);
     }
 }
 
