@@ -1,8 +1,9 @@
 /**
  * @file
  * Clock-backend comparison on fig-9 scaling workloads: the same
- * detector pass run under the sparse, COW, and tree backends, plus a
- * pure join micro-loop per backend.
+ * detector pass run under the sparse, COW, tree, and hybrid backends,
+ * plus pure join/snapshot micro-loops per backend and a SIMD
+ * vector-vs-scalar sweep of the sparse join kernel.
  *
  * For each backend the harness reports analysis throughput (trace
  * ops/sec), peak clock metadata bytes (the MemCat::AsyncClock pool),
@@ -10,6 +11,11 @@
  * visited — the measure of how much work pruning/sharing avoided).
  * Race counts must agree across backends; a mismatch is a correctness
  * bug and fails the run.
+ *
+ * The micro columns are the hybrid backend's two-front scoreboard:
+ * micro copies/s is where COW sharing wins (snapshot = refcount bump)
+ * and micro joins/s under the tick discipline is where tree pruning
+ * wins. CI gates on hybrid matching both champions at once.
  *
  * Usage: bench_clock_backends [--app=AnyMemo] [--events=3000]
  *                             [--json-out=PATH]
@@ -23,7 +29,10 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "clock/hybrid_clock.hh"
 #include "clock/policy.hh"
+#include "clock/simd.hh"
+#include "clock/tree_clock.hh"
 #include "clock/vector_clock.hh"
 #include "support/format.hh"
 #include "support/rng.hh"
@@ -45,12 +54,17 @@ struct BackendResult
     std::uint64_t joinFastPaths = 0;
     std::uint64_t joinEntriesVisited = 0;
     double microJoinsPerSec = 0;
+    double microCopiesPerSec = 0;
 };
 
 /** One measured detector pass under @p backend. */
 BackendResult
-runBackend(const trace::Trace &tr, clock::Backend backend)
+runBackendOnce(const trace::Trace &tr, clock::Backend backend)
 {
+    // Detector GC can poison owner-rooted prune bits; reset so every
+    // backend starts the measured pass from the same state.
+    clock::TreeClock::resetPruneGuard();
+    clock::HybridClock::resetPruneGuard();
     clock::resetClockStats();
     core::DetectorConfig cfg;
     cfg.windowMs = 0;
@@ -76,6 +90,33 @@ runBackend(const trace::Trace &tr, clock::Backend backend)
     out.joinFastPaths = cs.joinFastPaths.load();
     out.joinEntriesVisited = cs.joinEntriesVisited.load();
     return out;
+}
+
+/** Best-of-N detector pass: the workload is deterministic, so every
+ * attempt produces identical counts and only the wall clock varies.
+ * Keeping the fastest attempt filters scheduler noise out of the
+ * numbers CI gates on. */
+BackendResult
+runBackend(const trace::Trace &tr, clock::Backend backend)
+{
+    BackendResult best = runBackendOnce(tr, backend);
+    for (int attempt = 1; attempt < 3; ++attempt) {
+        BackendResult r = runBackendOnce(tr, backend);
+        if (r.opsPerSec > best.opsPerSec)
+            best = r;
+    }
+    return best;
+}
+
+/** Best-of-3 for a throughput lambda (same noise-filtering idea). */
+template <typename Fn>
+double
+bestOf3(Fn &&fn)
+{
+    double best = fn();
+    for (int attempt = 1; attempt < 3; ++attempt)
+        best = std::max(best, fn());
+    return best;
 }
 
 /**
@@ -116,6 +157,73 @@ microJoins(clock::Backend backend, unsigned chains, unsigned iters)
     return double(iters) / (secs > 0 ? secs : 1e-9);
 }
 
+/**
+ * Snapshot throughput: the detector's export step (`exports[c] =
+ * owners[c]`) measured in isolation. COW-style backends answer with a
+ * refcount bump; value backends pay a deep copy proportional to the
+ * clock's width.
+ */
+double
+microCopies(clock::Backend backend, unsigned chains, unsigned iters)
+{
+    clock::VectorClock owner(backend);
+    clock::Tick t = 0;
+    for (unsigned c = 0; c < chains; ++c)
+        owner.raise(c, 1 + (c % 7));
+    std::uint64_t sink = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < iters; ++i) {
+        clock::VectorClock snap = owner;
+        sink += snap.size();
+        // Occasional owner mutation so sharing backends pay their
+        // real-world break-on-write cost too.
+        if ((i & 255u) == 0)
+            owner.tick(0, ++t);
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (sink == 0)
+        std::fprintf(stderr, "microCopies: empty snapshots?\n");
+    return double(iters) / (secs > 0 ? secs : 1e-9);
+}
+
+/** Vector-vs-scalar sweep of the sparse same-layout join kernel. */
+struct SimdPoint
+{
+    unsigned entries = 0;
+    double vectorJoinsPerSec = 0;
+    double scalarJoinsPerSec = 0;
+};
+
+SimdPoint
+simdJoinPoint(unsigned entries, unsigned iters)
+{
+    SimdPoint out;
+    out.entries = entries;
+    auto run = [&](bool enable) {
+        bool was = clock::simdEnabled();
+        clock::setSimdEnabled(enable);
+        clock::VectorClock a(clock::Backend::Sparse);
+        clock::VectorClock b(clock::Backend::Sparse);
+        for (unsigned c = 0; c < entries; ++c) {
+            a.raise(c, 1 + (c % 5));
+            b.raise(c, 1 + ((c * 3) % 5));
+        }
+        auto start = std::chrono::steady_clock::now();
+        for (unsigned i = 0; i < iters; ++i)
+            a.joinWith(b);
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        clock::setSimdEnabled(was);
+        return double(iters) / (secs > 0 ? secs : 1e-9);
+    };
+    out.vectorJoinsPerSec = bestOf3([&] { return run(true); });
+    out.scalarJoinsPerSec = bestOf3([&] { return run(false); });
+    return out;
+}
+
 } // namespace
 
 int
@@ -138,27 +246,46 @@ main(int argc, char **argv)
 
     const clock::Backend backends[] = {clock::Backend::Sparse,
                                        clock::Backend::Cow,
-                                       clock::Backend::Tree};
+                                       clock::Backend::Tree,
+                                       clock::Backend::Hybrid};
 
     std::printf("Clock backend comparison (%s, %u looper events)\n\n",
                 app.c_str(), events);
-    std::printf("%8s | %12s %12s %10s %12s %12s %14s\n", "backend",
-                "ops/sec", "clock bytes", "joins", "fast paths",
-                "entries", "micro joins/s");
+    std::printf("%8s | %12s %12s %10s %12s %12s %14s %15s\n",
+                "backend", "ops/sec", "clock bytes", "joins",
+                "fast paths", "entries", "micro joins/s",
+                "micro copies/s");
 
     std::vector<BackendResult> results;
     for (clock::Backend b : backends) {
         BackendResult r = runBackend(tr, b);
-        r.microJoinsPerSec = microJoins(b, 64, 200000);
-        std::printf("%8s | %12.0f %12s %10llu %12llu %12llu %14.0f\n",
-                    r.name.c_str(), r.opsPerSec,
-                    humanBytes(r.peakClockBytes).c_str(),
-                    (unsigned long long)r.joins,
-                    (unsigned long long)r.joinFastPaths,
-                    (unsigned long long)r.joinEntriesVisited,
-                    r.microJoinsPerSec);
+        r.microJoinsPerSec =
+            bestOf3([&] { return microJoins(b, 64, 200000); });
+        r.microCopiesPerSec =
+            bestOf3([&] { return microCopies(b, 64, 200000); });
+        std::printf(
+            "%8s | %12.0f %12s %10llu %12llu %12llu %14.0f %15.0f\n",
+            r.name.c_str(), r.opsPerSec,
+            humanBytes(r.peakClockBytes).c_str(),
+            (unsigned long long)r.joins,
+            (unsigned long long)r.joinFastPaths,
+            (unsigned long long)r.joinEntriesVisited,
+            r.microJoinsPerSec, r.microCopiesPerSec);
         results.push_back(r);
     }
+
+    const SimdPoint simdPoints[] = {simdJoinPoint(64, 200000),
+                                    simdJoinPoint(256, 100000)};
+    std::printf("\nSIMD sparse join kernel (isa=%s)\n",
+                clock::simdIsa());
+    std::printf("%8s | %14s %14s %8s\n", "entries", "vector j/s",
+                "scalar j/s", "speedup");
+    for (const SimdPoint &p : simdPoints)
+        std::printf("%8u | %14.0f %14.0f %7.2fx\n", p.entries,
+                    p.vectorJoinsPerSec, p.scalarJoinsPerSec,
+                    p.vectorJoinsPerSec /
+                        (p.scalarJoinsPerSec > 0 ? p.scalarJoinsPerSec
+                                                 : 1e-9));
 
     for (const BackendResult &r : results) {
         if (r.races != results[0].races) {
@@ -191,14 +318,34 @@ main(int argc, char **argv)
                 "\"peak_clock_bytes\": %llu, \"joins\": %llu, "
                 "\"join_fast_paths\": %llu, "
                 "\"join_entries_visited\": %llu, "
-                "\"micro_joins_per_sec\": %.0f, \"races\": %llu}%s\n",
+                "\"micro_joins_per_sec\": %.0f, "
+                "\"micro_copies_per_sec\": %.0f, "
+                "\"races\": %llu}%s\n",
                 r.name.c_str(), r.opsPerSec,
                 (unsigned long long)r.peakClockBytes,
                 (unsigned long long)r.joins,
                 (unsigned long long)r.joinFastPaths,
                 (unsigned long long)r.joinEntriesVisited,
-                r.microJoinsPerSec, (unsigned long long)r.races,
+                r.microJoinsPerSec, r.microCopiesPerSec,
+                (unsigned long long)r.races,
                 i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(f, "  },\n  \"simd\": {\n    \"isa\": \"%s\",\n",
+                     clock::simdIsa());
+        for (std::size_t i = 0;
+             i < sizeof simdPoints / sizeof simdPoints[0]; ++i) {
+            const SimdPoint &p = simdPoints[i];
+            std::fprintf(
+                f,
+                "    \"join%u\": {\"vector_joins_per_sec\": %.0f, "
+                "\"scalar_joins_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
+                p.entries, p.vectorJoinsPerSec, p.scalarJoinsPerSec,
+                p.vectorJoinsPerSec /
+                    (p.scalarJoinsPerSec > 0 ? p.scalarJoinsPerSec
+                                             : 1e-9),
+                i + 1 < sizeof simdPoints / sizeof simdPoints[0]
+                    ? ","
+                    : "");
         }
         std::fprintf(f, "  }\n}\n");
         std::fclose(f);

@@ -154,7 +154,7 @@ BM_BackendDisciplinedJoin(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BackendDisciplinedJoin)
-    ->ArgsProduct({{0, 1, 2}, {16, 64, 256}});
+    ->ArgsProduct({{0, 1, 2, 3}, {16, 64, 256}});
 
 /** Backend comparison for snapshot copies (the detector's export
  * step): COW's refcount bump vs sparse/tree deep copies. */
@@ -172,7 +172,7 @@ BM_BackendCopy(benchmark::State &state)
         benchmark::DoNotOptimize(copy.size());
     }
 }
-BENCHMARK(BM_BackendCopy)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_BackendCopy)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void
 BM_AsyncClockJoin(benchmark::State &state)

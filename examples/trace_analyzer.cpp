@@ -12,7 +12,7 @@
  *                  [--model=looper|async]
  *                  [--window-ms=N] [--chains=fifo|greedy]
  *                  [--no-reclaim] [--all-races]
- *                  [--clock=sparse|cow|tree]
+ *                  [--clock=sparse|cow|tree|hybrid]
  *                  [--streaming] [--shards=N]
  *                  [--progress[=N]] [--trace-out=PATH]
  *                  [--metrics-out=PATH]
@@ -109,9 +109,9 @@ usage()
         "                   asserts the expectation (mismatch = error)\n"
         "  --window-ms=N    time window, 0 = off (default 120000)\n"
         "  --chains=fifo|greedy               (default fifo)\n"
-        "  --clock=sparse|cow|tree  vector-clock backend (default\n"
-        "                   sparse, or $ASYNCCLOCK_CLOCK); all\n"
-        "                   backends produce identical reports\n"
+        "  --clock=sparse|cow|tree|hybrid  vector-clock backend\n"
+        "                   (default sparse, or $ASYNCCLOCK_CLOCK);\n"
+        "                   all backends produce identical reports\n"
         "  --no-reclaim     disable heirless-event reclamation\n"
         "  --all-races      disable the user-induced and\n"
         "                   commutativity filters\n"
@@ -391,8 +391,9 @@ cmdAnalyze(int argc, char **argv)
             if (!clock::parseBackend(arg.c_str() + 8, b)) {
                 std::fprintf(stderr,
                              "--clock: unknown backend '%s' (want "
-                             "sparse|cow|tree)\n",
-                             arg.c_str() + 8);
+                             "%s)\n",
+                             arg.c_str() + 8,
+                             clock::backendNames());
                 return 2;
             }
             clock::setDefaultBackend(b);
@@ -1162,8 +1163,10 @@ cmdDaemon(int argc, char **argv, int firstArg, int port)
             clock::Backend b;
             if (!clock::parseBackend(arg.c_str() + 8, b)) {
                 std::fprintf(stderr,
-                             "--clock: unknown backend '%s'\n",
-                             arg.c_str() + 8);
+                             "--clock: unknown backend '%s' (want "
+                             "%s)\n",
+                             arg.c_str() + 8,
+                             clock::backendNames());
                 return 2;
             }
             clock::setDefaultBackend(b);

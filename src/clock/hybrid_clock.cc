@@ -1,0 +1,721 @@
+#include "clock/hybrid_clock.hh"
+
+#include <cstring>
+#include <new>
+
+#include "support/logging.hh"
+
+namespace asyncclock::clock {
+
+using detail::HEdge;
+using detail::HIdx;
+using detail::HNode;
+using detail::HPool;
+using detail::HybridRep;
+
+namespace {
+
+/** Process-wide pruning kill switch, separate from TreeClock's: the
+ * two backends can coexist in one process (mixed-backend tests) and
+ * an undisciplined erase on one must not degrade the other. */
+std::atomic<bool> hybridPrunePoisoned{false};
+
+/** Stack-buffer vector with heap spill: joins average a handful of
+ * visited nodes, so the common case should not touch malloc. */
+template <typename T, unsigned N>
+class SmallVec
+{
+  public:
+    void
+    push(const T &v)
+    {
+        if (!spilled_) {
+            if (n_ < N) {
+                buf_[n_++] = v;
+                return;
+            }
+            heap_.assign(buf_, buf_ + N);
+            spilled_ = true;
+        }
+        heap_.push_back(v);
+        ++n_;
+    }
+    T
+    pop()
+    {
+        T v = spilled_ ? heap_.back() : buf_[n_ - 1];
+        if (spilled_)
+            heap_.pop_back();
+        --n_;
+        return v;
+    }
+    const T &
+    operator[](unsigned i) const
+    {
+        return spilled_ ? heap_[i] : buf_[i];
+    }
+    unsigned size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+
+  private:
+    T buf_[N];
+    std::vector<T> heap_;
+    unsigned n_ = 0;
+    bool spilled_ = false;
+};
+
+
+} // namespace
+
+namespace detail {
+
+char *
+HPool::refill(std::size_t bytes)
+{
+    std::size_t cap = bytes > nextBlock_ ? bytes : nextBlock_;
+    blocks_.push_back(Block{std::make_unique<char[]>(cap), cap});
+    if (nextBlock_ < 16384)
+        nextBlock_ *= 4;
+    char *p = blocks_.back().mem.get();
+    cur_ = p + bytes;
+    curEnd_ = p + cap;
+    return p;
+}
+
+} // namespace detail
+
+bool
+HybridClock::pruningDisabled()
+{
+    return hybridPrunePoisoned.load(std::memory_order_relaxed);
+}
+
+void
+HybridClock::resetPruneGuard()
+{
+    hybridPrunePoisoned.store(false, std::memory_order_relaxed);
+}
+
+void
+HybridClock::poisonPruning()
+{
+    hybridPrunePoisoned.store(true, std::memory_order_relaxed);
+}
+
+void
+HybridClock::destroyRep()
+{
+    // Caller saw this rep's refs hit zero.
+    if (rep_->pool->refs.fetch_sub(
+            1, std::memory_order_acq_rel) == 1)
+        delete rep_->pool;
+    delete rep_;
+}
+
+void
+HybridClock::splitRep()
+{
+    if (!rep_) {
+        rep_ = new HybridRep();
+        rep_->pool = new HPool();
+        return;
+    }
+    // Split the shared rep: copy the index, share the whole tree.
+    // This is the cheap half of the cow break — no node is copied
+    // until ownSpine() actually reaches it. Stamping *both* reps at
+    // the split point makes every existing node stale for both
+    // sides; whichever holder mutates next clones its spine.
+    auto *fresh = new HybridRep();
+    fresh->pool = rep_->pool;
+    fresh->pool->refs.fetch_add(1, std::memory_order_relaxed);
+    fresh->root = rep_->root;
+    fresh->index = rep_->index;
+    std::uint64_t s = fresh->pool->nextStamp();
+    fresh->sharedStamp.store(s, std::memory_order_relaxed);
+    rep_->sharedStamp.store(s, std::memory_order_relaxed);
+    clockStats().cowBreaks.fetch_add(1, std::memory_order_relaxed);
+    releaseRep();
+    rep_ = fresh;
+}
+
+void
+HybridClock::maybeCompact()
+{
+    // Sole owner of rep and family: migrate the live tree into a
+    // fresh pool once garbage (superseded clones, dethroned spines,
+    // outgrown kid arrays) dominates. Amortized O(1) per mutation —
+    // several multiples of live bytes of garbage accrued since the
+    // last compaction pay for the O(live) copy.
+    // Caller (inline ensureRepUnique) already saw allocated() cross
+    // the compactAt gate.
+    HPool *pool = rep_->pool;
+    if (!rep_->root ||
+        pool->refs.load(std::memory_order_acquire) != 1) {
+        // Shared family: re-arm the gate so the check stays cheap
+        // while snapshots pin the pool.
+        pool->compactAt.store(pool->allocated() + 4096,
+                              std::memory_order_relaxed);
+        return;
+    }
+    std::uint64_t n = rep_->index.size();
+    std::uint64_t live = n * (sizeof(HNode) + sizeof(HEdge));
+    if (pool->allocated() < 8 * live + 4096) {
+        pool->compactAt.store(8 * live + 4096,
+                              std::memory_order_relaxed);
+        return;
+    }
+
+    auto *np = new HPool();
+    auto copyOf = [&](const HNode *src) {
+        auto *d = new (np->alloc(sizeof(HNode))) HNode();
+        d->chain = src->chain;
+        d->clk = src->clk;
+        d->cert = src->cert;
+        d->covered = src->covered;
+        d->born = np->nextStamp();
+        d->kidsBorn = d->born;
+        d->kidCount = src->kidCount;
+        d->kidCap = src->kidCount;
+        d->kids = nullptr;
+        if (src->kidCount) {
+            d->kids = static_cast<HEdge *>(
+                np->alloc(src->kidCount * sizeof(HEdge)));
+            std::memcpy(d->kids, src->kids,
+                        src->kidCount * sizeof(HEdge));
+        }
+        return d;
+    };
+    std::vector<std::pair<const HNode *, HNode *>> stack;
+    HNode *nr = copyOf(rep_->root);
+    rep_->index.find(nr->chain)->node = nr;
+    stack.emplace_back(rep_->root, nr);
+    while (!stack.empty()) {
+        auto [src, dst] = stack.back();
+        stack.pop_back();
+        for (std::uint32_t i = 0; i < dst->kidCount; ++i) {
+            const HNode *sc = dst->kids[i].child;
+            HNode *dc = copyOf(sc);
+            dst->kids[i].child = dc;
+            rep_->index.find(dc->chain)->node = dc;
+            stack.emplace_back(sc, dc);
+        }
+        (void)src;
+    }
+    np->compactAt.store(8 * live + 4096,
+                        std::memory_order_relaxed);
+    rep_->root = nr;
+    rep_->pool = np;
+    rep_->sharedStamp.store(0, std::memory_order_relaxed);
+    if (pool->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        delete pool;
+    clockStats().deepCopies.fetch_add(1, std::memory_order_relaxed);
+}
+
+HNode *
+HybridClock::newNode(ChainId chain, Tick clk)
+{
+    auto *n = new (rep_->pool->alloc(sizeof(HNode))) HNode();
+    n->chain = chain;
+    n->clk = clk;
+    n->cert = false;
+    n->covered = false;
+    n->born = rep_->pool->nextStamp();
+    n->kidsBorn = n->born;
+    n->kidCount = 0;
+    n->kidCap = 0;
+    n->kids = nullptr;
+    return n;
+}
+
+HNode *
+HybridClock::cloneNode(const HNode *n)
+{
+    HNode *c = newNode(n->chain, n->clk);
+    c->cert = n->cert;
+    c->covered = n->covered;
+    // Share the source's kid array: a clone made for a value write
+    // (root tick after a snapshot) never touches edges. kidsBorn
+    // stays stale, so the first edge write copies the array.
+    c->kidCount = n->kidCount;
+    c->kidCap = n->kidCap;
+    c->kids = n->kids;
+    c->kidsBorn = n->kidsBorn;
+    clockStats().cowBreaks.fetch_add(1, std::memory_order_relaxed);
+    return c;
+}
+
+void
+HybridClock::addKid(HNode *p, HNode *c, Tick aclk)
+{
+    HPool *pool = rep_->pool;
+    bool shared =
+        p->kidsBorn <=
+        rep_->sharedStamp.load(std::memory_order_relaxed);
+    if (shared || p->kidCount == p->kidCap) {
+        std::uint32_t cap = p->kidCount == p->kidCap
+                                ? (p->kidCap ? p->kidCap * 2 : 4)
+                                : p->kidCap;
+        auto *fresh = static_cast<HEdge *>(
+            pool->alloc(cap * sizeof(HEdge)));
+        if (p->kidCount)
+            std::memcpy(fresh, p->kids,
+                        p->kidCount * sizeof(HEdge));
+        p->kids = fresh;  // the old array becomes pool garbage
+        p->kidCap = cap;
+        p->kidsBorn = pool->nextStamp();
+    }
+    p->kids[p->kidCount++] = HEdge{c, aclk};
+}
+
+void
+HybridClock::removeEdge(HNode *p, HNode *v)
+{
+    ownKidsInPlace(p);
+    for (std::uint32_t i = 0; i < p->kidCount; ++i) {
+        if (p->kids[i].child == v) {
+            // Order within kids is not observable (joins decide per
+            // node, not per position), so swap-erase.
+            p->kids[i] = p->kids[p->kidCount - 1];
+            --p->kidCount;
+            return;
+        }
+    }
+    acAssert(false, "hybrid clock: edge not found");
+}
+
+void
+HybridClock::ownKidsInPlace(HNode *p)
+{
+    if (p->kidsBorn >
+        rep_->sharedStamp.load(std::memory_order_relaxed))
+        return;
+    HPool *pool = rep_->pool;
+    if (p->kidCap) {
+        auto *fresh = static_cast<HEdge *>(
+            pool->alloc(p->kidCap * sizeof(HEdge)));
+        if (p->kidCount)
+            std::memcpy(fresh, p->kids,
+                        p->kidCount * sizeof(HEdge));
+        p->kids = fresh;
+    }
+    p->kidsBorn = pool->nextStamp();
+}
+
+HNode *
+HybridClock::ownSpineSlow(HIdx *te)
+{
+    // Collect the stale suffix of the path (target upward) until an
+    // owned ancestor or the root, then clone top-down, relinking
+    // each clone under its (now owned) parent.
+    HIdx *pathBuf[32];
+    std::vector<HIdx *> pathHeap;
+    std::uint32_t depth = 0;
+    bool onHeap = false;
+    HNode *anchor = nullptr;  // first owned ancestor, if any
+    for (HIdx *e = te;;) {
+        if (!onHeap && depth < 32) {
+            pathBuf[depth++] = e;
+        } else {
+            if (!onHeap) {
+                pathHeap.assign(pathBuf, pathBuf + depth);
+                onHeap = true;
+            }
+            pathHeap.push_back(e);
+            ++depth;
+        }
+        if (e->parentChain == kNoChain)
+            break;
+        HIdx *pe = rep_->index.find(e->parentChain);
+        if (owns(pe->node)) {
+            anchor = pe->node;
+            break;
+        }
+        e = pe;
+    }
+    auto pathAt = [&](std::uint32_t i) {
+        return onHeap ? pathHeap[i] : pathBuf[i];
+    };
+    HNode *cur = anchor;
+    for (std::uint32_t i = depth; i-- > 0;) {
+        HIdx *se = pathAt(i);
+        HNode *old = se->node;
+        HNode *nc = cloneNode(old);
+        if (!cur) {
+            rep_->root = nc;
+        } else {
+            ownKidsInPlace(cur);
+            HEdge *edge = nullptr;
+            for (std::uint32_t k = 0; k < cur->kidCount; ++k) {
+                if (cur->kids[k].child == old) {
+                    edge = &cur->kids[k];
+                    break;
+                }
+            }
+            acAssert(edge, "hybrid clock: broken spine");
+            edge->child = nc;
+        }
+        se->node = nc;
+        cur = nc;
+    }
+    return cur;
+}
+
+void
+HybridClock::uncertifyOwnedPath(ChainId chain)
+{
+    // Mirrors TreeClock::uncertifyPath: cert(child)=false does not
+    // bound cert(ancestor), so walk all the way to the root.
+    for (ChainId c = chain; c != kNoChain;) {
+        HIdx *e = rep_->index.find(c);
+        e->node->cert = false;
+        c = e->parentChain;
+    }
+}
+
+void
+HybridClock::raise(ChainId chain, Tick t)
+{
+    if (t == 0)
+        return;
+    if (rep_) {
+        if (const HIdx *e = rep_->index.find(chain)) {
+            if (e->node->clk >= t)
+                return;
+            ensureRepUnique();
+            HNode *n = ownSpine(chain);
+            // An out-of-band entry: t need not be a tick the chain's
+            // owner clock ever published, so no subset claim
+            // survives.
+            n->clk = t;
+            n->covered = false;
+            uncertifyOwnedPath(chain);
+            if (n == rep_->root)
+                ownerRooted_ = false;
+            return;
+        }
+    }
+    ensureRepUnique();
+    if (!rep_->root) {
+        HNode *n = newNode(chain, t);
+        rep_->root = n;
+        rep_->index[chain] = HIdx{n, kNoChain};
+        return;
+    }
+    HNode *r = ownSpine(rep_->root->chain);
+    HNode *n = newNode(chain, t);
+    addKid(r, n, kInfAclk);
+    rep_->index[chain] = HIdx{n, r->chain};
+    r->cert = false;
+}
+
+void
+HybridClock::tick(ChainId chain, Tick t)
+{
+    if (t == 0)
+        return;
+    if (rep_) {
+        if (const HIdx *e = rep_->index.find(chain)) {
+            if (e->node->clk >= t)
+                return;  // non-advancing tick degrades to a no-op
+            ensureRepUnique();
+            HNode *v = ownSpine(chain);
+            if (v != rep_->root) {
+                HIdx *ev = rep_->index.find(chain);
+                HNode *p = rep_->index.find(ev->parentChain)->node;
+                removeEdge(p, v);
+                HNode *oldRoot = rep_->root;
+                rep_->root = v;
+                // A finite aclk asserts
+                //   content(old.chain@old.clk) ⊆ content(chain@t),
+                // and the right side is exactly this tree at this
+                // instant — so the claim holds iff the dethroned
+                // root was covered (see TreeClock::tick).
+                addKid(v, oldRoot,
+                       oldRoot->covered ? t : kInfAclk);
+                ev->parentChain = kNoChain;
+                rep_->index.find(oldRoot->chain)->parentChain =
+                    chain;
+            }
+            v->clk = t;
+            v->cert = true;
+            v->covered = true;
+            ownerRooted_ = true;
+            return;
+        }
+    }
+    ensureRepUnique();
+    HNode *v = newNode(chain, t);
+    v->cert = true;
+    v->covered = true;
+    if (rep_->root) {
+        // The O(1) dethrone: the old root is adopted through a new
+        // edge without being touched, so it can stay shared.
+        HNode *oldRoot = rep_->root;
+        addKid(v, oldRoot,
+               oldRoot->covered ? t : kInfAclk);
+        rep_->root = v;
+        rep_->index[chain] = HIdx{v, kNoChain};
+        rep_->index.find(oldRoot->chain)->parentChain = chain;
+    } else {
+        rep_->root = v;
+        rep_->index[chain] = HIdx{v, kNoChain};
+    }
+    ownerRooted_ = true;
+}
+
+void
+HybridClock::clear()
+{
+    if (ownerRooted_)
+        poisonPruning();
+    releaseRep();
+    ownerRooted_ = false;
+}
+
+void
+HybridClock::joinWith(const HybridClock &s)
+{
+    ClockStats &st = clockStats();
+    st.joins.fetch_add(1, std::memory_order_relaxed);
+    if (!s.rep_ || !s.rep_->root || s.rep_ == rep_) {
+        st.joinFastPaths.fetch_add(1, std::memory_order_relaxed);
+        st.noteJoinSize(0);
+        return;
+    }
+    st.noteJoinSize(s.size());
+    if (!rep_ || !rep_->root) {
+        // Empty target: adopt the source rep outright — the hybrid
+        // analogue of TreeClock's copyFrom fast path, at cow cost.
+        releaseRep();
+        rep_ = s.rep_;
+        rep_->refs.fetch_add(1, std::memory_order_relaxed);
+        ownerRooted_ = false;
+        st.joinFastPaths.fetch_add(1, std::memory_order_relaxed);
+        st.sharedCopies.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (rep_->root == s.rep_->root) {
+        // Split reps still sharing one root: identical content.
+        st.joinFastPaths.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    const bool prune = !pruningDisabled();
+
+    // Phase 1 (read-only): walk the source tree, record decisions
+    // against the pre-join target state. Each chain appears at most
+    // once in the source tree, so deferring the writes observes
+    // exactly the same pre-join values TreeClock's interleaved walk
+    // captures, and the source tree — which may share nodes with this
+    // one — is never touched while being read (phase 2 only writes
+    // nodes ownSpine() has made ours).
+    struct Decision
+    {
+        ChainId chain;
+        Tick clk;
+        Tick aclk;
+        ChainId parentChain;
+        bool cert;
+        bool covered;
+        bool exists;
+        bool coveredOnly;
+        bool targetIsRoot;
+        bool parentIsRoot;
+    };
+    struct Frame
+    {
+        const HNode *u;
+        ChainId srcParentChain;
+        Tick aclk;
+    };
+    SmallVec<Decision, 16> decisions;
+    SmallVec<Frame, 24> stack;
+    stack.push(Frame{s.rep_->root, kNoChain, kInfAclk});
+    std::uint64_t visited = 0;
+    std::uint64_t pruned = 0;
+    const ChainId rootChain = rep_->root->chain;
+
+    while (!stack.empty()) {
+        Frame f = stack.pop();
+        const HNode *u = f.u;
+        ++visited;
+
+        Tick oldClk = 0;
+        bool oldCert = false;
+        bool oldCovered = false;
+        bool exists = false;
+        if (const HIdx *e = rep_->index.find(u->chain)) {
+            exists = true;
+            oldClk = e->node->clk;
+            oldCert = e->node->cert;
+            oldCovered = e->node->covered;
+        }
+
+        // Whole-subtree prune (see TreeClock::joinWith for the
+        // subset-claim chain).
+        if (prune && u->cert && oldCovered && oldClk >= u->clk) {
+            ++pruned;
+            continue;
+        }
+
+        if (u->clk > oldClk) {
+            Decision d;
+            d.chain = u->chain;
+            d.clk = u->clk;
+            d.cert = u->cert && (!exists || oldCert);
+            d.covered = u->covered;
+            d.exists = exists;
+            d.coveredOnly = false;
+            d.targetIsRoot = exists && u->chain == rootChain;
+            if (u == s.rep_->root) {
+                // Mid-period attach under the target root is
+                // unprunable (see TreeClock's adoption comment).
+                d.parentIsRoot = true;
+                d.parentChain = 0;
+                d.aclk = kInfAclk;
+            } else {
+                d.parentIsRoot = false;
+                d.parentChain = f.srcParentChain;
+                d.aclk = f.aclk;
+            }
+            decisions.push(d);
+        } else if (exists && u->clk == oldClk && u->covered &&
+                   !oldCovered) {
+            // Equal entries: the source's coverage claim transfers.
+            Decision d{};
+            d.chain = u->chain;
+            d.coveredOnly = true;
+            decisions.push(d);
+        }
+
+        for (std::uint32_t i = 0; i < u->kidCount; ++i) {
+            const HEdge &e = u->kids[i];
+            // Sibling prune: the child's cert plus the finite edge
+            // aclk minted under a covered root (see TreeClock).
+            if (prune && e.child->cert && oldCovered &&
+                e.aclk != kInfAclk && oldClk >= e.aclk) {
+                ++pruned;
+                continue;
+            }
+            stack.push(Frame{e.child, u->chain, e.aclk});
+        }
+    }
+
+    // Phase 2: apply in source preorder, so image parents exist
+    // before their children attach.
+    if (!decisions.empty()) {
+        ensureRepUnique();
+        // Attach parents to uncertify, deduplicated. Deferring the
+        // walks to after the loop is sound: cert=false only ever
+        // disables pruning, and a walk over the *final* structure
+        // covers exactly the ancestors that still contain the grown
+        // subtrees (a parent that was re-parented mid-join carries
+        // its growth along with it).
+        SmallVec<ChainId, 16> dirty;
+        auto markDirty = [&dirty](ChainId pc) {
+            for (unsigned k = 0; k < dirty.size(); ++k)
+                if (dirty[k] == pc)
+                    return;
+            dirty.push(pc);
+        };
+        for (unsigned di = 0; di < decisions.size(); ++di) {
+            const Decision &d = decisions[di];
+            if (d.coveredOnly) {
+                ownSpine(d.chain)->covered = true;
+                continue;
+            }
+            ChainId pc = 0;
+            Tick aclk = kInfAclk;
+            if (d.exists) {
+                HNode *v = ownSpine(d.chain);
+                v->clk = d.clk;
+                v->cert = d.cert;
+                v->covered = d.covered;
+                if (d.targetIsRoot) {
+                    // The root entry now comes from a join, not from
+                    // the chain's own tick.
+                    ownerRooted_ = false;
+                    continue;
+                }
+                if (d.parentIsRoot) {
+                    pc = rep_->root->chain;
+                } else {
+                    pc = d.parentChain;
+                    aclk = d.aclk;
+                    acAssert(rep_->index.find(pc),
+                             "hybrid join: missing image parent");
+                    // Undisciplined histories can place the image
+                    // parent inside v's own subtree; attaching there
+                    // would cycle. Fall back to an unprunable root
+                    // attach. (Checked before detaching v.)
+                    for (ChainId a = pc; a != kNoChain;
+                         a = rep_->index.find(a)->parentChain) {
+                        if (a == d.chain) {
+                            pc = rep_->root->chain;
+                            aclk = kInfAclk;
+                            break;
+                        }
+                    }
+                }
+                if (pc == d.chain)
+                    continue;
+                HIdx *ev = rep_->index.find(d.chain);
+                HNode *oldP =
+                    rep_->index.find(ev->parentChain)->node;
+                removeEdge(oldP, v);
+                HNode *p = ownSpine(pc);
+                addKid(p, v, aclk);
+                ev->parentChain = pc;
+            } else {
+                if (d.parentIsRoot) {
+                    pc = rep_->root->chain;
+                } else {
+                    pc = d.parentChain;
+                    aclk = d.aclk;
+                    acAssert(rep_->index.find(pc),
+                             "hybrid join: missing image parent");
+                }
+                HNode *p = ownSpine(pc);
+                HNode *v = newNode(d.chain, d.clk);
+                v->cert = d.cert;
+                v->covered = d.covered;
+                addKid(p, v, aclk);
+                rep_->index[d.chain] = HIdx{v, pc};
+            }
+            // The attach parent's subtree grew by content its chain
+            // entry never vouched for: clear cert from the parent up
+            // (walked once per distinct parent, after the loop).
+            markDirty(pc);
+        }
+        for (unsigned k = 0; k < dirty.size(); ++k)
+            uncertifyOwnedPath(dirty[k]);
+    }
+
+    st.joinEntriesVisited.fetch_add(visited,
+                                    std::memory_order_relaxed);
+    if (pruned)
+        st.joinFastPaths.fetch_add(pruned, std::memory_order_relaxed);
+}
+
+bool
+HybridClock::leq(const HybridClock &other) const
+{
+    if (sharesTreeWith(other))
+        return true;
+    return forEachWhile([&](ChainId c, const Tick &t) {
+        return other.get(c) >= t;
+    });
+}
+
+bool
+HybridClock::operator==(const HybridClock &other) const
+{
+    if (sharesTreeWith(other))
+        return true;
+    if (size() != other.size())
+        return false;
+    return forEachWhile([&](ChainId c, const Tick &t) {
+        return other.get(c) == t;
+    });
+}
+
+} // namespace asyncclock::clock

@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Hybrid cow-tree clock: persistent tree-clock nodes in a refcounted
+ * family arena, guarded by generation stamps.
+ *
+ * The PR 5 bench data split the field: the cow backend wins
+ * snapshot-heavy detector runs (copies are refcount bumps) and the
+ * tree backend wins join-dominated regimes (monotone subtree pruning)
+ * but pays a deep copy on every export. This backend takes both
+ * columns at once by making the *tree* persistent:
+ *
+ *   - A clock holds one refcounted HybridRep; copying a clock bumps
+ *     that single count — a snapshot is a pointer bump, exactly the
+ *     cow cost.
+ *   - Mutation first splits a shared rep (index copy — no node
+ *     copies), then path-copies only the root-to-target spine, and
+ *     only those spine nodes the rep does not own. A tick that
+ *     dethrones the root touches O(depth) nodes; joins that prune do
+ *     not touch nodes at all.
+ *   - The attach clock (aclk) lives on the parent's child *edge*, not
+ *     in the child node, so dethroning attaches the old root without
+ *     mutating it — the O(1) fresh-chain dethrone.
+ *
+ * Ownership is *generational*, not per-node refcounted. A first cut
+ * of this backend refcounted every HNode; cloning a node then cost
+ * one atomic increment per child edge and releasing the stale spine
+ * cost the matching decrements — with root fanouts near the chain
+ * count, that refcount traffic dominated the split path by an order
+ * of magnitude. Instead, all nodes of one clock lineage live in one
+ * bump-allocated *family pool* (freed when the last rep of the family
+ * dies), and each node carries the pool stamp at which it was born.
+ * A rep records the stamp at which it last became shared (a split
+ * stamps both sides); a node is writable by a rep iff it was born
+ * after that point — a plain load and compare, no refcounts. The
+ * proof obligation is the same as for per-node counts: a node born
+ * after rep R last shared is reachable only from R, because other
+ * reps' indexes were copied before it existed and R's spine clones
+ * link fresh nodes only under already-owned parents.
+ *
+ * Unlinked nodes (dethroned spines, superseded clones) stay in the
+ * pool as garbage; when a rep is sole owner of its family and the
+ * pool's lifetime allocation exceeds a multiple of the live tree, the
+ * tree is compacted into a fresh pool (counted as a deepCopy). That
+ * bounds garbage to a constant factor of live bytes, amortized
+ * O(1) per mutation. byteSize() deliberately charges the *live*
+ * content formula, not pool bytes, so the memory-budget ladder makes
+ * identical decisions when a checkpointed run is replayed.
+ *
+ * Structure bookkeeping that TreeClock keeps in nodes (parent /
+ * sibling links) cannot live in shared persistent nodes, so each rep
+ * carries a chain -> (node, parent chain) index; parent paths are
+ * reconstructed by walking parent chains through the index. The
+ * cert/covered soundness bits and the pruning rules are ported
+ * verbatim from clock/tree_clock.hh (see its file comment for the
+ * subset-claim derivation); undisciplined ops degrade pruning rather
+ * than corrupt results, and eraseIf()/clear() on an owner-rooted
+ * clock trips this backend's own process-wide prune kill switch.
+ *
+ * Concurrency: clock copies cross threads in the sharded checker, so
+ * rep/pool refcounts and the stamp counter are atomic, and pool
+ * allocation takes a spinlock. As everywhere in the clock layer, one
+ * clock object must not be mutated concurrently with reads of the
+ * same object; shared nodes are never written (that is what the
+ * stamp discipline enforces), so cross-clock sharing needs no locks.
+ */
+
+#ifndef ASYNCCLOCK_CLOCK_HYBRID_CLOCK_HH
+#define ASYNCCLOCK_CLOCK_HYBRID_CLOCK_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "clock/policy.hh"
+#include "support/flat_map.hh"
+
+namespace asyncclock::clock {
+
+namespace detail {
+
+struct HNode;
+
+/** Child edge. The attach clock is edge state: it asserts a claim the
+ * *parent* makes about the child subtree, and keeping it here lets a
+ * dethrone adopt the old root without mutating it. */
+struct HEdge
+{
+    HNode *child = nullptr;
+    Tick aclk = 0xFFFFFFFFu;
+};
+
+/** Persistent tree-clock node. Plain data; lives in the family pool
+ * and is immutable unless born after its rep's last share point. */
+struct HNode
+{
+    ChainId chain = 0;
+    Tick clk = 0;
+    bool cert = false;
+    bool covered = false;
+    std::uint64_t born = 0;   ///< family stamp at creation/clone
+    /** Stamp at which the kids array was last privately allocated.
+     * The array is copy-on-write one level below the node: a clone
+     * shares its source's array (a value-only mutation like a root
+     * tick never touches edges), and any edge write first copies the
+     * array unless kidsBorn proves it is already private. */
+    std::uint64_t kidsBorn = 0;
+    std::uint32_t kidCount = 0;
+    std::uint32_t kidCap = 0;
+    HEdge *kids = nullptr;    ///< family-pool array
+};
+
+/** Bump allocator + stamp source shared by every rep of one clock
+ * lineage. Nodes are never freed individually; the whole pool dies
+ * with its last rep, and compaction migrates live nodes out. */
+struct HPool
+{
+    std::atomic<std::uint32_t> refs{1};
+    std::atomic<std::uint64_t> stamp{0};
+    /** Next allocated() level at which compaction re-evaluates.
+     * Atomic: two reps of one family can race to re-arm it; any of
+     * the raced values keeps the gate sound (it is only a
+     * throttle). */
+    std::atomic<std::uint64_t> compactAt{4096};
+
+    /** Bump-allocate @p bytes (8-aligned). Inline fast path: the
+     * common case is a fitting bump in the current block; the block
+     * refill is out of line. The spinlock is cheap here — families
+     * are almost always single-threaded, so it stays core-local. */
+    void *
+    alloc(std::size_t bytes)
+    {
+        bytes = (bytes + 7) & ~std::size_t(7);
+        while (lock_.test_and_set(std::memory_order_acquire)) {
+        }
+        char *p;
+        if (cur_ && bytes <= std::size_t(curEnd_ - cur_)) {
+            p = cur_;
+            cur_ += bytes;
+        } else {
+            p = refill(bytes);
+        }
+        allocated_.fetch_add(bytes, std::memory_order_relaxed);
+        lock_.clear(std::memory_order_release);
+        return p;
+    }
+    std::uint64_t
+    nextStamp()
+    {
+        return stamp.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    std::uint64_t
+    allocated() const
+    {
+        return allocated_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<char[]> mem;
+        std::size_t size = 0;
+    };
+    /** Grow blocks_ and serve @p bytes from the fresh block.
+     * Called with lock_ held. */
+    char *refill(std::size_t bytes);
+
+    std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+    std::vector<Block> blocks_;
+    char *cur_ = nullptr;        ///< bump cursor in blocks_.back()
+    char *curEnd_ = nullptr;
+    std::size_t nextBlock_ = 256;  ///< geometric: tiny clocks stay tiny
+    std::atomic<std::uint64_t> allocated_{0};
+};
+
+/** Index entry: where a chain's node is and who its parent is (the
+ * root's parentChain is kNoChain). Non-owning; node lifetime is the
+ * pool's. */
+struct HIdx
+{
+    HNode *node = nullptr;
+    ChainId parentChain = 0;
+};
+
+/** Shareable clock state: one count covers the whole snapshot. */
+struct HybridRep
+{
+    HPool *pool = nullptr;
+    HNode *root = nullptr;
+    FlatMap<HIdx> index;  ///< chain -> HIdx
+    std::atomic<std::uint32_t> refs{1};
+    /** Stamp at which this rep last became shared (0 = never): nodes
+     * born later are exclusively reachable from this rep. Atomic
+     * because a split of a shared rep stamps the side it leaves
+     * behind. */
+    std::atomic<std::uint64_t> sharedStamp{0};
+};
+
+} // namespace detail
+
+class HybridClock
+{
+  public:
+    static constexpr Tick kInfAclk = 0xFFFFFFFFu;
+    static constexpr ChainId kNoChain = 0xFFFFFFFFu;
+
+    HybridClock() = default;
+
+    HybridClock(const HybridClock &other) : rep_(other.rep_)
+    {
+        if (rep_) {
+            rep_->refs.fetch_add(1, std::memory_order_relaxed);
+            clockStats().sharedCopies.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+        // A snapshot is not the chain's live owner clock (see
+        // TreeClock's copyFrom rationale).
+    }
+
+    HybridClock(HybridClock &&other) noexcept
+        : rep_(other.rep_), ownerRooted_(other.ownerRooted_)
+    {
+        other.rep_ = nullptr;
+        other.ownerRooted_ = false;
+    }
+
+    HybridClock &
+    operator=(const HybridClock &other)
+    {
+        if (this == &other)
+            return *this;
+        detail::HybridRep *r = other.rep_;
+        if (r) {
+            r->refs.fetch_add(1, std::memory_order_relaxed);
+            clockStats().sharedCopies.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+        releaseRep();
+        rep_ = r;
+        ownerRooted_ = false;
+        return *this;
+    }
+
+    HybridClock &
+    operator=(HybridClock &&other) noexcept
+    {
+        if (this != &other) {
+            releaseRep();
+            rep_ = other.rep_;
+            ownerRooted_ = other.ownerRooted_;
+            other.rep_ = nullptr;
+            other.ownerRooted_ = false;
+        }
+        return *this;
+    }
+
+    ~HybridClock() { releaseRep(); }
+
+    Tick
+    get(ChainId chain) const
+    {
+        if (!rep_)
+            return 0;
+        const detail::HIdx *e = rep_->index.find(chain);
+        return e ? e->node->clk : 0;
+    }
+
+    bool
+    knows(const Epoch &e) const
+    {
+        return e.tick == 0 || get(e.chain) >= e.tick;
+    }
+
+    /** Generic monotone raise: uncertified entry. */
+    void raise(ChainId chain, Tick tick);
+
+    /** Owner tick: re-roots at @p chain and certifies the entry (see
+     * TreeClock::tick). */
+    void tick(ChainId chain, Tick t);
+
+    void joinWith(const HybridClock &other);
+
+    bool leq(const HybridClock &other) const;
+    bool operator==(const HybridClock &other) const;
+
+    std::uint32_t
+    size() const
+    {
+        return rep_ ? rep_->index.size() : 0;
+    }
+
+    void clear();
+
+    template <typename Pred>
+    void
+    eraseIf(Pred &&pred)
+    {
+        if (!rep_ || rep_->index.empty())
+            return;
+        bool any = !rep_->index.forEachWhile(
+            [&](ChainId c, const detail::HIdx &e) {
+                Tick t = e.node->clk;
+                return !pred(c, t);
+            });
+        if (any)
+            eraseRebuild([&](ChainId c, Tick t) { return pred(c, t); });
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        if (!rep_)
+            return;
+        rep_->index.forEach([&](ChainId c, const detail::HIdx &e) {
+            fn(c, static_cast<const Tick &>(e.node->clk));
+        });
+    }
+
+    template <typename Fn>
+    bool
+    forEachWhile(Fn &&fn) const
+    {
+        if (!rep_)
+            return true;
+        return rep_->index.forEachWhile(
+            [&](ChainId c, const detail::HIdx &e) {
+                return fn(c,
+                          static_cast<const Tick &>(e.node->clk));
+            });
+    }
+
+    /** True when both clocks provably hold identical content: same
+     * rep, or split reps still sharing one root node (a shared root
+     * is immutable under the stamp discipline, so it pins identical
+     * trees). */
+    bool
+    sharesTreeWith(const HybridClock &other) const
+    {
+        if (rep_ && rep_ == other.rep_)
+            return true;
+        return rep_ && other.rep_ && rep_->root &&
+               rep_->root == other.rep_->root;
+    }
+
+    /**
+     * Deterministic size accounting: nodes are shared across
+     * snapshots and pool garbage depends on mutation history, so
+     * (like the cow backend) each holder is charged the live-content
+     * formula — entry count times node + edge cost plus its own
+     * index. Checkpoint replay must reproduce ladder decisions, so
+     * pool bytes are deliberately not part of the measure.
+     */
+    std::uint64_t
+    byteSize() const
+    {
+        if (!rep_)
+            return 0;
+        std::uint64_t n = size();
+        std::uint64_t edges = n > 0 ? n - 1 : 0;
+        return sizeof(detail::HybridRep) + rep_->index.byteSize() +
+               n * sizeof(detail::HNode) +
+               edges * sizeof(detail::HEdge);
+    }
+
+    /** Pruning kill switch state (separate from TreeClock's). */
+    static bool pruningDisabled();
+    /** Re-arm pruning after a disciplined test reset. */
+    static void resetPruneGuard();
+
+  private:
+    /** Unique-owner access for mutation. Inline fast path: when the
+     * rep is unshared this is one acquire load plus the relaxed
+     * compaction-gate compare; the cold cases (no rep yet, shared
+     * rep split, actual compaction) are out of line. */
+    void
+    ensureRepUnique()
+    {
+        if (rep_ &&
+            rep_->refs.load(std::memory_order_acquire) == 1) {
+            detail::HPool *pool = rep_->pool;
+            if (pool->allocated() >=
+                pool->compactAt.load(std::memory_order_relaxed))
+                maybeCompact();
+            return;
+        }
+        splitRep();
+    }
+    void splitRep();
+    void maybeCompact();
+    detail::HNode *newNode(ChainId chain, Tick clk);
+    detail::HNode *cloneNode(const detail::HNode *n);
+    void addKid(detail::HNode *p, detail::HNode *c, Tick aclk);
+    void removeEdge(detail::HNode *p, detail::HNode *v);
+    /** Copy @p p's kid array (same capacity) unless already private;
+     * required before any in-place edge write. */
+    void ownKidsInPlace(detail::HNode *p);
+    /** True when @p n was born after this rep last became shared, so
+     * no other rep can reach it. */
+    bool
+    owns(const detail::HNode *n) const
+    {
+        return n->born >
+               rep_->sharedStamp.load(std::memory_order_relaxed);
+    }
+    /** Make every node on the root -> @p chain path writable
+     * (path-copying stale ones); returns @p chain's node. The chain
+     * must be present. Inline fast path: an owned node implies an
+     * owned path all the way up (a node born after the rep's last
+     * share was linked under a then-owned parent, and shares stamp
+     * both sides) — one load and compare, no walk. */
+    detail::HNode *
+    ownSpine(ChainId chain)
+    {
+        detail::HIdx *te = rep_->index.find(chain);
+        acAssert(te, "hybrid clock: missing spine target");
+        if (owns(te->node))
+            return te->node;
+        return ownSpineSlow(te);
+    }
+    detail::HNode *ownSpineSlow(detail::HIdx *te);
+    /** Clear cert on @p chain's node and its ancestors. All spine
+     * nodes must already be owned (ownSpine on a descendant-or-self
+     * guarantees it). */
+    void uncertifyOwnedPath(ChainId chain);
+    /** Drop this handle's reference; destroyRep() is the cold path
+     * that actually frees the rep (and the pool with it when this
+     * was the family's last rep). Inline so a snapshot's destructor
+     * is one branch + one atomic in the common shared case. */
+    void
+    releaseRep()
+    {
+        if (rep_ && rep_->refs.fetch_sub(
+                        1, std::memory_order_acq_rel) == 1)
+            destroyRep();
+        rep_ = nullptr;
+    }
+    void destroyRep();
+    static void poisonPruning();
+
+    template <typename Pred>
+    void
+    eraseRebuild(Pred &&pred)
+    {
+        if (ownerRooted_)
+            poisonPruning();
+        // Flat rebuild into a fresh family: structure and both
+        // soundness bits are forfeited (any subset claim may now be
+        // false).
+        std::vector<std::pair<ChainId, Tick>> keep;
+        rep_->index.forEach([&](ChainId c, const detail::HIdx &e) {
+            Tick t = e.node->clk;
+            if (!pred(c, t))
+                keep.emplace_back(c, e.node->clk);
+        });
+        releaseRep();
+        ownerRooted_ = false;
+        if (keep.empty())
+            return;
+        ensureRepUnique();  // fresh rep + pool
+        for (const auto &[c, t] : keep) {
+            detail::HNode *n = newNode(c, t);
+            if (!rep_->root) {
+                rep_->root = n;
+                rep_->index[c] = detail::HIdx{n, kNoChain};
+            } else {
+                addKid(rep_->root, n, kInfAclk);
+                rep_->index[c] =
+                    detail::HIdx{n, rep_->root->chain};
+            }
+        }
+    }
+
+    detail::HybridRep *rep_ = nullptr;
+    /** True while this clock is the live owner clock of the root's
+     * chain (last structural op was tick()). Cleared by copies, joins
+     * that overwrite the root entry, erase, clear. */
+    bool ownerRooted_ = false;
+};
+
+} // namespace asyncclock::clock
+
+#endif // ASYNCCLOCK_CLOCK_HYBRID_CLOCK_HH

@@ -20,8 +20,16 @@ backendName(Backend b)
         return "cow";
       case Backend::Tree:
         return "tree";
+      case Backend::Hybrid:
+        return "hybrid";
     }
     return "sparse";
+}
+
+const char *
+backendNames()
+{
+    return "sparse|cow|tree|hybrid";
 }
 
 bool
@@ -41,6 +49,10 @@ parseBackend(const char *name, Backend &out)
         out = Backend::Tree;
         return true;
     }
+    if (!std::strcmp(name, "hybrid")) {
+        out = Backend::Hybrid;
+        return true;
+    }
     return false;
 }
 
@@ -54,7 +66,8 @@ backendFromEnv()
     if (env && *env && !parseBackend(env, b))
         warnOnce("clock.env",
                  std::string("ASYNCCLOCK_CLOCK=") + env +
-                     " not recognized; using sparse");
+                     " not recognized (want " + backendNames() +
+                     "); using sparse");
     return b;
 }
 
@@ -94,13 +107,6 @@ ClockStats::reset()
     internMisses.store(0, std::memory_order_relaxed);
     for (auto &b : joinSizeBuckets)
         b.store(0, std::memory_order_relaxed);
-}
-
-ClockStats &
-clockStats()
-{
-    static ClockStats stats;
-    return stats;
 }
 
 void

@@ -5,20 +5,26 @@
  * Every consumer of causal timestamps (detector, FastTrack checkers,
  * gold closure, EventRacer graph, checkpoints, replay verifier) talks
  * to clock::VectorClock, which since the ClockPolicy refactor is a
- * facade over one of three representations:
+ * facade over one of four representations:
  *
- *   - Sparse: the original eager FlatMap<chain -> tick> (default).
+ *   - Sparse: the original eager sparse map (chain -> tick), now a
+ *             canonical-layout SoA table with SIMD join/leq kernels
+ *             (clock/soa_table.hh, clock/simd.hh).
  *   - Cow:    copy-on-write interned nodes — copies are refcount
  *             bumps, content-equal clocks can share storage.
  *   - Tree:   a tree clock (Mathur et al., "Tree Clocks: Improving
  *             Vector Clocks for Sparse Dynamic Races", adapted from
  *             threads to chains) with monotone sublinear joins.
+ *   - Hybrid: the cow-tree: persistent refcounted tree-clock nodes,
+ *             so a snapshot is a pointer bump AND joins prune
+ *             monotone subtrees, with path copying only on the
+ *             mutated spine (clock/hybrid_clock.hh).
  *
  * The backend is a process-wide runtime choice: the facade's default
  * constructor reads defaultBackend(), which is seeded from the
- * ASYNCCLOCK_CLOCK environment variable ("sparse" | "cow" | "tree")
- * and may be overridden programmatically (trace_analyzer --clock=...)
- * via setDefaultBackend(). All backends are observationally
+ * ASYNCCLOCK_CLOCK environment variable ("sparse" | "cow" | "tree" |
+ * "hybrid") and may be overridden programmatically (trace_analyzer
+ * --clock=...) via setDefaultBackend(). All backends are observationally
  * equivalent: identical get/knows/leq/forEach results, identical
  * serialized (canonically sorted) entry lists, hence byte-identical
  * reports and checkpoints.
@@ -60,16 +66,22 @@ enum class Backend : std::uint8_t {
     Sparse = 0,
     Cow = 1,
     Tree = 2,
+    Hybrid = 3,
 };
 
 /** Number of backends (checkpoint tag validation, test loops). */
-inline constexpr unsigned kBackendCount = 3;
+inline constexpr unsigned kBackendCount = 4;
 
-/** "sparse" | "cow" | "tree". */
+/** "sparse" | "cow" | "tree" | "hybrid". */
 const char *backendName(Backend b);
 
+/** The full allowed-name set, pipe-separated
+ * ("sparse|cow|tree|hybrid") — for usage text and parse errors. */
+const char *backendNames();
+
 /** Parse a backend name; returns false (and leaves @p out alone) on
- * unknown names. */
+ * unknown names. Callers reporting the failure should include
+ * backendNames() in the message. */
 bool parseBackend(const char *name, Backend &out);
 
 /** The process-wide backend new default-constructed clocks use.
@@ -130,7 +142,19 @@ struct ClockStats
 };
 
 /** The process-wide stats instance. */
-ClockStats &clockStats();
+namespace detail
+{
+/** Storage for clockStats(). constinit: no static-init guard on the
+ * hot paths (every snapshot copy bumps a counter through this). */
+inline constinit ClockStats gClockStats{};
+} // namespace detail
+
+/** Process-wide clock instrumentation counters. */
+inline ClockStats &
+clockStats()
+{
+    return detail::gClockStats;
+}
 
 /** Zero all counters (bench harnesses, tests). */
 void resetClockStats();

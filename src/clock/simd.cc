@@ -1,0 +1,182 @@
+#include "clock/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__SSE2__)
+#define AC_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif (defined(__ARM_NEON) || defined(__ARM_NEON__)) && \
+    defined(__aarch64__)
+// AArch64 only: the kernels use the A64 horizontal vmaxvq_u32.
+#define AC_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace asyncclock::clock {
+
+namespace {
+
+bool
+simdFromEnv()
+{
+    const char *env = std::getenv("ASYNCCLOCK_SIMD");
+    if (!env || !*env)
+        return true;
+    return std::strcmp(env, "0") && std::strcmp(env, "off") &&
+           std::strcmp(env, "false");
+}
+
+std::atomic<bool> &
+simdSlot()
+{
+    static std::atomic<bool> slot{simdFromEnv()};
+    return slot;
+}
+
+void
+scalarMaxU32(std::uint32_t *dst, const std::uint32_t *src,
+             std::uint32_t n)
+{
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (dst[i] < src[i])
+            dst[i] = src[i];
+    }
+}
+
+bool
+scalarAllLeqU32(const std::uint32_t *a, const std::uint32_t *b,
+                std::uint32_t n)
+{
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (a[i] > b[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+simdEnabled()
+{
+    return simdSlot().load(std::memory_order_relaxed);
+}
+
+void
+setSimdEnabled(bool on)
+{
+    simdSlot().store(on, std::memory_order_relaxed);
+}
+
+const char *
+simdIsa()
+{
+#if AC_SIMD_SSE2
+    return "sse2";
+#elif AC_SIMD_NEON
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+namespace simd {
+
+void
+maxU32(std::uint32_t *dst, const std::uint32_t *src, std::uint32_t n)
+{
+    std::uint32_t i = 0;
+#if AC_SIMD_SSE2
+    if (simdEnabled()) {
+        // SSE2 has no unsigned 32-bit max; flip the sign bit so the
+        // signed compare orders unsigned values.
+        const __m128i flip = _mm_set1_epi32(
+            static_cast<int>(0x80000000u));
+        for (; i + 4 <= n; i += 4) {
+            __m128i d = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(dst + i));
+            __m128i s = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(src + i));
+            __m128i gt = _mm_cmpgt_epi32(_mm_xor_si128(s, flip),
+                                         _mm_xor_si128(d, flip));
+            __m128i mx = _mm_or_si128(_mm_and_si128(gt, s),
+                                      _mm_andnot_si128(gt, d));
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                             mx);
+        }
+    }
+#elif AC_SIMD_NEON
+    if (simdEnabled()) {
+        for (; i + 4 <= n; i += 4) {
+            uint32x4_t d = vld1q_u32(dst + i);
+            uint32x4_t s = vld1q_u32(src + i);
+            vst1q_u32(dst + i, vmaxq_u32(d, s));
+        }
+    }
+#endif
+    scalarMaxU32(dst + i, src + i, n - i);
+}
+
+bool
+allLeqU32(const std::uint32_t *a, const std::uint32_t *b,
+          std::uint32_t n)
+{
+    std::uint32_t i = 0;
+#if AC_SIMD_SSE2
+    if (simdEnabled()) {
+        const __m128i flip = _mm_set1_epi32(
+            static_cast<int>(0x80000000u));
+        for (; i + 4 <= n; i += 4) {
+            __m128i av = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(a + i));
+            __m128i bv = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(b + i));
+            __m128i gt = _mm_cmpgt_epi32(_mm_xor_si128(av, flip),
+                                         _mm_xor_si128(bv, flip));
+            if (_mm_movemask_epi8(gt))
+                return false;
+        }
+    }
+#elif AC_SIMD_NEON
+    if (simdEnabled()) {
+        for (; i + 4 <= n; i += 4) {
+            uint32x4_t av = vld1q_u32(a + i);
+            uint32x4_t bv = vld1q_u32(b + i);
+            uint32x4_t gt = vcgtq_u32(av, bv);
+            // Any lane all-ones => a violation in this block.
+            if (vmaxvq_u32(gt))
+                return false;
+        }
+    }
+#endif
+    return scalarAllLeqU32(a + i, b + i, n - i);
+}
+
+std::uint32_t
+occupiedMask4(const std::uint32_t *keys, std::uint32_t empty)
+{
+#if AC_SIMD_SSE2
+    if (simdEnabled()) {
+        __m128i k = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(keys));
+        __m128i eq = _mm_cmpeq_epi32(
+            k, _mm_set1_epi32(static_cast<int>(empty)));
+        // movemask_ps folds each 32-bit lane to one bit.
+        std::uint32_t emptyMask = static_cast<std::uint32_t>(
+            _mm_movemask_ps(_mm_castsi128_ps(eq)));
+        return ~emptyMask & 0xFu;
+    }
+#endif
+    std::uint32_t m = 0;
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        if (keys[lane] != empty)
+            m |= 1u << lane;
+    }
+    return m;
+}
+
+} // namespace simd
+
+} // namespace asyncclock::clock

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Portable SIMD kernels for the sparse clock hot loops.
+ *
+ * The sparse backend stores its table as SoA lanes (clock/soa_table.hh):
+ * a keys array and a ticks array. Two clocks whose key lanes are
+ * byte-identical (the common steady state under Robin Hood's canonical
+ * layout) can join and compare lane-wise over the raw tick arrays —
+ * empty slots hold tick 0, which is the identity of both max and <=.
+ * These kernels implement that lane work:
+ *
+ *   maxU32    dst[i] = max(dst[i], src[i])        (pointwise join)
+ *   allLeqU32 forall i: a[i] <= b[i]              (clock leq), with
+ *             block-granularity early exit mirroring the scalar
+ *             short-circuit
+ *   occupiedMask4  4-lane "key != empty" bitmask  (occupancy scan for
+ *             the general join path)
+ *
+ * Instruction sets: SSE2 (the x86-64 baseline — unsigned max needs the
+ * sign-flip trick, _mm_max_epu32 is SSE4.1) and NEON, with a scalar
+ * fallback that is always compiled and can be forced at runtime via
+ * setSimdEnabled(false) / ASYNCCLOCK_SIMD=0 so differential tests can
+ * sweep vector vs scalar on the same build.
+ */
+
+#ifndef ASYNCCLOCK_CLOCK_SIMD_HH
+#define ASYNCCLOCK_CLOCK_SIMD_HH
+
+#include <cstdint>
+
+namespace asyncclock::clock {
+
+/** Runtime kernel selection: true = vector ISA (when compiled in),
+ * false = scalar loops. Seeded from $ASYNCCLOCK_SIMD (unset/1/on =
+ * enabled; 0/off = scalar). */
+bool simdEnabled();
+void setSimdEnabled(bool on);
+
+/** The vector ISA this build dispatches to when enabled: "sse2",
+ * "neon", or "scalar". */
+const char *simdIsa();
+
+namespace simd {
+
+/** dst[i] = max(dst[i], src[i]) for i in [0, n). Unaligned-safe. */
+void maxU32(std::uint32_t *dst, const std::uint32_t *src,
+            std::uint32_t n);
+
+/** forall i in [0, n): a[i] <= b[i]. Early-exits on the first
+ * violating block. Unaligned-safe. */
+bool allLeqU32(const std::uint32_t *a, const std::uint32_t *b,
+               std::uint32_t n);
+
+/** Bit i (i in 0..3) set iff keys[i] != empty. @p keys must have 4
+ * readable lanes. Used to skip empty runs in the general join scan. */
+std::uint32_t occupiedMask4(const std::uint32_t *keys,
+                            std::uint32_t empty);
+
+} // namespace simd
+
+} // namespace asyncclock::clock
+
+#endif // ASYNCCLOCK_CLOCK_SIMD_HH

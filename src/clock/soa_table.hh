@@ -1,0 +1,337 @@
+/**
+ * @file
+ * SoaTable: canonical-layout SoA hash table for sparse clocks.
+ *
+ * The sparse clock is a map chain -> tick. The original FlatMap
+ * interleaves keys and values (AoS) and places entries by plain linear
+ * probing, so the physical layout depends on insertion order and
+ * joins must go entry-by-entry. This table changes both properties to
+ * make the hot loops (joinWith, leq) SIMD-able:
+ *
+ *   - SoA lanes: keys and ticks live in two parallel uint32 arrays,
+ *     so a join is lane-wise max over the tick array and leq is a
+ *     lane-wise compare (clock/simd.hh).
+ *   - Canonical layout via Robin Hood hashing with a total-order tie
+ *     break (probe distance, then key): the layout is a pure function
+ *     of (key set, capacity), independent of insertion order.
+ *     Backward-shift deletion preserves the invariant and growth is
+ *     deterministic, so two clocks that passed through the same
+ *     entries end up with byte-identical key lanes — and the
+ *     join/leq fast path is then a single memcmp plus one vector pass
+ *     over the tick lanes, no per-entry probing at all.
+ *
+ * Empty slots hold tick 0 — the identity of both max and <= — so the
+ * lane kernels can run over the full capacity without masking.
+ * Observable behavior (find/insert-max/erase/eraseIf/iteration set)
+ * matches FlatMap exactly; only iteration *order* differs, which no
+ * clock consumer observes (all serialization sorts canonically).
+ */
+
+#ifndef ASYNCCLOCK_CLOCK_SOA_TABLE_HH
+#define ASYNCCLOCK_CLOCK_SOA_TABLE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "clock/simd.hh"
+#include "support/logging.hh"
+
+namespace asyncclock::clock {
+
+class SoaTable
+{
+  public:
+    static constexpr std::uint32_t emptyKey = 0xFFFFFFFFu;
+
+    SoaTable() = default;
+
+    bool empty() const { return size_ == 0; }
+    std::uint32_t size() const { return size_; }
+
+    std::uint64_t
+    byteSize() const
+    {
+        return (keys_.capacity() + ticks_.capacity()) *
+               sizeof(std::uint32_t);
+    }
+
+    /** Value for @p key; 0 if absent. */
+    std::uint32_t
+    get(std::uint32_t key) const
+    {
+        if (keys_.empty())
+            return 0;
+        std::uint32_t i = probeStart(key);
+        while (keys_[i] != emptyKey) {
+            if (keys_[i] == key)
+                return ticks_[i];
+            i = (i + 1) & mask_;
+        }
+        return 0;
+    }
+
+    bool
+    contains(std::uint32_t key) const
+    {
+        if (keys_.empty())
+            return false;
+        std::uint32_t i = probeStart(key);
+        while (keys_[i] != emptyKey) {
+            if (keys_[i] == key)
+                return true;
+            i = (i + 1) & mask_;
+        }
+        return false;
+    }
+
+    /** Insert-or-max: entry for @p key becomes max(current, @p val).
+     * @p val must be nonzero (0 means "absent" in clock semantics). */
+    void
+    raiseTo(std::uint32_t key, std::uint32_t val)
+    {
+        acAssert(key != emptyKey, "SoaTable key reserved");
+        if (!keys_.empty()) {
+            std::uint32_t i = probeStart(key);
+            while (keys_[i] != emptyKey) {
+                if (keys_[i] == key) {
+                    if (ticks_[i] < val)
+                        ticks_[i] = val;
+                    return;
+                }
+                i = (i + 1) & mask_;
+            }
+        }
+        if (keys_.empty() || (size_ + 1) * 4 > keys_.size() * 3)
+            grow();
+        insertFresh(key, val);
+        ++size_;
+    }
+
+    bool
+    erase(std::uint32_t key)
+    {
+        if (keys_.empty())
+            return false;
+        std::uint32_t i = probeStart(key);
+        while (keys_[i] != key) {
+            if (keys_[i] == emptyKey)
+                return false;
+            i = (i + 1) & mask_;
+        }
+        // Backward-shift deletion: slide the rest of the cluster back
+        // one slot while displaced; restores the canonical layout of
+        // the reduced key set.
+        std::uint32_t j = (i + 1) & mask_;
+        while (keys_[j] != emptyKey && dist(j, keys_[j]) > 0) {
+            keys_[i] = keys_[j];
+            ticks_[i] = ticks_[j];
+            i = j;
+            j = (j + 1) & mask_;
+        }
+        keys_[i] = emptyKey;
+        ticks_[i] = 0;
+        --size_;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        std::fill(keys_.begin(), keys_.end(), emptyKey);
+        std::fill(ticks_.begin(), ticks_.end(), 0u);
+        size_ = 0;
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::uint32_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] != emptyKey)
+                fn(keys_[i],
+                   static_cast<const std::uint32_t &>(ticks_[i]));
+        }
+    }
+
+    template <typename Fn>
+    bool
+    forEachWhile(Fn &&fn) const
+    {
+        for (std::uint32_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] != emptyKey &&
+                !fn(keys_[i],
+                    static_cast<const std::uint32_t &>(ticks_[i])))
+                return false;
+        }
+        return true;
+    }
+
+    /** Erase entries where @p pred(key, tick) holds. Rebuilds into
+     * the same capacity; canonical insertion makes the result
+     * layout-identical to building from the surviving set. */
+    template <typename Pred>
+    void
+    eraseIf(Pred &&pred)
+    {
+        if (size_ == 0)
+            return;
+        std::vector<std::uint32_t> oldKeys = std::move(keys_);
+        std::vector<std::uint32_t> oldTicks = std::move(ticks_);
+        keys_.assign(oldKeys.size(), emptyKey);
+        ticks_.assign(oldTicks.size(), 0u);
+        size_ = 0;
+        for (std::uint32_t i = 0; i < oldKeys.size(); ++i) {
+            if (oldKeys[i] == emptyKey)
+                continue;
+            std::uint32_t t = oldTicks[i];
+            if (pred(oldKeys[i], t))
+                continue;
+            insertFresh(oldKeys[i], oldTicks[i]);
+            ++size_;
+        }
+    }
+
+    /** True when both tables have byte-identical key lanes — the
+     * precondition for the lane-wise join/leq kernels. */
+    bool
+    sameLayout(const SoaTable &other) const
+    {
+        return keys_.size() == other.keys_.size() && !keys_.empty() &&
+               !std::memcmp(keys_.data(), other.keys_.data(),
+                            keys_.size() * sizeof(std::uint32_t));
+    }
+
+    /**
+     * Pointwise max with @p other. Same-layout pairs take one vector
+     * pass over the tick lanes; otherwise the occupied slots of
+     * @p other are scanned blockwise and inserted individually.
+     */
+    void
+    joinFrom(const SoaTable &other)
+    {
+        if (other.size_ == 0)
+            return;
+        if (sameLayout(other)) {
+            simd::maxU32(ticks_.data(), other.ticks_.data(),
+                         static_cast<std::uint32_t>(ticks_.size()));
+            return;
+        }
+        const std::uint32_t cap =
+            static_cast<std::uint32_t>(other.keys_.size());
+        std::uint32_t i = 0;
+        for (; i + 4 <= cap; i += 4) {
+            std::uint32_t occ =
+                simd::occupiedMask4(other.keys_.data() + i, emptyKey);
+            while (occ) {
+                unsigned lane =
+                    static_cast<unsigned>(__builtin_ctz(occ));
+                occ &= occ - 1;
+                raiseTo(other.keys_[i + lane],
+                        other.ticks_[i + lane]);
+            }
+        }
+        for (; i < cap; ++i) {
+            if (other.keys_[i] != emptyKey)
+                raiseTo(other.keys_[i], other.ticks_[i]);
+        }
+    }
+
+    /** forall entries (k, t) here: t <= other.get(k). */
+    bool
+    leqAll(const SoaTable &other) const
+    {
+        if (size_ == 0)
+            return true;
+        if (sameLayout(other))
+            return simd::allLeqU32(
+                ticks_.data(), other.ticks_.data(),
+                static_cast<std::uint32_t>(ticks_.size()));
+        return forEachWhile(
+            [&](std::uint32_t k, const std::uint32_t &t) {
+                return t <= other.get(k);
+            });
+    }
+
+    /** Content equality (same entry set and ticks). */
+    bool
+    equals(const SoaTable &other) const
+    {
+        if (size_ != other.size_)
+            return false;
+        if (sameLayout(other))
+            return !std::memcmp(ticks_.data(), other.ticks_.data(),
+                                ticks_.size() *
+                                    sizeof(std::uint32_t));
+        return forEachWhile(
+            [&](std::uint32_t k, const std::uint32_t &t) {
+                return other.get(k) == t;
+            });
+    }
+
+  private:
+    std::uint32_t
+    probeStart(std::uint32_t key) const
+    {
+        std::uint64_t h = static_cast<std::uint64_t>(key) *
+                          0x9e3779b97f4a7c15ULL;
+        return static_cast<std::uint32_t>(h >> 32) & mask_;
+    }
+
+    /** Probe distance of the entry at slot @p i with key @p key. */
+    std::uint32_t
+    dist(std::uint32_t i, std::uint32_t key) const
+    {
+        return (i - probeStart(key)) & mask_;
+    }
+
+    /**
+     * Robin Hood insertion of a key not present. Displaces richer
+     * entries; ties on probe distance break by key order, giving a
+     * layout that is a pure function of (key set, capacity).
+     */
+    void
+    insertFresh(std::uint32_t key, std::uint32_t val)
+    {
+        std::uint32_t ck = key;
+        std::uint32_t cv = val;
+        std::uint32_t i = probeStart(ck);
+        std::uint32_t d = 0;
+        while (keys_[i] != emptyKey) {
+            std::uint32_t ed = dist(i, keys_[i]);
+            if (ed < d || (ed == d && keys_[i] > ck)) {
+                std::swap(ck, keys_[i]);
+                std::swap(cv, ticks_[i]);
+                d = ed;
+            }
+            i = (i + 1) & mask_;
+            ++d;
+        }
+        keys_[i] = ck;
+        ticks_[i] = cv;
+    }
+
+    void
+    grow()
+    {
+        std::vector<std::uint32_t> oldKeys = std::move(keys_);
+        std::vector<std::uint32_t> oldTicks = std::move(ticks_);
+        std::size_t cap = oldKeys.empty() ? 8 : oldKeys.size() * 2;
+        keys_.assign(cap, emptyKey);
+        ticks_.assign(cap, 0u);
+        mask_ = static_cast<std::uint32_t>(cap - 1);
+        for (std::uint32_t i = 0; i < oldKeys.size(); ++i) {
+            if (oldKeys[i] != emptyKey)
+                insertFresh(oldKeys[i], oldTicks[i]);
+        }
+    }
+
+    std::vector<std::uint32_t> keys_;
+    std::vector<std::uint32_t> ticks_;
+    std::uint32_t mask_ = 0;
+    std::uint32_t size_ = 0;
+};
+
+} // namespace asyncclock::clock
+
+#endif // ASYNCCLOCK_CLOCK_SOA_TABLE_HH

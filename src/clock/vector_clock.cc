@@ -28,9 +28,19 @@ VectorClock::toString() const
 bool
 VectorClock::operator==(const VectorClock &other) const
 {
+    if (const auto *a = std::get_if<SparseClock>(&rep_)) {
+        if (const auto *b = std::get_if<SparseClock>(&other.rep_))
+            return a->equals(*b);  // SIMD lane path when same-layout
+    }
     if (const auto *a = std::get_if<CowClock>(&rep_)) {
         if (const auto *b = std::get_if<CowClock>(&other.rep_)) {
             if (a->sharesNodeWith(*b))
+                return true;
+        }
+    }
+    if (const auto *a = std::get_if<HybridClock>(&rep_)) {
+        if (const auto *b = std::get_if<HybridClock>(&other.rep_)) {
+            if (a->sharesTreeWith(*b))
                 return true;
         }
     }

@@ -11,10 +11,12 @@
  * absent entries mean timestamp 0.
  *
  * Since the ClockPolicy refactor (see clock/policy.hh) VectorClock is
- * a facade over one of three representations selected at construction
- * time — the eager sparse FlatMap (SparseClock, default), the
- * copy-on-write interned clock (clock/cow_clock.hh), and the tree
- * clock (clock/tree_clock.hh). All expose the same operation set and
+ * a facade over one of four representations selected at construction
+ * time — the eager sparse clock (SparseClock, default, now SoA with
+ * SIMD join/leq kernels via clock/soa_table.hh), the copy-on-write
+ * interned clock (clock/cow_clock.hh), the tree clock
+ * (clock/tree_clock.hh), and the persistent cow-tree hybrid
+ * (clock/hybrid_clock.hh). All expose the same operation set and
  * identical observable state; mixed-backend joins and comparisons go
  * through the canonical (chain, tick) entry view, so backends can
  * coexist in one process.
@@ -28,13 +30,16 @@
 #include <variant>
 
 #include "clock/cow_clock.hh"
+#include "clock/hybrid_clock.hh"
 #include "clock/policy.hh"
+#include "clock/soa_table.hh"
 #include "clock/tree_clock.hh"
-#include "support/flat_map.hh"
 
 namespace asyncclock::clock {
 
-/** The original eager sparse clock: chain id -> last known tick. */
+/** The original eager sparse clock: chain id -> last known tick,
+ * stored as canonical-layout SoA lanes so joins and comparisons
+ * between same-layout clocks run through the SIMD kernels. */
 class SparseClock
 {
   public:
@@ -43,8 +48,7 @@ class SparseClock
     Tick
     get(ChainId chain) const
     {
-        const Tick *t = map_.find(chain);
-        return t ? *t : 0;
+        return map_.get(chain);
     }
 
     void
@@ -52,9 +56,7 @@ class SparseClock
     {
         if (tick == 0)
             return;
-        Tick &slot = map_[chain];
-        if (slot < tick)
-            slot = tick;
+        map_.raiseTo(chain, tick);
     }
 
     bool
@@ -73,9 +75,7 @@ class SparseClock
             st.joinFastPaths.fetch_add(1, std::memory_order_relaxed);
             return;
         }
-        other.map_.forEach([this](ChainId c, const Tick &t) {
-            raise(c, t);
-        });
+        map_.joinFrom(other.map_);
         st.joinEntriesVisited.fetch_add(other.map_.size(),
                                         std::memory_order_relaxed);
     }
@@ -83,9 +83,20 @@ class SparseClock
     bool
     leq(const SparseClock &other) const
     {
-        return map_.forEachWhile([&](ChainId c, const Tick &t) {
-            return t <= other.get(c);
-        });
+        return map_.leqAll(other.map_);
+    }
+
+    bool
+    equals(const SparseClock &other) const
+    {
+        return map_.equals(other.map_);
+    }
+
+    /** True when the SIMD lane fast path applies to this pair. */
+    bool
+    sameLayoutAs(const SparseClock &other) const
+    {
+        return map_.sameLayout(other.map_);
     }
 
     std::uint32_t size() const { return map_.size(); }
@@ -115,7 +126,7 @@ class SparseClock
     std::uint64_t byteSize() const { return map_.byteSize(); }
 
   private:
-    asyncclock::FlatMap<Tick> map_;
+    SoaTable map_;
 };
 
 /**
@@ -134,6 +145,8 @@ class VectorClock
             rep_.emplace<CowClock>();
         else if (b == Backend::Tree)
             rep_.emplace<TreeClock>();
+        else if (b == Backend::Hybrid)
+            rep_.emplace<HybridClock>();
         // Sparse is the variant's default alternative.
     }
 
@@ -171,6 +184,8 @@ class VectorClock
     {
         if (auto *tr = std::get_if<TreeClock>(&rep_))
             tr->tick(chain, t);
+        else if (auto *h = std::get_if<HybridClock>(&rep_))
+            h->tick(chain, t);
         else
             raise(chain, t);
     }
@@ -213,9 +228,21 @@ class VectorClock
     bool
     leq(const VectorClock &other) const
     {
+        if (const auto *a = std::get_if<SparseClock>(&rep_)) {
+            if (const auto *b =
+                    std::get_if<SparseClock>(&other.rep_))
+                return a->leq(*b);  // SIMD lane path when same-layout
+        }
         if (const auto *a = std::get_if<CowClock>(&rep_)) {
             if (const auto *b = std::get_if<CowClock>(&other.rep_)) {
                 if (a->sharesNodeWith(*b))
+                    return true;
+            }
+        }
+        if (const auto *a = std::get_if<HybridClock>(&rep_)) {
+            if (const auto *b =
+                    std::get_if<HybridClock>(&other.rep_)) {
+                if (a->sharesTreeWith(*b))
                     return true;
             }
         }
@@ -265,9 +292,9 @@ class VectorClock
             [&](const auto &r) { return r.forEachWhile(fn); }, rep_);
     }
 
-    /** Fold into the COW intern table (no-op on other backends) —
-     * call on clocks likely to repeat content, e.g. checkpoint
-     * loads. */
+    /** Fold into the COW intern table (no-op on other backends —
+     * hybrid snapshots already share structurally) — call on clocks
+     * likely to repeat content, e.g. checkpoint loads. */
     void
     intern()
     {
@@ -289,7 +316,9 @@ class VectorClock
     bool operator==(const VectorClock &other) const;
 
   private:
-    std::variant<SparseClock, CowClock, TreeClock> rep_;
+    // Alternative order must match Backend's enumerator values:
+    // backend() is the variant index.
+    std::variant<SparseClock, CowClock, TreeClock, HybridClock> rep_;
 };
 
 } // namespace asyncclock::clock

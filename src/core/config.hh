@@ -85,7 +85,8 @@ struct DetectorConfig
 
     /**
      * Vector-clock representation (see clock/policy.hh): sparse (the
-     * default), copy-on-write interned, or tree clock. Captured from
+     * default), copy-on-write interned, tree clock, or the cow-tree
+     * hybrid. Captured from
      * the process-wide default at config construction; constructing a
      * detector applies it process-wide (checkers and graphs build
      * clocks of the same representation), since clocks of one run are

@@ -322,7 +322,8 @@ Daemon::handleCreate(const HttpRequest &req)
         clock::Backend backend;
         if (!clock::parseBackend(clockName.c_str(), backend))
             return HttpResponse::text(
-                400, "unknown clock backend '" + clockName + "'\n");
+                400, "unknown clock backend '" + clockName +
+                         "' (want " + clock::backendNames() + ")\n");
         // The clock backend is process-wide (the engine constructor
         // pins it); admitting a mismatched session would poison every
         // neighbor's clocks.

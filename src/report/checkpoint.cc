@@ -127,10 +127,14 @@ loadCheckpoint(const std::string &path, FastTrackChecker &checker)
     if (version >= 2) {
         // Clock-backend tag. Any known backend loads fine: entries
         // are serialized in canonical sparse form and rebuilt under
-        // the loader's backend.
+        // the loader's backend. Pre-v4 files predate the hybrid
+        // backend, so a hybrid tag there is corruption, not a newer
+        // writer.
+        int maxTag = version >= 4
+                         ? static_cast<int>(clock::kBackendCount)
+                         : 3;
         int tag = in.get();
-        if (tag < 0 ||
-            tag >= static_cast<int>(clock::kBackendCount)) {
+        if (tag < 0 || tag >= maxTag) {
             return Status::error(
                 ErrCode::Corrupt,
                 strf("bad clock-backend tag %d in checkpoint", tag));

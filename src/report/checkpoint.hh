@@ -58,9 +58,13 @@ namespace asyncclock::report {
  * the backend tag this one is semantic: resume replays the detector,
  * and a different model would replay a different access sequence, so
  * loaders (trace_analyzer) refuse a checkpoint whose model differs
- * from the run's. v1/v2 files (implicitly looper) load unchanged. */
+ * from the run's. v1/v2 files (implicitly looper) load unchanged.
+ * v4: the backend tag may also be Hybrid (3). The layout is
+ * unchanged; the version bump exists so v3 readers reject hybrid
+ * tags they cannot name instead of misreading them, while v4 readers
+ * accept tags from every older version. */
 extern const char kCheckpointMagic[4];
-constexpr std::uint8_t kCheckpointVersion = 3;
+constexpr std::uint8_t kCheckpointVersion = 4;
 
 /** Causality-model tag values (match core::ModelKind; kept as a raw
  * byte here because report/ sits below core/ in the layering). */

@@ -308,7 +308,8 @@ TEST(Resume, CrossBackendCheckpointsInterchange)
     auto app = workload::generateApp(profile(11, 150));
     const clock::Backend backends[] = {clock::Backend::Sparse,
                                        clock::Backend::Cow,
-                                       clock::Backend::Tree};
+                                       clock::Backend::Tree,
+                                       clock::Backend::Hybrid};
     core::DetectorConfig base;
     std::vector<RaceReport> expected =
         uninterruptedRaces(app.trace, base);

@@ -1,7 +1,7 @@
 /**
  * @file
- * Backend equivalence: the three clock backends (sparse, COW, tree)
- * must be observationally identical.
+ * Backend equivalence: the four clock backends (sparse, COW, tree,
+ * hybrid) must be observationally identical.
  *
  * Two layers of evidence:
  *
@@ -9,14 +9,17 @@
  *    is applied to one clock universe per backend and every
  *    observable (get, size, knows, leq, ==, toString) is compared
  *    after each step. One generator uses the unrestricted API
- *    (raise/join/eraseIf — the tree backend must degrade, never
- *    diverge); the other follows the detector's ownership discipline
- *    (tick, snapshot export, join of exports) so the tree backend's
- *    pruning paths are actually exercised.
+ *    (raise/join/eraseIf — the tree and hybrid backends must degrade,
+ *    never diverge); another follows the detector's ownership
+ *    discipline (tick, snapshot export, join of exports) so the
+ *    pruning paths are actually exercised; a third mixes backends in
+ *    one universe so cross-representation joins go through the
+ *    canonical entry view. The sparse sweeps additionally run with
+ *    the SIMD kernels forced off to pin the scalar fallback.
  *
  *  - End-to-end: full detector + FastTrack + analyzer runs over
  *    generated apps and chaos traces must produce byte-identical
- *    reports under all three backends.
+ *    reports under all four backends.
  */
 
 #include <gtest/gtest.h>
@@ -24,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "clock/hybrid_clock.hh"
+#include "clock/simd.hh"
 #include "clock/tree_clock.hh"
 #include "clock/vector_clock.hh"
 #include "core/detector.hh"
@@ -37,7 +42,14 @@ namespace asyncclock::clock {
 namespace {
 
 constexpr Backend kBackends[] = {Backend::Sparse, Backend::Cow,
-                                 Backend::Tree};
+                                 Backend::Tree, Backend::Hybrid};
+
+void
+resetPruneGuards()
+{
+    TreeClock::resetPruneGuard();
+    HybridClock::resetPruneGuard();
+}
 
 /** Probe every observable of two same-content clocks. */
 void
@@ -59,6 +71,8 @@ TEST(ParseBackend, NamesRoundTrip)
     EXPECT_EQ(b, Backend::Cow);
     EXPECT_TRUE(parseBackend("tree", b));
     EXPECT_EQ(b, Backend::Tree);
+    EXPECT_TRUE(parseBackend("hybrid", b));
+    EXPECT_EQ(b, Backend::Hybrid);
     EXPECT_FALSE(parseBackend("vector", b));
     EXPECT_FALSE(parseBackend("", b));
     for (Backend x : kBackends) {
@@ -66,6 +80,13 @@ TEST(ParseBackend, NamesRoundTrip)
         EXPECT_TRUE(parseBackend(backendName(x), y));
         EXPECT_EQ(x, y);
     }
+    // The allowed-set string (used by usage text and parse errors)
+    // names every backend, pipe-separated.
+    std::string names = backendNames();
+    for (Backend x : kBackends)
+        EXPECT_NE(names.find(backendName(x)), std::string::npos)
+            << backendName(x);
+    EXPECT_EQ(names, "sparse|cow|tree|hybrid");
 }
 
 TEST(BackendEquiv, ExplicitConstructionSelectsBackend)
@@ -92,7 +113,7 @@ TEST(BackendEquiv, RandomOpsArbitraryDiscipline)
     constexpr unsigned kClocks = 8;
     constexpr ChainId kMaxChain = 12;
     for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-        TreeClock::resetPruneGuard();
+        resetPruneGuards();
         // One universe of kClocks clocks per backend, driven by
         // identical op streams (fresh RNG per backend).
         std::vector<std::vector<VectorClock>> u;
@@ -125,21 +146,21 @@ TEST(BackendEquiv, RandomOpsArbitraryDiscipline)
             }
         }
         for (unsigned i = 0; i < kClocks; ++i) {
-            expectSameObservables(u[0][i], u[1][i], kMaxChain,
-                                  "sparse vs cow");
-            expectSameObservables(u[0][i], u[2][i], kMaxChain,
-                                  "sparse vs tree");
+            for (std::size_t bi = 1; bi < u.size(); ++bi) {
+                expectSameObservables(u[0][i], u[bi][i], kMaxChain,
+                                      backendName(kBackends[bi]));
+            }
             for (unsigned j = 0; j < kClocks; ++j) {
                 bool leq = u[0][i].leq(u[0][j]);
-                EXPECT_EQ(u[1][i].leq(u[1][j]), leq);
-                EXPECT_EQ(u[2][i].leq(u[2][j]), leq);
                 bool eq = u[0][i] == u[0][j];
-                EXPECT_EQ(u[1][i] == u[1][j], eq);
-                EXPECT_EQ(u[2][i] == u[2][j], eq);
+                for (std::size_t bi = 1; bi < u.size(); ++bi) {
+                    EXPECT_EQ(u[bi][i].leq(u[bi][j]), leq);
+                    EXPECT_EQ(u[bi][i] == u[bi][j], eq);
+                }
             }
         }
     }
-    TreeClock::resetPruneGuard();
+    resetPruneGuards();
 }
 
 /**
@@ -152,7 +173,7 @@ TEST(BackendEquiv, RandomOpsTickDiscipline)
 {
     constexpr unsigned kChains = 10;
     for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-        TreeClock::resetPruneGuard();
+        resetPruneGuards();
         std::vector<std::vector<VectorClock>> owners;
         std::vector<std::vector<VectorClock>> exports;
         for (Backend b : kBackends) {
@@ -187,19 +208,83 @@ TEST(BackendEquiv, RandomOpsTickDiscipline)
                 ticks = localTicks;
         }
         for (unsigned c = 0; c < kChains; ++c) {
-            expectSameObservables(owners[0][c], owners[1][c],
-                                  kChains, "sparse vs cow owner");
-            expectSameObservables(owners[0][c], owners[2][c],
-                                  kChains, "sparse vs tree owner");
+            for (std::size_t bi = 1; bi < owners.size(); ++bi) {
+                expectSameObservables(owners[0][c], owners[bi][c],
+                                      kChains,
+                                      backendName(kBackends[bi]));
+            }
             for (unsigned d = 0; d < kChains; ++d) {
                 Epoch e{d, ticks[d]};
-                EXPECT_EQ(owners[1][c].knows(e),
-                          owners[0][c].knows(e));
-                EXPECT_EQ(owners[2][c].knows(e),
-                          owners[0][c].knows(e));
+                bool knows = owners[0][c].knows(e);
+                for (std::size_t bi = 1; bi < owners.size(); ++bi)
+                    EXPECT_EQ(owners[bi][c].knows(e), knows);
             }
         }
     }
+}
+
+/**
+ * Mixed-backend universe: clock i uses backend i mod 4, so joins,
+ * leq, == and assignments constantly cross representations through
+ * the canonical entry view. A same-shaped all-sparse universe is the
+ * oracle.
+ */
+TEST(BackendEquiv, RandomOpsMixedBackendUniverse)
+{
+    constexpr unsigned kClocks = 8;
+    constexpr ChainId kMaxChain = 12;
+    constexpr unsigned kNumBackends =
+        sizeof(kBackends) / sizeof(kBackends[0]);
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        resetPruneGuards();
+        std::vector<VectorClock> mixed;
+        std::vector<VectorClock> oracle(kClocks,
+                                        VectorClock(Backend::Sparse));
+        for (unsigned i = 0; i < kClocks; ++i)
+            mixed.emplace_back(kBackends[i % kNumBackends]);
+        auto run = [&](std::vector<VectorClock> &clocks) {
+            Rng rng(seed * 90001);
+            for (unsigned step = 0; step < 300; ++step) {
+                unsigned op = static_cast<unsigned>(rng.below(100));
+                unsigned i =
+                    static_cast<unsigned>(rng.below(kClocks));
+                unsigned j =
+                    static_cast<unsigned>(rng.below(kClocks));
+                ChainId c = static_cast<ChainId>(
+                    rng.below(kMaxChain + 1));
+                Tick t = static_cast<Tick>(rng.range(1, 40));
+                if (op < 40) {
+                    clocks[i].raise(c, t);
+                } else if (op < 55) {
+                    clocks[i].tick(c, clocks[i].get(c) + 1);
+                } else if (op < 90) {
+                    clocks[i].joinWith(clocks[j]);
+                } else if (op < 95) {
+                    clocks[i].intern();
+                } else {
+                    clocks[i].eraseIf(
+                        [t](ChainId, Tick v) { return v < t; });
+                }
+            }
+        };
+        run(mixed);
+        run(oracle);
+        for (unsigned i = 0; i < kClocks; ++i) {
+            // Mixed clocks keep their construction backend through
+            // mutation (assignment was excluded from the op mix).
+            EXPECT_EQ(mixed[i].backend(),
+                      kBackends[i % kNumBackends]);
+            expectSameObservables(oracle[i], mixed[i], kMaxChain,
+                                  "mixed universe");
+            for (unsigned j = 0; j < kClocks; ++j) {
+                EXPECT_EQ(mixed[i].leq(mixed[j]),
+                          oracle[i].leq(oracle[j]));
+                EXPECT_EQ(mixed[i] == mixed[j],
+                          oracle[i] == oracle[j]);
+            }
+        }
+    }
+    resetPruneGuards();
 }
 
 TEST(BackendEquiv, CowCopiesAreIndependent)
@@ -223,6 +308,135 @@ TEST(BackendEquiv, CowCopiesAreIndependent)
     d.raise(8, 1);
     EXPECT_EQ(c.get(8), 0u);
     EXPECT_EQ(d.get(8), 1u);
+}
+
+TEST(BackendEquiv, HybridSnapshotsAreIndependent)
+{
+    resetPruneGuards();
+    VectorClock a{Backend::Hybrid};
+    a.tick(1, 5);
+    a.raise(2, 9);
+    VectorClock b = a;  // shares the rep: a pointer-bump snapshot
+    b.raise(1, 6);      // must path-copy, not mutate a
+    EXPECT_EQ(a.get(1), 5u);
+    EXPECT_EQ(b.get(1), 6u);
+    EXPECT_EQ(b.get(2), 9u);
+    a.tick(1, 7);  // owner keeps ticking; snapshot must not see it
+    EXPECT_EQ(b.get(1), 6u);
+    EXPECT_EQ(a.get(1), 7u);
+    // Joining a snapshot back into a third clock sees the snapshot's
+    // frozen state.
+    VectorClock c{Backend::Hybrid};
+    c.joinWith(b);
+    EXPECT_EQ(c.get(1), 6u);
+    EXPECT_EQ(c.get(2), 9u);
+}
+
+TEST(BackendEquiv, HybridDeepSnapshotChainsStayConsistent)
+{
+    // Layered snapshots of an evolving owner: each mutation must
+    // path-copy exactly the shared spine, leaving every earlier
+    // snapshot frozen.
+    resetPruneGuards();
+    VectorClock owner{Backend::Hybrid};
+    std::vector<VectorClock> snaps;
+    std::vector<std::vector<Tick>> expect;
+    for (Tick t = 1; t <= 24; ++t) {
+        owner.tick(t % 6, owner.get(t % 6) + 1);
+        owner.raise(6 + t % 3, t);
+        snaps.push_back(owner);
+        std::vector<Tick> e;
+        for (ChainId c = 0; c < 9; ++c)
+            e.push_back(owner.get(c));
+        expect.push_back(e);
+    }
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+        for (ChainId c = 0; c < 9; ++c)
+            ASSERT_EQ(snaps[i].get(c), expect[i][c])
+                << "snapshot " << i << " chain " << c;
+    }
+}
+
+// ----------------------------------------------------------------
+// SIMD sparse fast path: scalar fallback must be bit-equivalent.
+// ----------------------------------------------------------------
+
+TEST(SimdSparse, ScalarFallbackMatchesVectorKernels)
+{
+    // Build clocks large enough (>= 64 entries) that the lane
+    // kernels run many full blocks, with equal key sets so the
+    // same-layout path actually fires.
+    const bool wasEnabled = simdEnabled();
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        Rng rng(seed * 31337);
+        std::vector<std::pair<ChainId, Tick>> entriesA;
+        std::vector<std::pair<ChainId, Tick>> entriesB;
+        for (ChainId c = 0; c < 96; ++c) {
+            Tick ta = static_cast<Tick>(rng.range(1, 1000));
+            Tick tb = static_cast<Tick>(rng.range(1, 1000));
+            entriesA.emplace_back(c, ta);
+            // Same key set, independently drawn ticks: exercises
+            // both join directions and non-trivial leq outcomes.
+            entriesB.emplace_back(c, tb);
+        }
+        for (bool simd : {true, false}) {
+            setSimdEnabled(simd);
+            VectorClock a{Backend::Sparse}, b{Backend::Sparse};
+            for (auto &[c, t] : entriesA)
+                a.raise(c, t);
+            for (auto &[c, t] : entriesB)
+                b.raise(c, t);
+            VectorClock joined = a;
+            joined.joinWith(b);
+            for (ChainId c = 0; c < 96; ++c)
+                ASSERT_EQ(joined.get(c),
+                          std::max(entriesA[c].second,
+                                   entriesB[c].second))
+                    << "simd=" << simd;
+            EXPECT_TRUE(a.leq(joined)) << "simd=" << simd;
+            EXPECT_TRUE(b.leq(joined)) << "simd=" << simd;
+            EXPECT_EQ(a.leq(b),
+                      [&] {
+                          for (ChainId c = 0; c < 96; ++c) {
+                              if (entriesA[c].second >
+                                  entriesB[c].second)
+                                  return false;
+                          }
+                          return true;
+                      }())
+                << "simd=" << simd;
+            VectorClock j2 = b;
+            j2.joinWith(a);
+            EXPECT_TRUE(joined == j2) << "simd=" << simd;
+        }
+    }
+    setSimdEnabled(wasEnabled);
+}
+
+TEST(SimdSparse, CanonicalLayoutMakesJoinPairsSameLayout)
+{
+    // Two clocks that absorbed the same key set in *different*
+    // orders must converge to byte-identical key lanes — the Robin
+    // Hood canonical-layout property the SIMD fast path relies on.
+    std::vector<ChainId> chains;
+    for (ChainId c = 0; c < 128; ++c)
+        chains.push_back(c * 7 + 1);
+    SparseClock a, b;
+    for (ChainId c : chains)
+        a.raise(c, c + 1);
+    for (std::size_t i = chains.size(); i-- > 0;)
+        b.raise(chains[i], 2 * chains[i]);
+    EXPECT_TRUE(a.sameLayoutAs(b));
+    // Erase + reinsert keeps the layout canonical too.
+    a.eraseIf([](ChainId c, Tick) { return c % 3 == 0; });
+    b.eraseIf([](ChainId c, Tick) { return c % 3 == 0; });
+    EXPECT_TRUE(a.sameLayoutAs(b));
+    for (ChainId c : chains)
+        if (c % 3 == 0) {
+            a.raise(c, 5);
+            b.raise(c, 5);
+        }
+    EXPECT_TRUE(a.sameLayoutAs(b));
 }
 
 // ----------------------------------------------------------------
@@ -258,7 +472,7 @@ fullReport(const trace::Trace &tr, Backend b)
 
 TEST(BackendEquiv, EndToEndReportsByteIdentical)
 {
-    TreeClock::resetPruneGuard();
+    resetPruneGuards();
     std::vector<trace::Trace> traces;
     workload::AppProfile p;
     p.seed = 42;
@@ -272,6 +486,12 @@ TEST(BackendEquiv, EndToEndReportsByteIdentical)
         const std::string sparse = fullReport(tr, Backend::Sparse);
         EXPECT_EQ(fullReport(tr, Backend::Cow), sparse);
         EXPECT_EQ(fullReport(tr, Backend::Tree), sparse);
+        EXPECT_EQ(fullReport(tr, Backend::Hybrid), sparse);
+        // The scalar fallback must not change a byte either.
+        const bool wasEnabled = simdEnabled();
+        setSimdEnabled(false);
+        EXPECT_EQ(fullReport(tr, Backend::Sparse), sparse);
+        setSimdEnabled(wasEnabled);
     }
 }
 

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "clock/hybrid_clock.hh"
 #include "clock/tree_clock.hh"
 #include "core/engine.hh"
 #include "gold/closure.hh"
@@ -133,6 +134,7 @@ class BackendGuard
     explicit BackendGuard(Backend b) : saved_(clock::defaultBackend())
     {
         clock::TreeClock::resetPruneGuard();
+        clock::HybridClock::resetPruneGuard();
         clock::setDefaultBackend(b);
     }
     ~BackendGuard() { clock::setDefaultBackend(saved_); }
@@ -142,7 +144,7 @@ class BackendGuard
 };
 
 constexpr Backend kBackends[] = {Backend::Sparse, Backend::Cow,
-                                 Backend::Tree};
+                                 Backend::Tree, Backend::Hybrid};
 
 TEST(ShbEngine, MatchesWeakClosureOnEveryBackend)
 {
@@ -384,6 +386,7 @@ TEST(Predict, RenderedOutputByteIdenticalAcrossBackends)
         const std::string sparse = renderPrediction(tr, Backend::Sparse);
         EXPECT_EQ(renderPrediction(tr, Backend::Cow), sparse);
         EXPECT_EQ(renderPrediction(tr, Backend::Tree), sparse);
+        EXPECT_EQ(renderPrediction(tr, Backend::Hybrid), sparse);
     }
 }
 

@@ -26,6 +26,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "clock/policy.hh"
 #include "core/detector.hh"
 #include "core/engine.hh"
 #include "obs/event_log.hh"
@@ -728,10 +729,13 @@ TEST(PhaseTiming, HistogramsCoverTheRun)
     det.runAll();
     ASSERT_GT(det.opsProcessed(), 0u);
 
-    // The run.info gauge marks the (model, backend) pair.
+    // The run.info gauge marks the (model, backend) pair. The
+    // backend label follows whatever backend the run used (cfg
+    // defaults to $ASYNCCLOCK_CLOCK), so derive it the same way.
+    const char *backend = clock::backendName(cfg.clockBackend);
     obs::MetricsSnapshot snap = reg.snapshot();
     std::string info = obs::seriesName(
-        "run.info", {{"model", "looper"}, {"backend", "sparse"}});
+        "run.info", {{"model", "looper"}, {"backend", backend}});
     bool sawInfo = false;
     for (const auto &[n, v] : snap.gauges) {
         if (n == info) {
@@ -750,7 +754,7 @@ TEST(PhaseTiming, HistogramsCoverTheRun)
         std::string name = obs::seriesName(
             "detector.phase_ns", {{"phase", phase},
                                   {"model", "looper"},
-                                  {"backend", "sparse"}});
+                                  {"backend", backend}});
         bool found = false;
         for (const obs::HistogramSnapshot &h : snap.histograms) {
             if (h.name != name)
